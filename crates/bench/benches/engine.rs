@@ -1,0 +1,92 @@
+//! Criterion microbenches of the simulation substrates: DES event loop,
+//! max-min flow solver, Cell machine event model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use accelmr_cellbe::{CellConfig, CellMachine, DataInput, IdentityKernel};
+use accelmr_des::prelude::*;
+use accelmr_net::{max_min_rates, FlowDemand, LinkId, LinkTable};
+
+fn bench_des(c: &mut Criterion) {
+    struct Bouncer {
+        peer: Option<ActorId>,
+        left: u32,
+    }
+    #[derive(Debug)]
+    struct Ball;
+    impl Actor for Bouncer {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Start => {
+                    if let Some(p) = self.peer {
+                        ctx.send(p, Ball);
+                    }
+                }
+                Event::Msg { from, .. } => {
+                    if self.left == 0 {
+                        ctx.stop();
+                    } else {
+                        self.left -= 1;
+                        ctx.send_after(from, Ball, SimDuration::from_nanos(10));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("des_engine");
+    let events = 20_000u64;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("ping_pong_dispatch", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.spawn(Box::new(Bouncer { peer: None, left: events as u32 }));
+            sim.spawn(Box::new(Bouncer { peer: Some(a), left: events as u32 }));
+            black_box(sim.run().events)
+        });
+    });
+    group.finish();
+}
+
+fn bench_flow_solver(c: &mut Criterion) {
+    let mut links = LinkTable::new();
+    for _ in 0..64 {
+        links.add(125.0e6);
+    }
+    let flows: Vec<FlowDemand> = (0..128)
+        .map(|i| FlowDemand {
+            links: vec![LinkId(i % 64), LinkId((i * 7 + 3) % 64)],
+            cap: if i % 3 == 0 { 8.5e6 } else { f64::INFINITY },
+        })
+        .collect();
+    let mut group = c.benchmark_group("net");
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("max_min_128_flows_64_links", |b| {
+        b.iter(|| black_box(max_min_rates(&links, &flows)));
+    });
+    group.finish();
+}
+
+fn bench_cell_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellbe");
+    let bytes = 16u64 << 20;
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("event_model_16mb_4k_blocks", |b| {
+        let kernel = IdentityKernel::new(36.6);
+        b.iter(|| {
+            let mut m = CellMachine::new(CellConfig::default(), false).unwrap();
+            m.warm_up();
+            black_box(
+                m.run_data(DataInput::Virtual(bytes), &kernel, 4096)
+                    .unwrap()
+                    .blocks,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_flow_solver, bench_cell_machine);
+criterion_main!(benches);

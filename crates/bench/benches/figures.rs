@@ -1,0 +1,50 @@
+//! Criterion wrapper around the smallest figure regenerations, so
+//! `cargo bench` exercises the full simulated stack end to end and tracks
+//! harness regressions. (The full-scale sweeps are the fig* binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use accelmr_hybrid::experiments::{fig2, fig6, Fig2Params, Fig6Params};
+use accelmr_hybrid::experiments::dist::{run_encrypt_job, run_pi_job, AesMapper, PiMapper};
+use accelmr_mapred::MrConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_single_node_sweep", |b| {
+        let params = Fig2Params {
+            sizes_mb: vec![1, 16, 256],
+            ..Fig2Params::default()
+        };
+        b.iter(|| black_box(fig2(&params).series.len()));
+    });
+
+    group.bench_function("fig6_single_node_sweep", |b| {
+        let params = Fig6Params {
+            samples: vec![1_000, 1_000_000, 1_000_000_000],
+            seed: 1,
+        };
+        b.iter(|| black_box(fig6(&params).series.len()));
+    });
+
+    group.bench_function("fig5_point_4nodes_8gb_cell", |b| {
+        b.iter(|| {
+            let r = run_encrypt_job(1, 4, 8 << 30, AesMapper::Cell, &MrConfig::default());
+            black_box(r.elapsed)
+        });
+    });
+
+    group.bench_function("fig8_point_4nodes_1e9_cell", |b| {
+        b.iter(|| {
+            let (r, _) = run_pi_job(2, 4, 1_000_000_000, PiMapper::Cell, &MrConfig::default());
+            black_box(r.elapsed)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion microbenches of the *real* compute kernels (actual wall time,
+//! not simulated time): AES-128 across implementations, Monte Carlo Pi,
+//! radix sort, checksums.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use accelmr_kernels::aes::modes::{ctr_xor, ecb_encrypt};
+use accelmr_kernels::pi::{count_inside_lanes, count_inside_scalar};
+use accelmr_kernels::sort::{generate_records, radix_sort};
+use accelmr_kernels::{checksum, fill_deterministic, Aes128, AesImpl};
+
+fn bench_aes(c: &mut Criterion) {
+    let key = Aes128::new(b"benchmark-key!!!");
+    let mut group = c.benchmark_group("aes128_ecb");
+    let len = 64 * 1024;
+    group.throughput(Throughput::Bytes(len as u64));
+    for imp in AesImpl::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(imp.name()), &imp, |b, &imp| {
+            let mut buf = vec![0u8; len];
+            fill_deterministic(1, 0, &mut buf);
+            b.iter(|| ecb_encrypt(&key, imp, black_box(&mut buf)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("aes128_ctr");
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("lanes4", |b| {
+        let mut buf = vec![0u8; len];
+        b.iter(|| ctr_xor(&key, AesImpl::Lanes4, 7, 0, black_box(&mut buf)));
+    });
+    group.finish();
+}
+
+fn bench_pi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pi_montecarlo");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut rng = accelmr_des::Xoshiro256::seed_from_u64(3);
+            black_box(count_inside_scalar(&mut rng, n))
+        });
+    });
+    group.bench_function("lanes4", |b| {
+        b.iter(|| {
+            let mut rng = accelmr_des::Xoshiro256::seed_from_u64(3);
+            black_box(count_inside_lanes(&mut rng, n))
+        });
+    });
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    let n = 100_000;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("radix_graysort_records", |b| {
+        let records = generate_records(5, 0, n);
+        b.iter(|| {
+            let mut v = records.clone();
+            radix_sort(&mut v);
+            black_box(v.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum");
+    let len = 64 * 1024;
+    group.throughput(Throughput::Bytes(len as u64));
+    group.bench_function("fnv1a", |b| {
+        let mut buf = vec![0u8; len];
+        fill_deterministic(2, 0, &mut buf);
+        b.iter(|| black_box(checksum(&buf)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_pi, bench_sort, bench_checksum);
+criterion_main!(benches);

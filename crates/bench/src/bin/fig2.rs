@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 2: raw node encryption bandwidth vs size.
+
+use accelmr_hybrid::experiments::{fig2, Fig2Params};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = Fig2Params::default();
+    if accelmr_bench::quick_mode() {
+        params.sizes_mb = vec![1, 16, 256];
+    }
+    accelmr_bench::emit(&fig2(&params), t);
+}

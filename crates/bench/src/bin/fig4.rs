@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 4: distributed encryption, proportional
+//! data set (1 GB per mapper, 2 mappers per node).
+
+use accelmr_hybrid::experiments::{fig4, DistEncryptParams};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = DistEncryptParams::default();
+    if accelmr_bench::quick_mode() {
+        params.nodes = vec![4, 12];
+    }
+    accelmr_bench::emit(&fig4(&params), t);
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 5: distributed encryption of a fixed
+//! 120 GB data set across 4..64 nodes (Empty / Java / Cell mappers).
+
+use accelmr_hybrid::experiments::{fig5, DistEncryptParams};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = DistEncryptParams {
+        nodes: vec![4, 8, 16, 32, 64],
+        ..DistEncryptParams::default()
+    };
+    if accelmr_bench::quick_mode() {
+        params.nodes = vec![4, 16];
+        params.total_gb = 24;
+    }
+    accelmr_bench::emit(&fig5(&params), t);
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 6: raw node Pi estimation performance.
+
+use accelmr_hybrid::experiments::{fig6, Fig6Params};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = Fig6Params::default();
+    if accelmr_bench::quick_mode() {
+        params.samples = vec![1_000, 1_000_000, 1_000_000_000];
+    }
+    accelmr_bench::emit(&fig6(&params), t);
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Figure 7: distributed Pi estimation on a fixed
+//! 50-node cluster, sweeping the sample count.
+
+use accelmr_hybrid::experiments::{fig7, DistPiParams};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = DistPiParams::default();
+    if accelmr_bench::quick_mode() {
+        params.fig7_nodes = 8;
+        params.fig7_samples = vec![30_000, 30_000_000, 30_000_000_000];
+    }
+    accelmr_bench::emit(&fig7(&params), t);
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figure 8: distributed Pi estimation at 1e11
+//! samples across 4..64 nodes (Java / Cell / Cell with 10x samples).
+
+use accelmr_hybrid::experiments::{fig8, DistPiParams};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = DistPiParams::default();
+    if accelmr_bench::quick_mode() {
+        params.fig8_nodes = vec![4, 16];
+        params.fig8_samples = 10_000_000_000;
+        params.fig8_tenx = 100_000_000_000;
+    }
+    accelmr_bench::emit(&fig8(&params), t);
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Terasort-style per-node feed-rate experiment (paper
+//! §IV-A closing observation: ~5.5 MB/s per node).
+
+use accelmr_hybrid::experiments::{terasort_feed_rate, TerasortParams};
+
+fn main() {
+    let t = std::time::Instant::now();
+    let mut params = TerasortParams::default();
+    if accelmr_bench::quick_mode() {
+        params.nodes = vec![4];
+    }
+    accelmr_bench::emit(&terasort_feed_rate(&params), t);
+}

@@ -1,0 +1,20 @@
+//! Shared helpers for the benchmark harness binaries.
+
+#![warn(missing_docs)]
+
+/// Returns `true` when `--quick` was passed: figure binaries then run a
+/// scaled-down sweep (useful in CI; the default regenerates the paper's
+/// full parameter ranges).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a figure's table, prefixed with timing of the harness itself.
+pub fn emit(fig: &accelmr_hybrid::experiments::Figure, started: std::time::Instant) {
+    print!("{}", fig.to_table());
+    eprintln!(
+        "[{}] regenerated in {:.1}s wall",
+        fig.id,
+        started.elapsed().as_secs_f64()
+    );
+}

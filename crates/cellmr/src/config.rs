@@ -1,0 +1,71 @@
+//! Configuration of the MapReduce-for-Cell framework.
+
+use accelmr_des::SimDuration;
+
+/// Framework parameters. Defaults model the runtime of de Kruijf &
+/// Sankaralingam that the paper wraps behind its second native library,
+/// including the overhead the paper calls out: input data is copied again
+/// into framework-managed buffers by the PPE before any SPE sees it.
+#[derive(Clone, Debug)]
+pub struct CellMrConfig {
+    /// Framework record granularity, bytes (the unit handed to one SPU map
+    /// invocation). The paper uses 4 KB blocks.
+    pub record_size: usize,
+    /// PPE bandwidth for the staging copy into framework buffers, B/s.
+    pub staging_bytes_per_sec: f64,
+    /// PPE-side bookkeeping per record (queue entry, state update).
+    pub per_record_overhead: SimDuration,
+    /// SPU cycles per emitted key/value pair in the partition phase.
+    pub partition_cycles_per_pair: f64,
+    /// SPU cycles per comparison in the per-partition sort phase.
+    pub sort_cycles_per_compare: f64,
+    /// SPU cycles per pair in the reduce phase (framework overhead, added
+    /// to the user reduce function's own cost).
+    pub reduce_cycles_per_pair: f64,
+    /// PPE cycles per pair in the final merge of per-SPE outputs.
+    pub merge_cycles_per_pair: f64,
+}
+
+impl Default for CellMrConfig {
+    fn default() -> Self {
+        CellMrConfig {
+            record_size: 4 * 1024,
+            staging_bytes_per_sec: 1.6e9,
+            per_record_overhead: SimDuration::from_micros(2),
+            partition_cycles_per_pair: 20.0,
+            sort_cycles_per_compare: 24.0,
+            reduce_cycles_per_pair: 30.0,
+            merge_cycles_per_pair: 16.0,
+        }
+    }
+}
+
+impl CellMrConfig {
+    /// Time for the PPE to stage `bytes` into framework buffers.
+    pub fn staging_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.staging_bytes_per_sec)
+    }
+
+    /// Serial PPE bookkeeping time for `records` records.
+    pub fn bookkeeping_time(&self, records: u64) -> SimDuration {
+        self.per_record_overhead.saturating_mul(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_time_linear() {
+        let c = CellMrConfig::default();
+        assert_eq!(c.staging_time(1_600_000_000).as_nanos(), 1_000_000_000);
+        assert_eq!(c.staging_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bookkeeping_scales_with_records() {
+        let c = CellMrConfig::default();
+        assert_eq!(c.bookkeeping_time(1000), SimDuration::from_millis(2));
+    }
+}

@@ -1,0 +1,21 @@
+//! # accelmr-cellmr — MapReduce framework for the Cell BE
+//!
+//! A reproduction of the intra-node MapReduce runtime (de Kruijf &
+//! Sankaralingam, UW-Madison TR1625) that the paper wraps behind its second
+//! JNI library. The framework's defining overhead — the PPE copying input
+//! into framework-managed buffers before SPEs see any data — is modeled
+//! explicitly and is what separates the "MapReduce Cell" curve from the
+//! direct "Cell BE" curve in the paper's Figure 2.
+//!
+//! Two job shapes:
+//! * [`CellMrRuntime::run_map`] — map-only byte transforms (AES encryption);
+//! * [`CellMrRuntime::run_mapreduce`] — full key/value map → partition →
+//!   sort → reduce → merge pipeline with per-phase timing.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod runtime;
+
+pub use config::CellMrConfig;
+pub use runtime::{CellMapFn, CellMrReport, CellMrRuntime, CellReduceFn};

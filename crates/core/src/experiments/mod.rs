@@ -1,0 +1,106 @@
+//! Experiment runners — one per figure of the paper's evaluation.
+//!
+//! Each runner takes a parameter struct (defaults = the paper's setup,
+//! shrinkable for fast tests), executes the corresponding simulation(s), and
+//! returns a [`Figure`] holding the same series the paper plots. Binaries in
+//! `accelmr-bench` print them as aligned tables.
+
+pub mod dist;
+pub mod single_node;
+pub mod terasort;
+
+pub use dist::{fig4, fig5, fig7, fig8, DistEncryptParams, DistPiParams};
+pub use single_node::{fig2, fig6, Fig2Params, Fig6Params};
+pub use terasort::{terasort_feed_rate, TerasortParams};
+
+/// One plotted series: `(x, y)` points under a legend label.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label, matching the paper's.
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A regenerated figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"fig2"`.
+    pub id: &'static str,
+    /// Title (the paper's caption).
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Renders the figure as an aligned text table (x column + one column
+    /// per series), the format the bench binaries print.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y: {}", self.y_label);
+        let mut header = format!("{:>16}", self.x_label);
+        for s in &self.series {
+            header.push_str(&format!(" {:>22}", s.label));
+        }
+        let _ = writeln!(out, "{header}");
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = format!("{x:>16.4e}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => row.push_str(&format!(" {y:>22.4}")),
+                    None => row.push_str(&format!(" {:>22}", "-")),
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Looks up a series by label (tests).
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_series() {
+        let fig = Figure {
+            id: "figX",
+            title: "test".into(),
+            x_label: "nodes".into(),
+            y_label: "time (s)".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(1.0, 2.0), (2.0, 3.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(1.0, 5.0)],
+                },
+            ],
+        };
+        let t = fig.to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains('a'));
+        assert!(t.lines().count() >= 5);
+        assert!(fig.series("a").is_some());
+        assert!(fig.series("zzz").is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Heterogeneous clusters — the paper's §V third open issue, implemented.
+//!
+//! "We also plan to carry on research on clusters with an increasing level
+//! of heterogeneity, involving a dynamically variable number of both nodes
+//! enabled with hardware accelerators and general purpose nodes."
+//!
+//! This module provides exactly that: a [`MixedEnvFactory`] that equips
+//! only a fraction of the workers with Cell accelerators, and an
+//! [`AdaptiveAesKernel`] / [`AdaptivePiKernel`] that probe the node
+//! environment at run time — offloading where an accelerator exists and
+//! falling back to the scalar engine elsewhere (what the JNI library's
+//! capability probe would do). The accompanying tests demonstrate the
+//! phenomenon the paper anticipated: with placement-blind scheduling, the
+//! *slowest class of nodes sets the CPU-bound job time*, so partial
+//! accelerator coverage buys far less than its proportional share.
+
+use accelmr_mapred::{
+    NodeEnv, NodeEnvFactory, RecordCtx, RecordOutcome, TaskKernel, UnitsOutcome,
+};
+
+use crate::env::{CellEnvFactory, CellNodeEnv};
+use crate::kernels::{CellAesKernel, CellPiKernel, JavaAesKernel, JavaPiKernel};
+
+/// Equips the first `accelerated_of.0` of every `accelerated_of.1` nodes
+/// with Cell environments; the rest get plain (scalar-only) environments.
+pub struct MixedEnvFactory {
+    /// `(accelerated, out_of)`: e.g. `(1, 2)` = every other node.
+    pub accelerated_of: (usize, usize),
+    /// Factory for the accelerated nodes.
+    pub cell: CellEnvFactory,
+}
+
+impl MixedEnvFactory {
+    /// Half the nodes accelerated.
+    pub fn half() -> Self {
+        MixedEnvFactory {
+            accelerated_of: (1, 2),
+            cell: CellEnvFactory::default(),
+        }
+    }
+
+    /// `true` when node `index` carries an accelerator.
+    pub fn is_accelerated(&self, index: usize) -> bool {
+        let (num, den) = self.accelerated_of;
+        den == 0 || (index % den) < num
+    }
+}
+
+impl NodeEnvFactory for MixedEnvFactory {
+    fn build(&self, node_index: usize) -> Box<dyn NodeEnv> {
+        if self.is_accelerated(node_index) {
+            self.cell.build(node_index)
+        } else {
+            Box::new(accelmr_mapred::NullEnv)
+        }
+    }
+}
+
+fn has_accelerator(env: &mut dyn NodeEnv) -> bool {
+    env.as_any_mut().downcast_mut::<CellNodeEnv>().is_some()
+}
+
+/// Encryption kernel that offloads on accelerated nodes and runs the
+/// scalar engine elsewhere.
+pub struct AdaptiveAesKernel {
+    cell: CellAesKernel,
+    java: JavaAesKernel,
+}
+
+impl AdaptiveAesKernel {
+    /// Builds the adaptive kernel with the default job key.
+    pub fn new() -> Self {
+        AdaptiveAesKernel {
+            cell: CellAesKernel::new(),
+            java: JavaAesKernel::new(),
+        }
+    }
+}
+
+impl Default for AdaptiveAesKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskKernel for AdaptiveAesKernel {
+    fn name(&self) -> &'static str {
+        "aes-adaptive"
+    }
+
+    fn node_setup(&self, env: &mut dyn NodeEnv) -> accelmr_des::SimDuration {
+        if has_accelerator(env) {
+            self.cell.node_setup(env)
+        } else {
+            accelmr_des::SimDuration::ZERO
+        }
+    }
+
+    fn map_record(&self, env: &mut dyn NodeEnv, rec: &RecordCtx<'_>) -> RecordOutcome {
+        if has_accelerator(env) {
+            self.cell.map_record(env, rec)
+        } else {
+            self.java.map_record(env, rec)
+        }
+    }
+}
+
+/// Pi kernel that offloads on accelerated nodes and samples on the PPE
+/// elsewhere.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptivePiKernel {
+    cell: CellPiKernel,
+    java: JavaPiKernel,
+}
+
+impl AdaptivePiKernel {
+    /// Builds the adaptive kernel for a seed.
+    pub fn new(seed: u64) -> Self {
+        AdaptivePiKernel {
+            cell: CellPiKernel::new(seed),
+            java: JavaPiKernel::new(seed),
+        }
+    }
+}
+
+impl TaskKernel for AdaptivePiKernel {
+    fn name(&self) -> &'static str {
+        "pi-adaptive"
+    }
+
+    fn node_setup(&self, env: &mut dyn NodeEnv) -> accelmr_des::SimDuration {
+        if has_accelerator(env) {
+            self.cell.node_setup(env)
+        } else {
+            accelmr_des::SimDuration::ZERO
+        }
+    }
+
+    fn map_record(&self, _env: &mut dyn NodeEnv, _rec: &RecordCtx<'_>) -> RecordOutcome {
+        RecordOutcome::default()
+    }
+
+    fn map_units(&self, env: &mut dyn NodeEnv, units: u64, stream: u64) -> UnitsOutcome {
+        if has_accelerator(env) {
+            self.cell.map_units(env, units, stream)
+        } else {
+            self.java.map_units(env, units, stream)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelmr_dfs::DfsConfig;
+    use accelmr_mapred::{
+        deploy_cluster, run_job, JobInput, JobResult, JobSpec, MrConfig, OutputSink, ReduceSpec,
+        SumReducer,
+    };
+    use accelmr_net::NetConfig;
+    use std::sync::Arc;
+
+    fn run_mixed_pi(factory: &MixedEnvFactory, samples: u64, seed: u64) -> JobResult {
+        let mut c = deploy_cluster(
+            seed,
+            4,
+            NetConfig::default(),
+            DfsConfig::default(),
+            MrConfig::default(),
+            factory,
+            false,
+        );
+        let spec = JobSpec {
+            name: "mixed-pi".into(),
+            input: JobInput::Synthetic { total_units: samples },
+            kernel: Arc::new(AdaptivePiKernel::new(3)),
+            num_map_tasks: Some(8),
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::RpcAggregate {
+                reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
+            },
+        };
+        run_job(&mut c.sim, &c.mr, &c.dfs, vec![], spec)
+    }
+
+    #[test]
+    fn mixed_fraction_accounting() {
+        let half = MixedEnvFactory::half();
+        let flags: Vec<bool> = (0..6).map(|i| half.is_accelerated(i)).collect();
+        assert_eq!(flags, vec![true, false, true, false, true, false]);
+        let full = MixedEnvFactory {
+            accelerated_of: (1, 1),
+            cell: CellEnvFactory::default(),
+        };
+        assert!((0..4).all(|i| full.is_accelerated(i)));
+    }
+
+    /// The paper's anticipated effect: with placement-blind scheduling,
+    /// CPU-bound job time follows the *slowest* node class, so halving the
+    /// accelerated fraction costs far more than 2x.
+    #[test]
+    fn stragglers_on_plain_nodes_dominate_cpu_bound_jobs() {
+        let samples = 4_000_000_000u64;
+        let all = run_mixed_pi(
+            &MixedEnvFactory {
+                accelerated_of: (1, 1),
+                cell: CellEnvFactory::default(),
+            },
+            samples,
+            1,
+        );
+        let half = run_mixed_pi(&MixedEnvFactory::half(), samples, 2);
+        let none = run_mixed_pi(
+            &MixedEnvFactory {
+                accelerated_of: (0, 1),
+                cell: CellEnvFactory::default(),
+            },
+            samples,
+            3,
+        );
+        assert!(all.succeeded && half.succeeded && none.succeeded);
+
+        let (t_all, t_half, t_none) = (
+            all.elapsed.as_secs_f64(),
+            half.elapsed.as_secs_f64(),
+            none.elapsed.as_secs_f64(),
+        );
+        // Fully accelerated is far faster than unaccelerated.
+        assert!(t_none > 10.0 * t_all, "none {t_none} vs all {t_all}");
+        // Half-accelerated is nowhere near halfway (log-scale): the plain
+        // nodes' tasks dominate; it lands within ~2x of fully-plain.
+        assert!(
+            t_half > 0.4 * t_none,
+            "half {t_half} should be straggler-bound (none: {t_none})"
+        );
+        assert!(t_half > 5.0 * t_all);
+    }
+
+    /// Results stay correct regardless of which engine sampled.
+    #[test]
+    fn mixed_cluster_estimates_remain_accurate() {
+        let samples = 100_000_000u64;
+        let r = run_mixed_pi(&MixedEnvFactory::half(), samples, 4);
+        let inside = r.kv.iter().find(|&&(k, _)| k == 0).unwrap().1;
+        let total = r.kv.iter().find(|&&(k, _)| k == 1).unwrap().1;
+        assert_eq!(total, samples);
+        let pi = 4.0 * inside as f64 / total as f64;
+        assert!((pi - std::f64::consts::PI).abs() < 1e-3, "{pi}");
+    }
+}

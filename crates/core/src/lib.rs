@@ -1,0 +1,41 @@
+//! # accelmr-hybrid — the paper's two-level MapReduce execution environment
+//!
+//! This crate is the reproduction of the paper's contribution (its
+//! Figure 1): a Hadoop-like distributed runtime whose `map()` invocations
+//! call through a JNI-like native bridge into node-level Cell BE runtimes,
+//! exploiting both cluster-level and intra-node parallelism transparently.
+//!
+//! Layers glued together here:
+//!
+//! * [`env`] — per-node accelerator state ([`CellNodeEnv`]): Cell machines
+//!   whose SPU contexts stay warm across map tasks, plus a
+//!   MapReduce-for-Cell framework instance;
+//! * [`bridge`] — the JNI call-cost model;
+//! * [`kernels`] — one map kernel per paper configuration (Java scalar /
+//!   direct Cell / Cell framework / Empty, for both AES and Pi workloads);
+//! * [`experiments`] — a runner per paper figure (2, 4, 5, 6, 7, 8) plus
+//!   the Terasort-style feed-rate experiment, each regenerating the
+//!   corresponding series;
+//! * [`energy`], [`hetero`] — two of the paper's §V open issues,
+//!   implemented: per-job energy accounting (accelerators save kernel
+//!   energy on feed-bound jobs even when they save no time) and mixed
+//!   clusters where only a fraction of nodes carry accelerators (adaptive
+//!   kernels + the straggler effect the paper anticipated).
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod energy;
+pub mod env;
+pub mod experiments;
+pub mod hetero;
+pub mod kernels;
+
+pub use bridge::JniBridge;
+pub use energy::{job_energy, EnergyModel, EnergyReport, EngineClass};
+pub use env::{CellEnvFactory, CellNodeEnv};
+pub use hetero::{AdaptiveAesKernel, AdaptivePiKernel, MixedEnvFactory};
+pub use kernels::{
+    job_key, CellAesKernel, CellMrAesKernel, CellPiKernel, EmptyKernel, JavaAesKernel,
+    JavaPiKernel, JOB_NONCE,
+};

@@ -1,0 +1,257 @@
+//! Deterministic pseudo-random numbers for the simulator.
+//!
+//! The engine must be bit-for-bit reproducible from a seed, including across
+//! crate versions, so we ship our own xoshiro256** implementation instead of
+//! depending on an external RNG whose stream might change. Seeding goes
+//! through SplitMix64 as recommended by the xoshiro authors so that
+//! low-entropy seeds (0, 1, 2, ...) still produce well-mixed streams.
+
+/// SplitMix64 step; used for seeding and for cheap stateless mixing.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** — a small, fast, high-quality PRNG with a 2^256-1 period.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Derives an independent child generator. Each `stream` value yields a
+    /// distinct, reproducible stream; used to give every actor its own RNG
+    /// without coupling their consumption orders.
+    pub fn fork(&self, stream: u64) -> Self {
+        // Mix the parent state with the stream id through SplitMix64 so that
+        // forks of forks stay decorrelated.
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47)
+            ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` in `[0, bound)` using Lemire's multiply-shift rejection
+    /// method. `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponentially distributed sample with the given mean (used for
+    /// jittering heartbeats and failure injection times).
+    #[inline]
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Fisher-Yates shuffle of a slice, deterministic given the RNG state.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element index, or `None` for an empty slice.
+    #[inline]
+    pub fn choose_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.next_below(len as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_decorrelated_and_reproducible() {
+        let root = Xoshiro256::seed_from_u64(7);
+        let mut f1 = root.fork(1);
+        let mut f1b = root.fork(1);
+        let mut f2 = root.fork(2);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+        let mut collisions = 0;
+        for _ in 0..64 {
+            if f1.next_u64() == f2.next_u64() {
+                collisions += 1;
+            }
+        }
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.next_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut r = Xoshiro256::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            match r.range_inclusive(10, 12) {
+                10 => lo_seen = true,
+                12 => hi_seen = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+        // Degenerate full-width range must not overflow.
+        let _ = r.range_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_mean_reasonable() {
+        let mut r = Xoshiro256::seed_from_u64(13);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Xoshiro256::seed_from_u64(17);
+        let n = 50_000;
+        let mean_target = 3.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_exp(mean_target);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - mean_target).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xoshiro256::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_index_bounds() {
+        let mut r = Xoshiro256::seed_from_u64(23);
+        assert_eq!(r.choose_index(0), None);
+        for _ in 0..100 {
+            assert!(r.choose_index(4).unwrap() < 4);
+        }
+    }
+}

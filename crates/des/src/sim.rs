@@ -1,0 +1,728 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns a priority queue of pending events and a registry of actors.
+//! Execution is strictly sequential and deterministic: events fire in
+//! `(time, insertion-sequence)` order, so two runs from the same seed replay
+//! identically — a property the test suite asserts via trace fingerprints.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::actor::{Actor, ActorId, Event, Msg, TimerHandle};
+use crate::fxmap::FxHashSet;
+use crate::rng::Xoshiro256;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+enum Payload {
+    Start,
+    Timer { id: u64, tag: u64 },
+    Msg { from: ActorId, msg: Box<dyn Msg> },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    target: ActorId,
+    payload: Payload,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Queued {}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Queued {
+    // Reversed so the std max-heap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Slot {
+    actor: Option<Box<dyn Actor>>,
+    name: String,
+}
+
+pub(crate) struct SimCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Queued>,
+    cancelled_timers: FxHashSet<u64>,
+    next_timer_id: u64,
+    rng: Xoshiro256,
+    stats: Stats,
+    stop_requested: bool,
+    trace: Trace,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl SimCore {
+    fn push(&mut self, at: SimTime, target: ActorId, payload: Payload) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Queued {
+            at,
+            seq,
+            target,
+            payload,
+        });
+    }
+}
+
+/// Summary returned by [`Sim::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Simulated instant at which the run stopped.
+    pub end_time: SimTime,
+    /// Number of events dispatched to actors.
+    pub events: u64,
+}
+
+/// The simulation world: actor registry + event queue + clock.
+pub struct Sim {
+    core: SimCore,
+    actors: Vec<Slot>,
+}
+
+impl Sim {
+    /// Creates an empty simulation seeded for deterministic randomness.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: SimCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                cancelled_timers: FxHashSet::default(),
+                next_timer_id: 0,
+                rng: Xoshiro256::seed_from_u64(seed),
+                stats: Stats::new(),
+                stop_requested: false,
+                trace: Trace::default(),
+                events_processed: 0,
+                event_limit: u64::MAX,
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Registers an actor; it receives [`Event::Start`] at the current time.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let name = actor.name();
+        self.spawn_named(actor, name)
+    }
+
+    /// Registers an actor under an explicit name.
+    pub fn spawn_named(&mut self, actor: Box<dyn Actor>, name: impl Into<String>) -> ActorId {
+        let id = ActorId(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(Slot {
+            actor: Some(actor),
+            name: name.into(),
+        });
+        self.core.push(self.core.now, id, Payload::Start);
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Injects a message from the harness (sender = [`ActorId::ENGINE`]).
+    pub fn post(&mut self, to: ActorId, msg: Box<dyn Msg>) {
+        self.core.push(
+            self.core.now,
+            to,
+            Payload::Msg {
+                from: ActorId::ENGINE,
+                msg,
+            },
+        );
+    }
+
+    /// Injects a message that arrives after `delay`.
+    pub fn post_after(&mut self, to: ActorId, msg: Box<dyn Msg>, delay: SimDuration) {
+        self.core.push(
+            self.core.now + delay,
+            to,
+            Payload::Msg {
+                from: ActorId::ENGINE,
+                msg,
+            },
+        );
+    }
+
+    /// Read access to collected metrics.
+    pub fn stats(&self) -> &Stats {
+        &self.core.stats
+    }
+
+    /// Mutable access to collected metrics (harness-side bookkeeping).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+
+    /// The engine-level RNG (actors normally use `Ctx::rng`).
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256 {
+        &mut self.core.rng
+    }
+
+    /// Name an actor registered under `id`.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.actors[id.index()].name
+    }
+
+    /// Whether the actor is still alive (not killed).
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        self.actors
+            .get(id.index())
+            .map(|s| s.actor.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Enables event tracing with bounded storage.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace.enable(capacity);
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Caps the number of dispatched events; [`Sim::run`] stops once reached.
+    /// Guards tests against accidental event storms.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.core.event_limit = limit;
+    }
+
+    /// Runs until the queue empties, an actor calls `Ctx::stop`, or the
+    /// event limit is hit.
+    pub fn run(&mut self) -> RunSummary {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `deadline` (events at exactly `deadline` still fire).
+    /// The clock is left at `min(deadline, time of last event)`.
+    ///
+    /// A `Ctx::stop` requested during a previous run only ended that run;
+    /// each call starts afresh, so a simulation can be resumed (e.g. to
+    /// submit more jobs after a driver stopped the world).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
+        self.core.stop_requested = false;
+        while !self.core.stop_requested && self.core.events_processed < self.core.event_limit {
+            match self.core.queue.peek() {
+                None => break,
+                Some(q) if q.at > deadline => {
+                    self.core.now = deadline;
+                    break;
+                }
+                Some(_) => {}
+            }
+            self.dispatch_one();
+        }
+        RunSummary {
+            end_time: self.core.now,
+            events: self.core.events_processed,
+        }
+    }
+
+    /// Dispatches exactly one event; returns `false` when the queue is empty
+    /// or the simulation was stopped.
+    pub fn step(&mut self) -> bool {
+        if self.core.stop_requested || self.core.queue.is_empty() {
+            return false;
+        }
+        self.dispatch_one();
+        true
+    }
+
+    fn dispatch_one(&mut self) {
+        let Some(q) = self.core.queue.pop() else {
+            return;
+        };
+        debug_assert!(q.at >= self.core.now, "event scheduled in the past");
+        self.core.now = q.at;
+
+        // Drop cancelled timers and events for dead actors without charging
+        // them against the event budget.
+        if let Payload::Timer { id, .. } = q.payload {
+            if self.core.cancelled_timers.remove(&id) {
+                return;
+            }
+        }
+        let Some(slot) = self.actors.get_mut(q.target.index()) else {
+            return;
+        };
+        let Some(mut actor) = slot.actor.take() else {
+            return;
+        };
+
+        let ev = match q.payload {
+            Payload::Start => Event::Start,
+            Payload::Timer { id, tag } => Event::Timer {
+                handle: TimerHandle(id),
+                tag,
+            },
+            Payload::Msg { from, msg } => Event::Msg { from, msg },
+        };
+        self.core.trace.record(q.at, q.target, ev.label());
+        self.core.events_processed += 1;
+
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            actors: &mut self.actors,
+            self_id: q.target,
+            kill_self: false,
+        };
+        actor.handle(&mut ctx, ev);
+        let killed = ctx.kill_self;
+        if !killed {
+            // The slot may have moved if `actors` reallocated during spawn,
+            // but the index is stable.
+            self.actors[q.target.index()].actor = Some(actor);
+        }
+    }
+}
+
+/// Capability handle passed to [`Actor::handle`]: everything an actor may do
+/// to the world (send, arm timers, spawn, stop, randomness, metrics).
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    actors: &'a mut Vec<Slot>,
+    self_id: ActorId,
+    kill_self: bool,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the actor handling this event.
+    #[inline]
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to`, delivered at the current instant (after all
+    /// events already queued for this instant — FIFO among equal times).
+    pub fn send(&mut self, to: ActorId, msg: impl Msg) {
+        self.send_after(to, msg, SimDuration::ZERO);
+    }
+
+    /// Sends `msg` to `to` with an explicit delivery delay.
+    pub fn send_after(&mut self, to: ActorId, msg: impl Msg, delay: SimDuration) {
+        let from = self.self_id;
+        self.core.push(
+            self.core.now + delay,
+            to,
+            Payload::Msg {
+                from,
+                msg: Box::new(msg),
+            },
+        );
+    }
+
+    /// Sends a pre-boxed message (avoids re-boxing when forwarding).
+    pub fn send_boxed(&mut self, to: ActorId, msg: Box<dyn Msg>, delay: SimDuration) {
+        let from = self.self_id;
+        self.core
+            .push(self.core.now + delay, to, Payload::Msg { from, msg });
+    }
+
+    /// Arms a one-shot timer for this actor. The firing event carries `tag`.
+    pub fn after(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        self.core
+            .push(self.core.now + delay, self.self_id, Payload::Timer { id, tag });
+        TimerHandle(id)
+    }
+
+    /// Cancels a timer armed with [`Ctx::after`]; harmless if already fired.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.core.cancelled_timers.insert(handle.0);
+    }
+
+    /// Spawns a new actor mid-run; it receives [`Event::Start`] at the
+    /// current instant.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let name = actor.name();
+        self.spawn_named(actor, name)
+    }
+
+    /// Spawns a new actor under an explicit name.
+    pub fn spawn_named(&mut self, actor: Box<dyn Actor>, name: impl Into<String>) -> ActorId {
+        let id = ActorId(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(Slot {
+            actor: Some(actor),
+            name: name.into(),
+        });
+        self.core.push(self.core.now, id, Payload::Start);
+        id
+    }
+
+    /// Permanently removes an actor. Pending events addressed to it are
+    /// silently dropped. An actor may kill itself.
+    pub fn kill(&mut self, id: ActorId) {
+        if id == self.self_id {
+            self.kill_self = true;
+        } else if let Some(slot) = self.actors.get_mut(id.index()) {
+            slot.actor = None;
+        }
+    }
+
+    /// `true` when the actor is alive (the currently-running actor counts as
+    /// alive unless it has killed itself).
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        if id == self.self_id {
+            return !self.kill_self;
+        }
+        self.actors
+            .get(id.index())
+            .map(|s| s.actor.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Requests a graceful stop; the engine returns after this handler.
+    pub fn stop(&mut self) {
+        self.core.stop_requested = true;
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.core.rng
+    }
+
+    /// Metric sink.
+    #[inline]
+    pub fn stats(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::MsgExt;
+
+    #[derive(Debug)]
+    struct Kick;
+
+    #[derive(Debug)]
+    struct Ball(u32);
+
+    /// Bounces a ball back and forth `limit` times, then stops the world.
+    struct Player {
+        peer: Option<ActorId>,
+        limit: u32,
+        serve: bool,
+    }
+
+    impl Actor for Player {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            match ev {
+                Event::Start => {
+                    if self.serve {
+                        if let Some(peer) = self.peer {
+                            ctx.send_after(peer, Ball(0), SimDuration::from_millis(1));
+                        }
+                    }
+                }
+                Event::Msg { from, msg } => {
+                    if let Ok(ball) = msg.downcast::<Ball>() {
+                        ctx.stats().incr("bounces");
+                        if ball.0 >= self.limit {
+                            ctx.stop();
+                        } else {
+                            ctx.send_after(from, Ball(ball.0 + 1), SimDuration::from_millis(1));
+                        }
+                    }
+                }
+                Event::Timer { .. } => {}
+            }
+        }
+
+        fn name(&self) -> String {
+            "player".into()
+        }
+    }
+
+    fn ping_pong(limit: u32) -> (Sim, RunSummary) {
+        let mut sim = Sim::new(1);
+        let a = sim.spawn(Box::new(Player {
+            peer: None,
+            limit,
+            serve: false,
+        }));
+        let b = sim.spawn(Box::new(Player {
+            peer: Some(a),
+            limit,
+            serve: true,
+        }));
+        let _ = b;
+        let summary = sim.run();
+        (sim, summary)
+    }
+
+    #[test]
+    fn ping_pong_advances_time_and_counts() {
+        let (sim, summary) = ping_pong(9);
+        // 10 ball deliveries at 1ms spacing.
+        assert_eq!(sim.stats().counter("bounces"), 10);
+        assert_eq!(summary.end_time, SimTime::from_nanos(10_000_000));
+    }
+
+    #[test]
+    fn same_time_events_fire_in_send_order() {
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        #[derive(Debug)]
+        struct Tag(u32);
+        impl Actor for Recorder {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if let Event::Msg { msg, .. } = ev {
+                    if let Some(t) = msg.peek::<Tag>() {
+                        self.seen.push(t.0);
+                        if self.seen.len() == 3 {
+                            assert_eq!(self.seen, vec![1, 2, 3]);
+                            ctx.stats().incr("done");
+                        }
+                    }
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let r = sim.spawn(Box::new(Recorder { seen: vec![] }));
+        sim.post(r, Box::new(Tag(1)));
+        sim.post(r, Box::new(Tag(2)));
+        sim.post(r, Box::new(Tag(3)));
+        sim.run();
+        assert_eq!(sim.stats().counter("done"), 1);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct T {
+            armed: Option<TimerHandle>,
+        }
+        impl Actor for T {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        let h = ctx.after(SimDuration::from_secs(1), 7);
+                        self.armed = Some(h);
+                        ctx.after(SimDuration::from_millis(1), 1);
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        ctx.cancel_timer(self.armed.take().unwrap());
+                    }
+                    Event::Timer { tag: 7, .. } => {
+                        ctx.stats().incr("must_not_fire");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.spawn(Box::new(T { armed: None }));
+        let summary = sim.run();
+        assert_eq!(sim.stats().counter("must_not_fire"), 0);
+        // Clock still advanced to the cancelled timer's slot? No: cancelled
+        // events are popped (advancing now) but not dispatched.
+        assert_eq!(summary.end_time, SimTime::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        struct Tick;
+        impl Actor for Tick {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start | Event::Timer { .. } => {
+                        ctx.stats().incr("ticks");
+                        ctx.after(SimDuration::from_secs(1), 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.spawn(Box::new(Tick));
+        sim.run_until(SimTime::from_nanos(3_500_000_000));
+        // Ticks at t=0,1,2,3 inclusive.
+        assert_eq!(sim.stats().counter("ticks"), 4);
+        assert_eq!(sim.now(), SimTime::from_nanos(3_500_000_000));
+        // Resuming continues from the queue.
+        sim.run_until(SimTime::from_nanos(5_500_000_000));
+        assert_eq!(sim.stats().counter("ticks"), 6);
+    }
+
+    #[test]
+    fn killed_actors_drop_pending_events() {
+        struct Victim;
+        impl Actor for Victim {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Msg { .. }) {
+                    ctx.stats().incr("victim_got_msg");
+                }
+            }
+        }
+        struct Killer {
+            victim: ActorId,
+        }
+        impl Actor for Killer {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    ctx.send_after(self.victim, Kick, SimDuration::from_secs(2));
+                    ctx.after(SimDuration::from_secs(1), 0);
+                } else if matches!(ev, Event::Timer { .. }) {
+                    ctx.kill(self.victim);
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let v = sim.spawn(Box::new(Victim));
+        sim.spawn(Box::new(Killer { victim: v }));
+        sim.run();
+        assert_eq!(sim.stats().counter("victim_got_msg"), 0);
+        assert!(!sim.is_alive(v));
+    }
+
+    #[test]
+    fn self_kill_removes_actor() {
+        struct Quitter;
+        impl Actor for Quitter {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    let me = ctx.self_id();
+                    ctx.kill(me);
+                    assert!(!ctx.is_alive(me));
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let q = sim.spawn(Box::new(Quitter));
+        sim.run();
+        assert!(!sim.is_alive(q));
+    }
+
+    #[test]
+    fn spawn_during_run_receives_start() {
+        struct Parent;
+        struct Child;
+        impl Actor for Child {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    ctx.stats().incr("child_started");
+                }
+            }
+        }
+        impl Actor for Parent {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    ctx.spawn(Box::new(Child));
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.spawn(Box::new(Parent));
+        sim.run();
+        assert_eq!(sim.stats().counter("child_started"), 1);
+    }
+
+    #[test]
+    fn event_limit_halts_runaway() {
+        struct Storm;
+        impl Actor for Storm {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start | Event::Timer { .. } => {
+                        ctx.after(SimDuration::ZERO, 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.set_event_limit(1000);
+        sim.spawn(Box::new(Storm));
+        let summary = sim.run();
+        assert_eq!(summary.events, 1000);
+    }
+
+    #[test]
+    fn deterministic_fingerprints() {
+        let fp = |seed| {
+            let mut sim = Sim::new(seed);
+            sim.enable_trace(1 << 14);
+            let a = sim.spawn(Box::new(Player {
+                peer: None,
+                limit: 20,
+                serve: false,
+            }));
+            sim.spawn(Box::new(Player {
+                peer: Some(a),
+                limit: 20,
+                serve: true,
+            }));
+            sim.run();
+            sim.trace().fingerprint()
+        };
+        assert_eq!(fp(5), fp(5));
+    }
+
+    #[test]
+    fn post_after_delays_delivery() {
+        struct Sink;
+        impl Actor for Sink {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Msg { .. }) {
+                    let now = ctx.now();
+                    assert_eq!(now, SimTime::from_nanos(5_000_000));
+                    ctx.stats().incr("delivered");
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let s = sim.spawn(Box::new(Sink));
+        sim.post_after(s, Box::new(Kick), SimDuration::from_millis(5));
+        sim.run();
+        assert_eq!(sim.stats().counter("delivered"), 1);
+    }
+
+    #[test]
+    fn actor_names_are_registered() {
+        struct N;
+        impl Actor for N {
+            fn handle(&mut self, _: &mut Ctx<'_>, _: Event) {}
+            fn name(&self) -> String {
+                "namenode".into()
+            }
+        }
+        let mut sim = Sim::new(0);
+        let a = sim.spawn(Box::new(N));
+        let b = sim.spawn_named(Box::new(N), "custom");
+        assert_eq!(sim.actor_name(a), "namenode");
+        assert_eq!(sim.actor_name(b), "custom");
+    }
+}

@@ -1,0 +1,553 @@
+//! Cluster assembly and the client-side handle.
+
+use std::sync::Arc;
+
+use accelmr_des::prelude::*;
+use accelmr_des::FxHashMap;
+use accelmr_net::{NetHandle, NodeId};
+
+use crate::config::{BlockId, DfsConfig};
+use crate::datanode::DataNode;
+use crate::msgs::*;
+use crate::namenode::NameNode;
+
+/// Cheap clonable handle to a deployed DFS, used by every client actor.
+#[derive(Clone)]
+pub struct DfsHandle {
+    /// The NameNode actor.
+    pub namenode: ActorId,
+    /// The head node the NameNode runs on.
+    pub head_node: NodeId,
+    /// `(node, actor)` of every DataNode.
+    pub datanodes: Arc<Vec<(NodeId, ActorId)>>,
+    /// The network fabric.
+    pub net: NetHandle,
+}
+
+impl DfsHandle {
+    /// DataNode actor serving `node`, if one exists.
+    pub fn datanode_on(&self, node: NodeId) -> Option<ActorId> {
+        self.datanodes
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, a)| a)
+    }
+
+    /// Sends a [`GetLocations`] request from `my_node`; the reply arrives
+    /// at the calling actor as [`LocationsReply`] with `tag`.
+    pub fn get_locations(&self, ctx: &mut Ctx<'_>, my_node: NodeId, path: &str, tag: u64) {
+        let req = GetLocations {
+            path: path.to_string(),
+            reply: ctx.self_id(),
+            reply_node: my_node,
+            tag,
+        };
+        self.net
+            .unicast(ctx, my_node, self.head_node, self.namenode, 256, req);
+    }
+
+    /// Reads `[offset_in_block, offset_in_block + len)` of `block` from the
+    /// DataNode on `dn_node`; the calling actor receives [`RangeData`] (or
+    /// [`ReadError`] / [`accelmr_net::FlowAborted`]) with `tag`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_range(
+        &self,
+        ctx: &mut Ctx<'_>,
+        my_node: NodeId,
+        dn_node: NodeId,
+        block: BlockId,
+        offset_in_block: u64,
+        len: u64,
+        cap_bytes_per_sec: Option<f64>,
+        tag: u64,
+    ) -> bool {
+        let Some(dn) = self.datanode_on(dn_node) else {
+            return false;
+        };
+        let req = ReadRange {
+            block,
+            offset_in_block,
+            len,
+            reader_node: my_node,
+            reader: ctx.self_id(),
+            cap_bytes_per_sec,
+            tag,
+        };
+        self.net.unicast(ctx, my_node, dn_node, dn, 256, req);
+        true
+    }
+
+    /// Creates an empty file; the caller receives [`CreateAck`].
+    pub fn create_file(
+        &self,
+        ctx: &mut Ctx<'_>,
+        my_node: NodeId,
+        path: &str,
+        replication: Option<usize>,
+    ) {
+        let req = CreateFile {
+            path: path.to_string(),
+            replication,
+            reply: ctx.self_id(),
+            reply_node: my_node,
+        };
+        self.net
+            .unicast(ctx, my_node, self.head_node, self.namenode, 256, req);
+    }
+
+    /// Allocates the next block of `path`; the caller receives
+    /// [`BlockAllocated`] with `tag`.
+    pub fn alloc_block(&self, ctx: &mut Ctx<'_>, my_node: NodeId, path: &str, len: u64, tag: u64) {
+        let req = AllocBlock {
+            path: path.to_string(),
+            len,
+            writer_node: my_node,
+            reply: ctx.self_id(),
+            reply_node: my_node,
+            tag,
+        };
+        self.net
+            .unicast(ctx, my_node, self.head_node, self.namenode, 256, req);
+    }
+
+    /// Streams an allocated block into its pipeline; the caller receives
+    /// [`WriteAck`] with `tag` when the last replica lands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_block(
+        &self,
+        ctx: &mut Ctx<'_>,
+        my_node: NodeId,
+        block: BlockId,
+        len: u64,
+        seed: u64,
+        base_offset: u64,
+        pipeline: &[NodeId],
+        tag: u64,
+    ) -> bool {
+        let Some((&first, rest)) = pipeline.split_first() else {
+            return false;
+        };
+        let Some(dn) = self.datanode_on(first) else {
+            return false;
+        };
+        let req = WriteBlock {
+            block,
+            len,
+            seed,
+            base_offset,
+            from_node: my_node,
+            rest: rest.to_vec(),
+            ack_to: ctx.self_id(),
+            ack_node: my_node,
+            tag,
+        };
+        self.net.unicast(ctx, my_node, first, dn, 256, req);
+        true
+    }
+}
+
+/// Spawns a NameNode on `head_node` plus one DataNode per worker node and
+/// wires them together. `materialized` makes DataNodes serve real bytes.
+///
+/// Actor ids form a cycle (DataNodes need the NameNode id, the NameNode
+/// needs the DataNode registry), so DataNodes spawn first behind a
+/// [`PendingDataNode`] shim and receive their wiring as the first posted
+/// message — which the engine's FIFO-at-equal-time ordering guarantees
+/// arrives before any protocol traffic or armed timer.
+pub fn deploy_dfs(
+    sim: &mut Sim,
+    net: NetHandle,
+    cfg: &DfsConfig,
+    head_node: NodeId,
+    workers: &[NodeId],
+    materialized: bool,
+) -> DfsHandle {
+    let mut dns: Vec<(NodeId, ActorId)> = Vec::with_capacity(workers.len());
+    let mut peers: FxHashMap<NodeId, ActorId> = FxHashMap::default();
+    for &w in workers {
+        let dn = DataNode::new(cfg.clone(), net, w, head_node, materialized);
+        let id = sim.spawn(Box::new(PendingDataNode::new(dn)));
+        peers.insert(w, id);
+        dns.push((w, id));
+    }
+    let namenode = sim.spawn(Box::new(NameNode::new(
+        cfg.clone(),
+        net,
+        head_node,
+        dns.clone(),
+    )));
+    for &(_, dn) in &dns {
+        sim.post(
+            dn,
+            Box::new(WireDataNode {
+                namenode,
+                peers: peers.clone(),
+            }),
+        );
+    }
+    DfsHandle {
+        namenode,
+        head_node,
+        datanodes: Arc::new(dns),
+        net,
+    }
+}
+
+/// Wiring message delivered once at deployment.
+#[derive(Debug)]
+struct WireDataNode {
+    namenode: ActorId,
+    peers: FxHashMap<NodeId, ActorId>,
+}
+
+/// Wrapper that holds a DataNode until its wiring message arrives, then
+/// delegates forever. Keeps `DataNode::new` free of placeholder ids.
+struct PendingDataNode {
+    inner: DataNode,
+    wired: bool,
+}
+
+impl PendingDataNode {
+    fn new(inner: DataNode) -> Self {
+        PendingDataNode { inner, wired: false }
+    }
+}
+
+impl Actor for PendingDataNode {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if let Event::Msg { ref msg, .. } = ev {
+            if let Some(w) = msg.peek::<WireDataNode>() {
+                self.inner.rewire(w.namenode, w.peers.clone());
+                self.wired = true;
+                return;
+            }
+        }
+        debug_assert!(
+            self.wired || matches!(ev, Event::Start | Event::Timer { .. }),
+            "DataNode received protocol traffic before wiring"
+        );
+        self.inner.handle(ctx, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelmr_net::{Fabric, NetConfig};
+
+    fn deploy(
+        sim: &mut Sim,
+        workers: u32,
+        materialized: bool,
+    ) -> (DfsHandle, Vec<NodeId>) {
+        let nodes: Vec<NodeId> = (1..=workers).map(NodeId).collect();
+        let fabric = sim.spawn(Box::new(Fabric::new(
+            NetConfig::default(),
+            workers as usize + 1,
+        )));
+        let net = NetHandle { fabric };
+        let h = deploy_dfs(sim, net, &DfsConfig::default(), NodeId::HEAD, &nodes, materialized);
+        (h, nodes)
+    }
+
+    /// Test client actor driving a scripted interaction.
+    struct Client<F: FnMut(&mut Ctx<'_>, Event, &DfsHandle, &mut u32) + Send> {
+        dfs: DfsHandle,
+        state: u32,
+        script: F,
+    }
+
+    impl<F: FnMut(&mut Ctx<'_>, Event, &DfsHandle, &mut u32) + Send> Actor for Client<F> {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            (self.script)(ctx, ev, &self.dfs, &mut self.state);
+        }
+    }
+
+    #[test]
+    fn preload_places_balanced_replicas() {
+        let mut sim = Sim::new(1);
+        let (dfs, _) = deploy(&mut sim, 4, false);
+        let dfs2 = dfs.clone();
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: move |ctx, ev, dfs, state| match ev {
+                Event::Start => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        dfs.namenode,
+                        PreloadFile {
+                            path: "/input".into(),
+                            len: 8 * (64 << 20),
+                            block_size: None,
+                            replication: None,
+                            seed: 7,
+                            reply: me,
+                        },
+                    );
+                }
+                Event::Msg { msg, .. } => {
+                    if let Some(done) = msg.peek::<PreloadDone>() {
+                        assert_eq!(done.view.blocks.len(), 8);
+                        assert_eq!(done.view.len, 8 * (64 << 20));
+                        // Round-robin over 4 nodes: each holds 2 blocks.
+                        let mut counts = std::collections::BTreeMap::new();
+                        for b in &done.view.blocks {
+                            assert_eq!(b.replicas.len(), 1);
+                            *counts.entry(b.replicas[0]).or_insert(0u32) += 1;
+                        }
+                        assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+                        *state = 1;
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                _ => {}
+            },
+        }));
+        let _ = dfs2;
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+    }
+
+    #[test]
+    fn read_returns_canonical_bytes() {
+        let mut sim = Sim::new(2);
+        let (dfs, _) = deploy(&mut sim, 2, true);
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: |ctx, ev, dfs, _state| match ev {
+                Event::Start => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        dfs.namenode,
+                        PreloadFile {
+                            path: "/data".into(),
+                            len: 1 << 20,
+                            block_size: Some(256 << 10),
+                            replication: None,
+                            seed: 42,
+                            reply: me,
+                        },
+                    );
+                }
+                Event::Msg { msg, .. } => {
+                    if let Some(done) = msg.peek::<PreloadDone>() {
+                        // Read 1000 bytes at offset 100 of block 1.
+                        let b = &done.view.blocks[1];
+                        dfs.read_range(
+                            ctx,
+                            NodeId(1),
+                            b.replicas[0],
+                            b.id,
+                            100,
+                            1000,
+                            None,
+                            77,
+                        );
+                    } else if let Some(data) = msg.peek::<RangeData>() {
+                        assert_eq!(data.tag, 77);
+                        assert_eq!(data.len, 1000);
+                        let got = data.bytes.as_ref().expect("materialized");
+                        let mut expect = vec![0u8; 1000];
+                        accelmr_kernels::fill_deterministic(42, (256 << 10) + 100, &mut expect);
+                        assert_eq!(got, &expect);
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                _ => {}
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+    }
+
+    #[test]
+    fn capped_read_takes_protocol_limited_time() {
+        let mut sim = Sim::new(3);
+        let (dfs, _) = deploy(&mut sim, 1, false);
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: |ctx, ev, dfs, _| match ev {
+                Event::Start => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        dfs.namenode,
+                        PreloadFile {
+                            path: "/big".into(),
+                            len: 64 << 20,
+                            block_size: None,
+                            replication: None,
+                            seed: 0,
+                            reply: me,
+                        },
+                    );
+                }
+                Event::Msg { msg, .. } => {
+                    if let Some(done) = msg.peek::<PreloadDone>() {
+                        let b = &done.view.blocks[0];
+                        // Local (loopback) read of a full 64 MB block capped
+                        // at 8.5 MB/s: the paper's "several seconds per
+                        // record" observation.
+                        dfs.read_range(
+                            ctx,
+                            NodeId(1),
+                            b.replicas[0],
+                            b.id,
+                            0,
+                            b.len,
+                            Some(8.5e6),
+                            1,
+                        );
+                    } else if msg.peek::<RangeData>().is_some() {
+                        let secs = ctx.now().as_secs_f64();
+                        let expect = (64 << 20) as f64 / 8.5e6;
+                        assert!((secs - expect).abs() < 0.1, "took {secs}, expect ~{expect}");
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                _ => {}
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+    }
+
+    #[test]
+    fn write_pipeline_replicates_and_acks() {
+        let mut sim = Sim::new(4);
+        let (dfs, _) = deploy(&mut sim, 3, false);
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: |ctx, ev, dfs, state| match ev {
+                Event::Start => {
+                    dfs.create_file(ctx, NodeId(2), "/out", Some(2));
+                }
+                Event::Msg { msg, .. } => {
+                    if let Some(ack) = msg.peek::<CreateAck>() {
+                        assert!(ack.ok);
+                        dfs.alloc_block(ctx, NodeId(2), "/out", 32 << 20, 5);
+                    } else if let Some(alloc) = msg.peek::<BlockAllocated>() {
+                        assert_eq!(alloc.tag, 5);
+                        assert_eq!(alloc.pipeline.len(), 2);
+                        // Writer-local first replica preferred.
+                        assert_eq!(alloc.pipeline[0], NodeId(2));
+                        assert!(dfs.write_block(
+                            ctx,
+                            NodeId(2),
+                            alloc.block,
+                            32 << 20,
+                            9,
+                            0,
+                            &alloc.pipeline,
+                            5,
+                        ));
+                        *state = 1;
+                    } else if let Some(ack) = msg.peek::<WriteAck>() {
+                        assert_eq!(ack.tag, 5);
+                        assert_eq!(*state, 1);
+                        // Re-locate: both replicas visible.
+                        dfs.get_locations(ctx, NodeId(2), "/out", 6);
+                        *state = 2;
+                    } else if let Some(loc) = msg.peek::<LocationsReply>() {
+                        let view = loc.view.as_ref().expect("file exists");
+                        assert_eq!(view.blocks.len(), 1);
+                        assert_eq!(view.blocks[0].replicas.len(), 2);
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                _ => {}
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+    }
+
+    #[test]
+    fn missing_file_and_missing_block() {
+        let mut sim = Sim::new(5);
+        let (dfs, _) = deploy(&mut sim, 1, false);
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: |ctx, ev, dfs, state| match ev {
+                Event::Start => {
+                    dfs.get_locations(ctx, NodeId(1), "/nope", 1);
+                }
+                Event::Msg { msg, .. } => {
+                    if let Some(rep) = msg.peek::<LocationsReply>() {
+                        assert!(rep.view.is_none());
+                        *state = 1;
+                        dfs.read_range(ctx, NodeId(1), NodeId(1), BlockId(999), 0, 10, None, 2);
+                    } else if let Some(err) = msg.peek::<ReadError>() {
+                        assert_eq!(err.tag, 2);
+                        assert_eq!(*state, 1);
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                _ => {}
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+    }
+
+    #[test]
+    fn dead_datanode_excluded_from_locations() {
+        let mut sim = Sim::new(6);
+        let (dfs, _nodes) = deploy(&mut sim, 2, false);
+        let dn1 = dfs.datanode_on(NodeId(1)).unwrap();
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: move |ctx, ev, dfs, state| match ev {
+                Event::Start => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        dfs.namenode,
+                        PreloadFile {
+                            path: "/f".into(),
+                            len: 2 * (64 << 20),
+                            block_size: None,
+                            replication: None,
+                            seed: 0,
+                            reply: me,
+                        },
+                    );
+                }
+                Event::Msg { msg, .. } => {
+                    if msg.peek::<PreloadDone>().is_some() {
+                        // Kill DataNode on node 1, then wait past dead_after.
+                        ctx.send(dn1, crate::datanode::Shutdown);
+                        ctx.after(SimDuration::from_secs(40), 1);
+                    } else if let Some(rep) = msg.peek::<LocationsReply>() {
+                        let view = rep.view.as_ref().unwrap();
+                        for b in &view.blocks {
+                            assert!(!b.replicas.contains(&NodeId(1)));
+                        }
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                Event::Timer { .. } => {
+                    *state += 1;
+                    dfs.get_locations(ctx, NodeId(2), "/f", 3);
+                }
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+        assert_eq!(sim.stats().counter("dfs.datanodes_declared_dead"), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! DFS configuration and core identifiers.
+
+use accelmr_des::SimDuration;
+
+/// Globally unique block identifier (allocated by the NameNode).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u64);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk_{}", self.0)
+    }
+}
+
+/// File system parameters. Defaults match the paper's deployment: 64 MB
+/// HDFS blocks, replication level 1 ("one single copy of each block was
+/// present in the cluster"), 3-second DataNode heartbeats.
+#[derive(Clone, Debug)]
+pub struct DfsConfig {
+    /// Default block size, bytes.
+    pub block_size: u64,
+    /// Default replication factor.
+    pub replication: usize,
+    /// DataNode heartbeat period.
+    pub heartbeat_interval: SimDuration,
+    /// A DataNode missing heartbeats for this long is declared dead.
+    pub dead_after: SimDuration,
+    /// NameNode metadata operation service time (namespace lock + lookup).
+    pub namenode_op_time: SimDuration,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            block_size: 64 << 20,
+            replication: 1,
+            heartbeat_interval: SimDuration::from_secs(3),
+            dead_after: SimDuration::from_secs(30),
+            namenode_op_time: SimDuration::from_micros(300),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_deployment() {
+        let c = DfsConfig::default();
+        assert_eq!(c.block_size, 64 << 20);
+        assert_eq!(c.replication, 1);
+        assert_eq!(c.heartbeat_interval, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(17).to_string(), "blk_17");
+    }
+}

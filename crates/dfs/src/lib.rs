@@ -1,0 +1,30 @@
+//! # accelmr-dfs — HDFS-like distributed file system simulation
+//!
+//! The data substrate of the paper's deployment: a NameNode managing the
+//! namespace and block map on the head node, and a DataNode per worker
+//! serving 64 MB blocks. Matches the mechanisms the paper leans on:
+//!
+//! * block placement balanced across nodes (what makes splits local),
+//! * replication pipelines on write,
+//! * heartbeat-based liveness with dead-node exclusion,
+//! * streaming reads as fluid flows with an optional per-stream cap — the
+//!   loopback DataNode→TaskTracker feed ceiling the paper identifies as the
+//!   limiting factor for data-intensive jobs.
+//!
+//! Content is synthetic and deterministic (`(seed, offset)` pure function),
+//! so DataNodes can *materialize* any range for functional runs, and
+//! readers can independently verify every byte.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod datanode;
+pub mod msgs;
+pub mod namenode;
+
+pub use cluster::{deploy_dfs, DfsHandle};
+pub use config::{BlockId, DfsConfig};
+pub use datanode::{DataNode, Shutdown};
+pub use msgs::*;
+pub use namenode::NameNode;

@@ -1,0 +1,266 @@
+//! The NameNode: namespace, block map, placement, liveness.
+
+use accelmr_des::prelude::*;
+use accelmr_des::FxHashMap;
+use accelmr_net::{NetHandle, NodeId};
+
+use crate::config::{BlockId, DfsConfig};
+use crate::msgs::*;
+
+struct FileMeta {
+    len: u64,
+    block_size: u64,
+    seed: u64,
+    replication: usize,
+    /// `(id, offset, len)` per block, in file order.
+    blocks: Vec<(BlockId, u64, u64)>,
+}
+
+/// The metadata master. Runs on the head node (node 0 in the paper's
+/// deployment, a Power6 JS22 blade).
+pub struct NameNode {
+    cfg: DfsConfig,
+    net: NetHandle,
+    my_node: NodeId,
+    /// Registered DataNodes: `(node, actor)`.
+    datanodes: Vec<(NodeId, ActorId)>,
+    files: FxHashMap<String, FileMeta>,
+    block_map: FxHashMap<BlockId, Vec<NodeId>>,
+    next_block: u64,
+    placement_cursor: usize,
+    last_heartbeat: FxHashMap<NodeId, SimTime>,
+    dead: Vec<NodeId>,
+}
+
+impl NameNode {
+    /// Builds a NameNode for a fixed DataNode registry.
+    pub fn new(
+        cfg: DfsConfig,
+        net: NetHandle,
+        my_node: NodeId,
+        datanodes: Vec<(NodeId, ActorId)>,
+    ) -> Self {
+        NameNode {
+            cfg,
+            net,
+            my_node,
+            datanodes,
+            files: FxHashMap::default(),
+            block_map: FxHashMap::default(),
+            next_block: 0,
+            placement_cursor: 0,
+            last_heartbeat: FxHashMap::default(),
+            dead: Vec::new(),
+        }
+    }
+
+    fn is_live(&self, node: NodeId) -> bool {
+        !self.dead.contains(&node)
+    }
+
+    /// Chooses `replication` distinct live nodes, preferring `prefer` first
+    /// (HDFS writes the first replica locally when possible), then
+    /// round-robin for balance.
+    fn place(&mut self, replication: usize, prefer: Option<NodeId>) -> Vec<NodeId> {
+        let mut chosen = Vec::with_capacity(replication);
+        if let Some(p) = prefer {
+            if self.is_live(p) && self.datanodes.iter().any(|&(n, _)| n == p) {
+                chosen.push(p);
+            }
+        }
+        let n = self.datanodes.len();
+        let mut scanned = 0;
+        while chosen.len() < replication && scanned < 2 * n {
+            let (node, _) = self.datanodes[self.placement_cursor % n];
+            self.placement_cursor += 1;
+            scanned += 1;
+            if self.is_live(node) && !chosen.contains(&node) {
+                chosen.push(node);
+            }
+        }
+        chosen
+    }
+
+    fn view_of(&self, path: &str) -> Option<FileView> {
+        let meta = self.files.get(path)?;
+        let blocks = meta
+            .blocks
+            .iter()
+            .map(|&(id, offset, len)| BlockLoc {
+                id,
+                offset,
+                len,
+                replicas: self
+                    .block_map
+                    .get(&id)
+                    .map(|nodes| {
+                        nodes
+                            .iter()
+                            .copied()
+                            .filter(|&n| self.is_live(n))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            })
+            .collect();
+        Some(FileView {
+            path: path.to_string(),
+            len: meta.len,
+            block_size: meta.block_size,
+            seed: meta.seed,
+            blocks,
+        })
+    }
+
+    fn alloc_id(&mut self) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        id
+    }
+}
+
+impl Actor for NameNode {
+    fn name(&self) -> String {
+        "dfs.namenode".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                let now = ctx.now();
+                for &(node, _) in &self.datanodes {
+                    self.last_heartbeat.insert(node, now);
+                }
+                ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
+            }
+            Event::Timer { tag: TIMER_LIVENESS, .. } => {
+                let now = ctx.now();
+                for &(node, _) in &self.datanodes {
+                    let last = self.last_heartbeat.get(&node).copied().unwrap_or(SimTime::ZERO);
+                    let stale = now.since(last) > self.cfg.dead_after;
+                    if stale && !self.dead.contains(&node) {
+                        self.dead.push(node);
+                        ctx.stats().incr("dfs.datanodes_declared_dead");
+                    }
+                }
+                ctx.stats().set_gauge(
+                    "dfs.live_datanodes",
+                    (self.datanodes.len() - self.dead.len()) as f64,
+                );
+                ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { msg, .. } => {
+                if msg.is::<PreloadFile>() {
+                    let req = msg.downcast::<PreloadFile>().expect("checked");
+                    let block_size = req.block_size.unwrap_or(self.cfg.block_size);
+                    let replication = req.replication.unwrap_or(self.cfg.replication);
+                    let mut blocks = Vec::new();
+                    let mut offset = 0u64;
+                    while offset < req.len {
+                        let len = (req.len - offset).min(block_size);
+                        let id = self.alloc_id();
+                        let nodes = self.place(replication, None);
+                        // Install metadata on every replica holder.
+                        for &node in &nodes {
+                            if let Some(&(_, dn)) =
+                                self.datanodes.iter().find(|&&(n, _)| n == node)
+                            {
+                                ctx.send(
+                                    dn,
+                                    AddBlockMeta {
+                                        block: id,
+                                        seed: req.seed,
+                                        base_offset: offset,
+                                        len,
+                                    },
+                                );
+                            }
+                        }
+                        self.block_map.insert(id, nodes);
+                        blocks.push((id, offset, len));
+                        offset += len;
+                    }
+                    self.files.insert(
+                        req.path.clone(),
+                        FileMeta {
+                            len: req.len,
+                            block_size,
+                            seed: req.seed,
+                            replication,
+                            blocks,
+                        },
+                    );
+                    ctx.stats().incr("dfs.files_preloaded");
+                    let view = self.view_of(&req.path).expect("just inserted");
+                    ctx.send_after(req.reply, PreloadDone { view }, self.cfg.namenode_op_time);
+                } else if let Some(req) = msg.peek::<GetLocations>() {
+                    let view = self.view_of(&req.path);
+                    ctx.stats().incr("dfs.get_locations");
+                    let reply = LocationsReply { tag: req.tag, view };
+                    let (net, my) = (self.net, self.my_node);
+                    net.unicast(ctx, my, req.reply_node, req.reply, 256, reply);
+                } else if let Some(req) = msg.peek::<CreateFile>() {
+                    let ok = !self.files.contains_key(&req.path);
+                    if ok {
+                        let replication = req.replication.unwrap_or(self.cfg.replication);
+                        self.files.insert(
+                            req.path.clone(),
+                            FileMeta {
+                                len: 0,
+                                block_size: self.cfg.block_size,
+                                seed: 0,
+                                replication,
+                                blocks: Vec::new(),
+                            },
+                        );
+                        ctx.stats().incr("dfs.files_created");
+                    }
+                    let (net, my) = (self.net, self.my_node);
+                    net.unicast(ctx, my, req.reply_node, req.reply, 64, CreateAck { ok });
+                } else if let Some(req) = msg.peek::<AllocBlock>() {
+                    let path = req.path.clone();
+                    let (len, writer_node, reply, reply_node, tag) =
+                        (req.len, req.writer_node, req.reply, req.reply_node, req.tag);
+                    let id = self.alloc_id();
+                    let replication = self
+                        .files
+                        .get(&path)
+                        .map(|f| f.replication)
+                        .unwrap_or(self.cfg.replication);
+                    let pipeline = self.place(replication, Some(writer_node));
+                    if let Some(meta) = self.files.get_mut(&path) {
+                        let offset = meta.len;
+                        meta.blocks.push((id, offset, len));
+                        meta.len += len;
+                    }
+                    self.block_map.insert(id, pipeline.clone());
+                    ctx.stats().incr("dfs.blocks_allocated");
+                    let (net, my) = (self.net, self.my_node);
+                    net.unicast(
+                        ctx,
+                        my,
+                        reply_node,
+                        reply,
+                        128,
+                        BlockAllocated { tag, block: id, pipeline },
+                    );
+                } else if let Some(hb) = msg.peek::<DnHeartbeat>() {
+                    self.last_heartbeat.insert(hb.node, ctx.now());
+                    ctx.stats().incr("dfs.heartbeats");
+                } else if let Some(req) = msg.peek::<GetLiveNodes>() {
+                    let mut nodes: Vec<NodeId> = self
+                        .datanodes
+                        .iter()
+                        .map(|&(n, _)| n)
+                        .filter(|&n| self.is_live(n))
+                        .collect();
+                    nodes.sort_unstable();
+                    ctx.send(req.reply, LiveNodesReply { nodes });
+                }
+            }
+        }
+    }
+}
+
+const TIMER_LIVENESS: u64 = 1;

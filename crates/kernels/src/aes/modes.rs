@@ -1,0 +1,162 @@
+//! Block cipher modes over the AES-128 core.
+//!
+//! The paper's workload is bulk encryption of a large working set; we provide
+//! ECB (what a raw per-block kernel does) and CTR (what a deployment would
+//! actually use, and what the examples run) for every implementation.
+
+use super::{lanes, scalar, ttable, Aes128, AesImpl};
+
+/// Encrypts `data` in place in ECB mode. `data.len()` must be a multiple of
+/// 16; the caller (record framing) guarantees block alignment exactly like
+/// the paper's 4 KB SPU blocks do.
+pub fn ecb_encrypt(key: &Aes128, imp: AesImpl, data: &mut [u8]) {
+    assert_eq!(
+        data.len() % 16,
+        0,
+        "ECB requires whole blocks, got {} bytes",
+        data.len()
+    );
+    match imp {
+        AesImpl::Scalar => scalar::encrypt_blocks(key, data),
+        AesImpl::TTable => ttable::encrypt_blocks(key, data),
+        AesImpl::Lanes4 => lanes::encrypt_blocks(key, data),
+    }
+}
+
+/// Decrypts an ECB buffer in place (verification paths only).
+pub fn ecb_decrypt(key: &Aes128, data: &mut [u8]) {
+    assert_eq!(data.len() % 16, 0);
+    for chunk in data.chunks_exact_mut(16) {
+        scalar::decrypt_block(key, chunk.try_into().unwrap());
+    }
+}
+
+/// CTR keystream transform: encrypts or decrypts (the operation is its own
+/// inverse). `nonce` seeds the upper 8 bytes of the counter block;
+/// `initial_block` is the starting block counter, letting independent
+/// workers encrypt disjoint ranges of one logical stream — this is how
+/// split-level parallelism stays byte-compatible with a serial encryption.
+pub fn ctr_xor(key: &Aes128, imp: AesImpl, nonce: u64, initial_block: u64, data: &mut [u8]) {
+    let mut block_idx = initial_block;
+    let mut chunks = data.chunks_exact_mut(16);
+    for chunk in &mut chunks {
+        let ks = keystream_block(key, imp, nonce, block_idx);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        block_idx = block_idx.wrapping_add(1);
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let ks = keystream_block(key, imp, nonce, block_idx);
+        for (d, k) in tail.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+    }
+}
+
+#[inline]
+fn keystream_block(key: &Aes128, imp: AesImpl, nonce: u64, block_idx: u64) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[..8].copy_from_slice(&nonce.to_be_bytes());
+    block[8..].copy_from_slice(&block_idx.to_be_bytes());
+    super::encrypt_block(key, imp, &mut block);
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Aes128 {
+        Aes128::new(b"modes-test-key!!")
+    }
+
+    #[test]
+    fn ecb_impls_agree() {
+        let k = key();
+        let mut bufs: Vec<Vec<u8>> = AesImpl::ALL
+            .iter()
+            .map(|_| (0..160u8).collect::<Vec<u8>>())
+            .collect();
+        for (imp, buf) in AesImpl::ALL.iter().zip(bufs.iter_mut()) {
+            ecb_encrypt(&k, *imp, buf);
+        }
+        assert_eq!(bufs[0], bufs[1]);
+        assert_eq!(bufs[1], bufs[2]);
+    }
+
+    #[test]
+    fn ecb_round_trip() {
+        let k = key();
+        let mut buf: Vec<u8> = (0..96u8).collect();
+        let orig = buf.clone();
+        ecb_encrypt(&k, AesImpl::Lanes4, &mut buf);
+        assert_ne!(buf, orig);
+        ecb_decrypt(&k, &mut buf);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn ecb_rejects_partial_blocks() {
+        let k = key();
+        let mut buf = vec![0u8; 17];
+        ecb_encrypt(&k, AesImpl::Scalar, &mut buf);
+    }
+
+    #[test]
+    fn ctr_is_self_inverse_including_tails() {
+        let k = key();
+        for len in [0usize, 1, 15, 16, 17, 64, 100] {
+            let mut buf: Vec<u8> = (0..len as u8).collect();
+            let orig = buf.clone();
+            ctr_xor(&k, AesImpl::TTable, 42, 0, &mut buf);
+            if len > 0 {
+                assert_ne!(buf, orig, "len={len}");
+            }
+            ctr_xor(&k, AesImpl::TTable, 42, 0, &mut buf);
+            assert_eq!(buf, orig, "len={len}");
+        }
+    }
+
+    #[test]
+    fn ctr_split_ranges_match_serial() {
+        // Encrypting [0..64) then [64..128) with the right initial block
+        // counters must equal a single serial pass: this is the property the
+        // distributed encryption job relies on.
+        let k = key();
+        let mut serial: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        ctr_xor(&k, AesImpl::Scalar, 7, 0, &mut serial);
+
+        let mut split: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        let (a, b) = split.split_at_mut(64);
+        ctr_xor(&k, AesImpl::Lanes4, 7, 0, a);
+        ctr_xor(&k, AesImpl::Lanes4, 7, 4, b); // 64 bytes = 4 blocks
+        assert_eq!(serial, split);
+    }
+
+    #[test]
+    fn sp800_38a_ctr_vector() {
+        // NIST SP 800-38A F.5.1 CTR-AES128, first block.
+        let k = Aes128::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ]);
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        // Counter block f0f1f2f3 f4f5f6f7 f8f9fafb fcfdfeff.
+        let nonce = 0xf0f1f2f3f4f5f6f7u64;
+        let initial = 0xf8f9fafbfcfdfeffu64;
+        ctr_xor(&k, AesImpl::Scalar, nonce, initial, &mut data);
+        assert_eq!(
+            data,
+            [
+                0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99,
+                0x0d, 0xb6, 0xce
+            ]
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Byte-oriented reference implementation of AES-128.
+//!
+//! Deliberately written the way a textbook (or a JITted `javax.crypto`
+//! software fallback) would: per-byte S-box lookups, explicit ShiftRows and
+//! MixColumns. This is the workspace's correctness reference; the tuned
+//! implementations are tested for equality against it.
+
+use super::tables::{gf_mul, INV_SBOX, SBOX};
+use super::Aes128;
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = INV_SBOX[*s as usize];
+    }
+}
+
+/// State layout is FIPS column-major: byte `i` of the input sits at row
+/// `i % 4`, column `i / 4`; ShiftRows rotates row `r` left by `r`.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+/// Encrypts one block in place.
+pub fn encrypt_block(key: &Aes128, block: &mut [u8; 16]) {
+    add_round_key(block, key.round_key(0));
+    for r in 1..10 {
+        sub_bytes(block);
+        shift_rows(block);
+        mix_columns(block);
+        add_round_key(block, key.round_key(r));
+    }
+    sub_bytes(block);
+    shift_rows(block);
+    add_round_key(block, key.round_key(10));
+}
+
+/// Decrypts one block in place (straightforward inverse cipher).
+pub fn decrypt_block(key: &Aes128, block: &mut [u8; 16]) {
+    add_round_key(block, key.round_key(10));
+    for r in (1..10).rev() {
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, key.round_key(r));
+        inv_mix_columns(block);
+    }
+    inv_shift_rows(block);
+    inv_sub_bytes(block);
+    add_round_key(block, key.round_key(0));
+}
+
+/// Encrypts a whole buffer of 16-byte blocks in place (ECB layering is done
+/// by [`super::modes`]).
+pub fn encrypt_blocks(key: &Aes128, data: &mut [u8]) {
+    debug_assert_eq!(data.len() % 16, 0);
+    for chunk in data.chunks_exact_mut(16) {
+        let block: &mut [u8; 16] = chunk.try_into().unwrap();
+        encrypt_block(key, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn shift_rows_layout() {
+        // Row 1 (bytes 1,5,9,13) rotates left by one.
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        shift_rows(&mut s);
+        assert_eq!([s[1], s[5], s[9], s[13]], [5, 9, 13, 1]);
+        // Row 0 untouched.
+        assert_eq!([s[0], s[4], s[8], s[12]], [0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(17).wrapping_add(3));
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_fips_example() {
+        // FIPS-197 §5.1.3 column example: db 13 53 45 -> 8e 4d a1 bc.
+        let mut s = [0xdb, 0x13, 0x53, 0x45, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        mix_columns(&mut s);
+        assert_eq!(&s[..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn bulk_matches_single() {
+        let key = Aes128::new(b"0123456789abcdef");
+        let mut buf = [0u8; 48];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut expect = buf;
+        for chunk in expect.chunks_exact_mut(16) {
+            encrypt_block(&key, chunk.try_into().unwrap());
+        }
+        encrypt_blocks(&key, &mut buf);
+        assert_eq!(buf, expect);
+    }
+}

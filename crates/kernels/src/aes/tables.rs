@@ -1,0 +1,188 @@
+//! AES lookup tables, generated at compile time.
+//!
+//! Rather than pasting 256-entry literals (easy to typo, hard to review),
+//! every table is derived by `const fn` from first principles: the S-box is
+//! the GF(2^8) multiplicative inverse followed by the FIPS-197 affine
+//! transform, and the encryption T-tables pack the combined
+//! SubBytes+MixColumns contribution of one state byte.
+
+/// Multiplies two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+pub const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) (0 maps to 0), via a^254.
+const fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128) computed by square-and-multiply.
+    let mut result = 1u8;
+    let mut base = a;
+    // exponent 254 = 0b11111110
+    let mut exp = 254u16;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn affine(x: u8) -> u8 {
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = affine(gf_inv(i as u8));
+        i += 1;
+    }
+    t
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+}
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = build_sbox();
+/// The inverse S-box.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+/// Round constants for AES-128 key expansion.
+pub const RCON: [u8; 10] = {
+    let mut r = [0u8; 10];
+    let mut v = 1u8;
+    let mut i = 0;
+    while i < 10 {
+        r[i] = v;
+        v = gf_mul(v, 2);
+        i += 1;
+    }
+    r
+};
+
+const fn build_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = gf_mul(s, 2);
+        let s3 = gf_mul(s, 3);
+        // Column contribution of byte in row 0: (2s, s, s, 3s)^T, big-endian.
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+}
+
+/// Encryption T-table for row 0 (others are byte rotations of this one).
+pub const TE0: [u32; 256] = build_te0();
+
+const fn rot_table(src: &[u32; 256], by: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(by);
+        i += 1;
+    }
+    t
+}
+
+/// Encryption T-table for row 1.
+pub const TE1: [u32; 256] = rot_table(&TE0, 8);
+/// Encryption T-table for row 2.
+pub const TE2: [u32; 256] = rot_table(&TE0, 16);
+/// Encryption T-table for row 3.
+pub const TE3: [u32; 256] = rot_table(&TE0, 24);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot values from FIPS-197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(SBOX[0x9a], 0xb8);
+    }
+
+    #[test]
+    fn inv_sbox_inverts() {
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+            assert_eq!(SBOX[INV_SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn rcon_matches_fips() {
+        assert_eq!(RCON, [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36]);
+    }
+
+    #[test]
+    fn gf_mul_reference_cases() {
+        // 0x57 * 0x83 = 0xc1 (FIPS-197 §4.2 example).
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0, 0xab), 0);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+    }
+
+    #[test]
+    fn gf_inv_property() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn te_tables_consistent_with_sbox() {
+        for i in 0..256 {
+            let s = SBOX[i];
+            let expect = ((gf_mul(s, 2) as u32) << 24)
+                | ((s as u32) << 16)
+                | ((s as u32) << 8)
+                | gf_mul(s, 3) as u32;
+            assert_eq!(TE0[i], expect);
+            assert_eq!(TE1[i], expect.rotate_right(8));
+            assert_eq!(TE2[i], expect.rotate_right(16));
+            assert_eq!(TE3[i], expect.rotate_right(24));
+        }
+    }
+}

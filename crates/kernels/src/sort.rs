@@ -1,0 +1,272 @@
+//! Sorting kernel for the Terasort-style experiment.
+//!
+//! The paper's §IV-A closes with an observation on the Terabyte Sort
+//! benchmark (per-node sorting rate ~5.5 MB/s dominated by data feed). To
+//! reproduce that experiment we need a real sort workload: 100-byte records
+//! with 10-byte keys (the classic GraySort format), a range partitioner for
+//! the shuffle, an LSD radix sort for the in-node kernel, and a k-way merge
+//! for the reduce side.
+
+/// A GraySort-style record: 10 key bytes + 90 payload bytes, compressed here
+/// to the key prefix (as `u64` + 2 spare bytes) and a payload seed, which is
+/// enough to regenerate the full record deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortRecord {
+    /// Big-endian numeric value of the first 8 key bytes (sort order).
+    pub key_hi: u64,
+    /// Last 2 key bytes.
+    pub key_lo: u16,
+    /// Seed regenerating the 90 payload bytes.
+    pub payload_seed: u32,
+}
+
+impl SortRecord {
+    /// Total ordering on the 10-byte key.
+    #[inline]
+    pub fn key_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key_hi
+            .cmp(&other.key_hi)
+            .then(self.key_lo.cmp(&other.key_lo))
+    }
+
+    /// Size of the materialized record in bytes (GraySort format).
+    pub const BYTES: usize = 100;
+}
+
+/// Deterministically generates `n` records of stream `seed`, starting at
+/// record index `start` (so splits can generate their own ranges).
+pub fn generate_records(seed: u64, start: u64, n: usize) -> Vec<SortRecord> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let mut s = seed ^ (start + i).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let a = accelmr_des::splitmix64(&mut s);
+        let b = accelmr_des::splitmix64(&mut s);
+        out.push(SortRecord {
+            key_hi: a,
+            key_lo: (b & 0xffff) as u16,
+            payload_seed: (b >> 32) as u32,
+        });
+    }
+    out
+}
+
+/// Maps a key to one of `partitions` contiguous key ranges (the shuffle
+/// partitioner). Uniform keys land uniformly.
+#[inline]
+pub fn range_partition(key_hi: u64, partitions: usize) -> usize {
+    debug_assert!(partitions > 0);
+    ((key_hi as u128 * partitions as u128) >> 64) as usize
+}
+
+/// LSD radix sort on the 8 high key bytes (8 passes × 8 bits), stable, then
+/// a cleanup pass for ties on the low 2 bytes. O(n) and allocation-reusing —
+/// the shape an SPU-resident sort kernel takes.
+pub fn radix_sort(records: &mut Vec<SortRecord>) {
+    let n = records.len();
+    if n < 2 {
+        return;
+    }
+    let mut scratch: Vec<SortRecord> = Vec::with_capacity(n);
+    // Safety-free version: use a temp vec and mem::swap per pass.
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for r in records.iter() {
+            counts[((r.key_hi >> shift) & 0xff) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for (o, c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = acc;
+            acc += c;
+        }
+        scratch.clear();
+        scratch.resize(
+            n,
+            SortRecord {
+                key_hi: 0,
+                key_lo: 0,
+                payload_seed: 0,
+            },
+        );
+        for r in records.iter() {
+            let b = ((r.key_hi >> shift) & 0xff) as usize;
+            scratch[offsets[b]] = *r;
+            offsets[b] += 1;
+        }
+        std::mem::swap(records, &mut scratch);
+    }
+    // key_hi collisions are vanishingly rare with random keys, but
+    // correctness must not depend on luck: fix up equal-key_hi runs.
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && records[j].key_hi == records[i].key_hi {
+            j += 1;
+        }
+        if j - i > 1 {
+            records[i..j].sort_by(|a, b| a.key_cmp(b));
+        }
+        i = j;
+    }
+}
+
+/// Merges pre-sorted runs into one sorted output (the reduce-side merge).
+pub fn merge_sorted_runs(mut runs: Vec<Vec<SortRecord>>) -> Vec<SortRecord> {
+    // Binary-heap k-way merge keyed by (key, run index) for stability.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq, Eq)]
+    struct Head {
+        key_hi: u64,
+        key_lo: u16,
+        run: usize,
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.key_hi
+                .cmp(&other.key_hi)
+                .then(self.key_lo.cmp(&other.key_lo))
+                .then(self.run.cmp(&other.run))
+        }
+    }
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap = BinaryHeap::new();
+    for (i, run) in runs.iter().enumerate() {
+        if let Some(r) = run.first() {
+            heap.push(Reverse(Head {
+                key_hi: r.key_hi,
+                key_lo: r.key_lo,
+                run: i,
+            }));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(h)) = heap.pop() {
+        let run = h.run;
+        out.push(runs[run][cursors[run]]);
+        cursors[run] += 1;
+        if cursors[run] < runs[run].len() {
+            let r = &runs[run][cursors[run]];
+            heap.push(Reverse(Head {
+                key_hi: r.key_hi,
+                key_lo: r.key_lo,
+                run,
+            }));
+        }
+    }
+    // Runs are consumed; drop their storage eagerly.
+    runs.clear();
+    out
+}
+
+/// `true` when `records` is sorted by key.
+pub fn is_sorted(records: &[SortRecord]) -> bool {
+    records
+        .windows(2)
+        .all(|w| w[0].key_cmp(&w[1]) != std::cmp::Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_sort_sorts_and_preserves_multiset() {
+        let mut records = generate_records(1, 0, 10_000);
+        let mut expected = records.clone();
+        expected.sort_by(|a, b| a.key_cmp(b));
+        radix_sort(&mut records);
+        assert!(is_sorted(&records));
+        assert_eq!(records, expected);
+    }
+
+    #[test]
+    fn radix_sort_handles_ties_on_low_bytes() {
+        let mut records = vec![
+            SortRecord { key_hi: 5, key_lo: 9, payload_seed: 1 },
+            SortRecord { key_hi: 5, key_lo: 2, payload_seed: 2 },
+            SortRecord { key_hi: 1, key_lo: 7, payload_seed: 3 },
+            SortRecord { key_hi: 5, key_lo: 5, payload_seed: 4 },
+        ];
+        radix_sort(&mut records);
+        assert!(is_sorted(&records));
+        assert_eq!(records[0].key_hi, 1);
+        assert_eq!(
+            records[1..].iter().map(|r| r.key_lo).collect::<Vec<_>>(),
+            vec![2, 5, 9]
+        );
+    }
+
+    #[test]
+    fn radix_sort_trivial_sizes() {
+        let mut empty: Vec<SortRecord> = vec![];
+        radix_sort(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = generate_records(2, 0, 1);
+        radix_sort(&mut one);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_range_consistent() {
+        let all = generate_records(3, 0, 100);
+        let head = generate_records(3, 0, 40);
+        let tail = generate_records(3, 40, 60);
+        assert_eq!(&all[..40], &head[..]);
+        assert_eq!(&all[40..], &tail[..]);
+    }
+
+    #[test]
+    fn range_partition_is_monotone_and_bounded() {
+        let parts = 7;
+        let mut last = 0;
+        for k in (0..100).map(|i| i * (u64::MAX / 100)) {
+            let p = range_partition(k, parts);
+            assert!(p < parts);
+            assert!(p >= last);
+            last = p;
+        }
+        assert_eq!(range_partition(0, parts), 0);
+        assert_eq!(range_partition(u64::MAX, parts), parts - 1);
+    }
+
+    #[test]
+    fn range_partition_roughly_uniform() {
+        let parts = 4;
+        let mut counts = vec![0usize; parts];
+        for r in generate_records(11, 0, 8_000) {
+            counts[range_partition(r.key_hi, parts)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..=2_400).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn merge_produces_global_order() {
+        let mut runs = Vec::new();
+        for s in 0..5u64 {
+            let mut run = generate_records(s + 20, 0, 500);
+            radix_sort(&mut run);
+            runs.push(run);
+        }
+        let merged = merge_sorted_runs(runs);
+        assert_eq!(merged.len(), 2_500);
+        assert!(is_sorted(&merged));
+    }
+
+    #[test]
+    fn merge_of_empty_runs() {
+        assert!(merge_sorted_runs(vec![]).is_empty());
+        assert!(merge_sorted_runs(vec![vec![], vec![]]).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Cluster assembly and synchronous job-driving helpers.
+
+use std::sync::{Arc, Mutex};
+
+use accelmr_des::prelude::*;
+use accelmr_dfs::msgs::{PreloadDone, PreloadFile};
+use accelmr_dfs::DfsHandle;
+use accelmr_net::{NetHandle, NodeId};
+
+use crate::config::MrConfig;
+use crate::job::{JobResult, JobSpec};
+use crate::jobtracker::{JobTracker, RegisterTaskTracker};
+use crate::kernel::NodeEnvFactory;
+use crate::msgs::{JobComplete, SubmitJob};
+use crate::tasktracker::TaskTracker;
+
+/// Handle to a deployed MapReduce runtime.
+#[derive(Clone)]
+pub struct MrHandle {
+    /// The JobTracker actor.
+    pub jobtracker: ActorId,
+    /// Node the JobTracker runs on.
+    pub head_node: NodeId,
+    /// `(node, actor)` of every TaskTracker.
+    pub tasktrackers: Arc<Vec<(NodeId, ActorId)>>,
+    /// The network fabric.
+    pub net: NetHandle,
+}
+
+impl MrHandle {
+    /// TaskTracker actor on `node`, if any.
+    pub fn tasktracker_on(&self, node: NodeId) -> Option<ActorId> {
+        self.tasktrackers
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, a)| a)
+    }
+
+    /// Submits a job; the calling actor receives [`JobComplete`].
+    pub fn submit(&self, ctx: &mut Ctx<'_>, my_node: NodeId, spec: JobSpec) {
+        let submit = SubmitJob {
+            spec,
+            reply: ctx.self_id(),
+            reply_node: my_node,
+        };
+        self.net
+            .unicast(ctx, my_node, self.head_node, self.jobtracker, 4096, submit);
+    }
+}
+
+/// Spawns the JobTracker (head node) and one TaskTracker per worker, wired
+/// to an existing DFS deployment. `env_factory` builds each node's
+/// accelerator environment (the hybrid crate supplies Cell machines here).
+pub fn deploy_mr(
+    sim: &mut Sim,
+    net: NetHandle,
+    dfs: &DfsHandle,
+    cfg: &MrConfig,
+    head_node: NodeId,
+    workers: &[NodeId],
+    env_factory: &dyn NodeEnvFactory,
+) -> MrHandle {
+    let jobtracker = sim.spawn(Box::new(JobTracker::new(
+        cfg.clone(),
+        net,
+        dfs.clone(),
+        head_node,
+    )));
+    let mut tts = Vec::with_capacity(workers.len());
+    for (i, &w) in workers.iter().enumerate() {
+        let tt = TaskTracker::new(
+            cfg.clone(),
+            net,
+            dfs.clone(),
+            w,
+            head_node,
+            jobtracker,
+            env_factory.build(i),
+        );
+        let id = sim.spawn(Box::new(tt));
+        tts.push((w, id));
+        sim.post(jobtracker, Box::new(RegisterTaskTracker { node: w, actor: id }));
+    }
+    MrHandle {
+        jobtracker,
+        head_node,
+        tasktrackers: Arc::new(tts),
+        net,
+    }
+}
+
+/// A file to preload before running a job.
+#[derive(Clone, Debug)]
+pub struct PreloadSpec {
+    /// DFS path.
+    pub path: String,
+    /// Length in bytes.
+    pub len: u64,
+    /// Block size override.
+    pub block_size: Option<u64>,
+    /// Replication override.
+    pub replication: Option<usize>,
+    /// Content seed.
+    pub seed: u64,
+}
+
+/// Driver actor: preloads files, submits one job, captures the result.
+struct JobDriver {
+    mr: MrHandle,
+    dfs: DfsHandle,
+    node: NodeId,
+    preloads: Vec<PreloadSpec>,
+    preloads_left: usize,
+    spec: Option<JobSpec>,
+    out: Arc<Mutex<Option<JobResult>>>,
+    stop_when_done: bool,
+}
+
+impl Actor for JobDriver {
+    fn name(&self) -> String {
+        "mr.jobdriver".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                if self.preloads.is_empty() {
+                    let spec = self.spec.take().expect("spec present");
+                    let node = self.node;
+                    self.mr.submit(ctx, node, spec);
+                } else {
+                    let me = ctx.self_id();
+                    for p in &self.preloads {
+                        ctx.send(
+                            self.dfs.namenode,
+                            PreloadFile {
+                                path: p.path.clone(),
+                                len: p.len,
+                                block_size: p.block_size,
+                                replication: p.replication,
+                                seed: p.seed,
+                                reply: me,
+                            },
+                        );
+                    }
+                }
+            }
+            Event::Msg { msg, .. } => {
+                if msg.is::<PreloadDone>() {
+                    self.preloads_left -= 1;
+                    if self.preloads_left == 0 {
+                        if let Some(spec) = self.spec.take() {
+                            let node = self.node;
+                            self.mr.submit(ctx, node, spec);
+                        }
+                    }
+                } else if msg.is::<JobComplete>() {
+                    let done = msg.downcast::<JobComplete>().expect("checked");
+                    *self.out.lock().unwrap() = Some(done.result);
+                    if self.stop_when_done {
+                        ctx.stop();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Preloads `preloads`, submits `spec` from the head node, runs the
+/// simulation to completion, and returns the job result.
+pub fn run_job(
+    sim: &mut Sim,
+    mr: &MrHandle,
+    dfs: &DfsHandle,
+    preloads: Vec<PreloadSpec>,
+    spec: JobSpec,
+) -> JobResult {
+    let out = Arc::new(Mutex::new(None));
+    let preloads_left = preloads.len();
+    sim.spawn(Box::new(JobDriver {
+        mr: mr.clone(),
+        dfs: dfs.clone(),
+        node: mr.head_node,
+        preloads,
+        preloads_left,
+        spec: Some(spec),
+        out: out.clone(),
+        stop_when_done: true,
+    }));
+    sim.run();
+    let result = out.lock().unwrap().take();
+    result.expect("job did not complete — simulation drained without a JobComplete")
+}
+
+/// Everything a deployed simulation needs in one bundle.
+pub struct MrCluster {
+    /// The simulation world.
+    pub sim: Sim,
+    /// Network handle.
+    pub net: NetHandle,
+    /// DFS handle.
+    pub dfs: DfsHandle,
+    /// MapReduce handle.
+    pub mr: MrHandle,
+    /// Worker node ids.
+    pub workers: Vec<NodeId>,
+}
+
+/// One-call deployment: fabric + DFS + MapReduce over `n_workers` nodes.
+pub fn deploy_cluster(
+    seed: u64,
+    n_workers: usize,
+    net_cfg: accelmr_net::NetConfig,
+    dfs_cfg: accelmr_dfs::DfsConfig,
+    mr_cfg: MrConfig,
+    env_factory: &dyn NodeEnvFactory,
+    materialized: bool,
+) -> MrCluster {
+    let mut sim = Sim::new(seed);
+    let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
+    let fabric = sim.spawn(Box::new(accelmr_net::Fabric::new(net_cfg, n_workers + 1)));
+    let net = NetHandle { fabric };
+    let dfs = accelmr_dfs::deploy_dfs(&mut sim, net, &dfs_cfg, NodeId::HEAD, &workers, materialized);
+    let mr = deploy_mr(&mut sim, net, &dfs, &mr_cfg, NodeId::HEAD, &workers, env_factory);
+    MrCluster {
+        sim,
+        net,
+        dfs,
+        mr,
+        workers,
+    }
+}

@@ -1,0 +1,124 @@
+//! MapReduce runtime configuration and identifiers.
+
+use accelmr_des::SimDuration;
+
+/// Job identifier, assigned by the JobTracker.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+/// Task identifier, unique within a job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job_{:04}", self.0)
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task_{:05}", self.0)
+    }
+}
+
+/// Task scheduling policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerPolicy {
+    /// Prefer tasks whose input blocks live on the requesting node — the
+    /// Hadoop default the paper relies on ("it tries to minimize the number
+    /// of remote blocks accesses").
+    LocalityFirst,
+    /// Plain FIFO, ignoring placement (ablation baseline).
+    Fifo,
+}
+
+/// Runtime parameters. Defaults model Hadoop 0.19 as deployed in the paper:
+/// two Mappers per node, 3-second heartbeats, task dispatch paced by
+/// heartbeats, pipelined record feed capped at the measured per-stream
+/// RecordReader rate.
+#[derive(Clone, Debug)]
+pub struct MrConfig {
+    /// Concurrent map tasks per TaskTracker (paper: 2).
+    pub map_slots_per_node: usize,
+    /// TaskTracker heartbeat period.
+    pub heartbeat_interval: SimDuration,
+    /// A TaskTracker missing heartbeats this long is declared dead and its
+    /// tasks re-executed.
+    pub tt_dead_after: SimDuration,
+    /// Job initialization (staging, split computation, queue population).
+    pub job_init_time: SimDuration,
+    /// Job finalization (output commit, client notification path).
+    pub job_finalize_time: SimDuration,
+    /// Task launch overhead (task JVM start on the TaskTracker).
+    pub task_start_overhead: SimDuration,
+    /// Task teardown overhead.
+    pub task_cleanup_overhead: SimDuration,
+    /// Per-stream ceiling of the DataNode→RecordReader feed path,
+    /// bytes/second. The paper measured "several seconds" per 64 MB record
+    /// over loopback — about 8.5 MB/s per stream.
+    pub record_feed_cap: Option<f64>,
+    /// Overlap record reads with map computation (Hadoop's streaming
+    /// RecordReader). `false` is the stop-and-wait ablation.
+    pub pipelined_reads: bool,
+    /// Dispatch new tasks only on heartbeats (Hadoop 0.19) rather than
+    /// immediately on completion.
+    pub assign_on_heartbeat_only: bool,
+    /// Enable speculative re-execution of stragglers.
+    pub speculative: bool,
+    /// A running task is a straggler candidate once its elapsed time
+    /// exceeds this multiple of the mean completed-task time.
+    pub speculative_slowdown: f64,
+    /// Maximum attempts per task before the job fails.
+    pub max_attempts: u32,
+    /// Per-stream ceiling of shuffle fetches, bytes/second.
+    pub shuffle_stream_cap: Option<f64>,
+    /// Scheduling policy.
+    pub scheduler: SchedulerPolicy,
+}
+
+impl Default for MrConfig {
+    fn default() -> Self {
+        MrConfig {
+            map_slots_per_node: 2,
+            heartbeat_interval: SimDuration::from_secs(3),
+            tt_dead_after: SimDuration::from_secs(30),
+            job_init_time: SimDuration::from_secs(8),
+            job_finalize_time: SimDuration::from_secs(2),
+            task_start_overhead: SimDuration::from_millis(1_800),
+            task_cleanup_overhead: SimDuration::from_millis(400),
+            record_feed_cap: Some(8.5e6),
+            pipelined_reads: true,
+            assign_on_heartbeat_only: true,
+            speculative: false,
+            speculative_slowdown: 1.5,
+            max_attempts: 4,
+            shuffle_stream_cap: Some(20.0e6),
+            scheduler: SchedulerPolicy::LocalityFirst,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_deployment() {
+        let c = MrConfig::default();
+        assert_eq!(c.map_slots_per_node, 2);
+        assert_eq!(c.heartbeat_interval, SimDuration::from_secs(3));
+        assert!(c.pipelined_reads);
+        assert_eq!(c.scheduler, SchedulerPolicy::LocalityFirst);
+        let cap = c.record_feed_cap.unwrap();
+        // ~7.5 s per 64 MB record, the paper's "several seconds".
+        let per_record = (64 << 20) as f64 / cap;
+        assert!((6.0..10.0).contains(&per_record), "{per_record}");
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(JobId(3).to_string(), "job_0003");
+        assert_eq!(TaskId(12).to_string(), "task_00012");
+    }
+}

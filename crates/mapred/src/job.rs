@@ -1,0 +1,275 @@
+//! Job descriptions, task descriptors and results.
+
+use std::sync::Arc;
+
+use accelmr_des::SimDuration;
+use accelmr_dfs::msgs::BlockLoc;
+use accelmr_net::NodeId;
+
+use crate::config::{JobId, TaskId};
+use crate::kernel::{ReduceKernel, TaskKernel};
+
+/// What a job consumes.
+#[derive(Clone, Debug)]
+pub enum JobInput {
+    /// A DFS file, split into `FileSize / NumMappers` byte ranges processed
+    /// as `record_bytes` records (the paper's Figure 3 data distribution).
+    File {
+        /// DFS path (must be preloaded or written beforehand).
+        path: String,
+        /// Record granularity; `None` = one DFS block (64 MB, per paper).
+        record_bytes: Option<u64>,
+    },
+    /// A CPU-intensive job with no input data: `total_units` split evenly
+    /// across map tasks (the Pi estimator's samples).
+    Synthetic {
+        /// Total work units (samples).
+        total_units: u64,
+    },
+}
+
+/// Where map output goes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutputSink {
+    /// No output (the paper's EmptyMapper).
+    Discard,
+    /// Output accounted and digested, but not written back (kernel-level
+    /// verification without write traffic).
+    Digest,
+    /// Output written to a DFS file (one per task: `<path>/part-NNNNN`).
+    Dfs {
+        /// Output directory path.
+        path: String,
+        /// Replication of output blocks (`None` = DFS default).
+        replication: Option<usize>,
+    },
+}
+
+/// The reduce phase shape.
+#[derive(Clone)]
+pub enum ReduceSpec {
+    /// Map-only job.
+    None,
+    /// Tiny per-task results aggregated at the JobTracker (the shape of
+    /// Hadoop's PiEstimator with a single lightweight reducer).
+    RpcAggregate {
+        /// The fold applied to collected pairs.
+        reducer: Arc<dyn ReduceKernel>,
+    },
+    /// Full shuffle: every map task's output is partitioned across
+    /// `reducers` reduce tasks which fetch, merge, and (optionally) write.
+    Shuffle {
+        /// Number of reduce tasks.
+        reducers: usize,
+        /// The merge kernel.
+        reducer: Arc<dyn ReduceKernel>,
+        /// Whether reducers write their merged partition to DFS.
+        write_output: bool,
+    },
+}
+
+impl std::fmt::Debug for ReduceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceSpec::None => write!(f, "ReduceSpec::None"),
+            ReduceSpec::RpcAggregate { reducer } => {
+                write!(f, "ReduceSpec::RpcAggregate({})", reducer.name())
+            }
+            ReduceSpec::Shuffle { reducers, reducer, write_output } => write!(
+                f,
+                "ReduceSpec::Shuffle({} x {}, write={})",
+                reducers,
+                reducer.name(),
+                write_output
+            ),
+        }
+    }
+}
+
+/// A complete job description.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Input description.
+    pub input: JobInput,
+    /// The map kernel.
+    pub kernel: Arc<dyn TaskKernel>,
+    /// Number of map tasks; `None` = one per configured map slot
+    /// (the paper's `NumMappers`).
+    pub num_map_tasks: Option<usize>,
+    /// Map output routing.
+    pub output: OutputSink,
+    /// Reduce phase.
+    pub reduce: ReduceSpec,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JobSpec({}, kernel={}, maps={:?})",
+            self.name,
+            self.kernel.name(),
+            self.num_map_tasks
+        )
+    }
+}
+
+/// Concrete work shipped to a TaskTracker.
+#[derive(Clone, Debug)]
+pub enum TaskWork {
+    /// Map a byte range of a file.
+    MapRange {
+        /// Input file path.
+        path: String,
+        /// Content seed of the file.
+        file_seed: u64,
+        /// Split start offset (inclusive).
+        start: u64,
+        /// Split end offset (exclusive).
+        end: u64,
+        /// Record granularity.
+        record_bytes: u64,
+        /// Blocks overlapping the split, with live replica locations
+        /// (computed by the JobTracker at submission, like Hadoop's
+        /// client-side split metadata).
+        blocks: Vec<BlockLoc>,
+    },
+    /// Map a synthetic unit batch.
+    MapUnits {
+        /// Units in this task.
+        units: u64,
+        /// Task index (RNG stream derivation).
+        index: u64,
+    },
+    /// Reduce: fetch partition fragments from map nodes, merge, maybe write.
+    Reduce {
+        /// `(node, bytes)` fragments to fetch.
+        fetches: Vec<(NodeId, u64)>,
+        /// Pairs expected (for the reduce kernel's time model).
+        pairs: u64,
+        /// Write the merged output to DFS.
+        write_output: bool,
+        /// Output path for written reduces.
+        output_path: String,
+    },
+}
+
+/// A task assignment (work + attempt bookkeeping + execution plumbing).
+#[derive(Clone)]
+pub struct TaskDescriptor {
+    /// Owning job.
+    pub job: JobId,
+    /// Task id within the job.
+    pub task: TaskId,
+    /// Attempt number (re-executions and speculative copies increment it).
+    pub attempt: u32,
+    /// The work itself.
+    pub work: TaskWork,
+    /// The kernel to execute (shared, stateless; node state lives in the
+    /// TaskTracker's `NodeEnv`).
+    pub kernel: Arc<dyn TaskKernel>,
+    /// Where map output goes.
+    pub output: OutputSink,
+    /// Precomputed merge duration for reduce tasks (the JobTracker owns the
+    /// reduce kernel and evaluates its time model at task-build time).
+    pub reduce_merge_time: Option<SimDuration>,
+}
+
+impl std::fmt::Debug for TaskDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TaskDescriptor({} {} attempt {}, kernel={})",
+            self.job,
+            self.task,
+            self.attempt,
+            self.kernel.name()
+        )
+    }
+}
+
+/// Per-task execution metrics reported back to the JobTracker.
+#[derive(Clone, Debug, Default)]
+pub struct TaskMetrics {
+    /// Wall time from assignment to completion.
+    pub elapsed: SimDuration,
+    /// Bytes read from the DFS.
+    pub bytes_read: u64,
+    /// Bytes of map output produced.
+    pub bytes_output: u64,
+    /// Records processed.
+    pub records: u64,
+    /// Records read from a replica on the task's own node.
+    pub local_reads: u64,
+    /// Records read over the network.
+    pub remote_reads: u64,
+    /// Time spent waiting on record feed (not overlapped with compute).
+    pub feed_stall: SimDuration,
+    /// Time spent computing.
+    pub compute: SimDuration,
+}
+
+/// Final job outcome delivered to the submitting client.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Job id.
+    pub job: JobId,
+    /// Job name.
+    pub name: String,
+    /// `true` when every task eventually succeeded.
+    pub succeeded: bool,
+    /// Submission-to-completion wall time.
+    pub elapsed: SimDuration,
+    /// Map tasks executed.
+    pub map_tasks: u32,
+    /// Reduce tasks executed.
+    pub reduce_tasks: u32,
+    /// Total attempts (≥ map+reduce when failures/speculation occurred).
+    pub attempts: u32,
+    /// Attempts that failed.
+    pub failed_attempts: u32,
+    /// Speculative duplicate attempts launched.
+    pub speculative_attempts: u32,
+    /// Bytes read from DFS by all tasks.
+    pub bytes_read: u64,
+    /// Map output bytes.
+    pub bytes_output: u64,
+    /// Record reads served node-locally.
+    pub local_reads: u64,
+    /// Record reads served remotely.
+    pub remote_reads: u64,
+    /// Aggregated key/value result (reduce output, or raw map pairs for
+    /// map-only jobs).
+    pub kv: Vec<(u64, u64)>,
+    /// Order-independent digest over per-record output checksums
+    /// `(digest, record count)` — exactly-once verification.
+    pub digest: (u64, u64),
+    /// Completed map task durations (speculation / distribution analysis).
+    pub task_times: Vec<SimDuration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{FixedCostKernel, SumReducer};
+
+    #[test]
+    fn spec_debug_formats() {
+        let spec = JobSpec {
+            name: "t".into(),
+            input: JobInput::Synthetic { total_units: 10 },
+            kernel: Arc::new(FixedCostKernel::default()),
+            num_map_tasks: Some(4),
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::RpcAggregate {
+                reducer: Arc::new(SumReducer { cycles_per_byte: 0.0 }),
+            },
+        };
+        let s = format!("{spec:?}");
+        assert!(s.contains("fixed-cost"));
+        let r = format!("{:?}", spec.reduce);
+        assert!(r.contains("RpcAggregate"));
+    }
+}

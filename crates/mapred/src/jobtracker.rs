@@ -1,0 +1,767 @@
+//! The JobTracker: job lifecycle, split computation, scheduling, recovery.
+//!
+//! Faithful to Hadoop 0.19 as the paper ran it: the JobTracker learns about
+//! TaskTrackers from their heartbeats, computes splits
+//! (`split = FileSize / NumMappers`, records of one DFS block — Figure 3),
+//! dispatches tasks *on heartbeats* with locality preference, detects dead
+//! TaskTrackers by heartbeat silence and re-executes their tasks, and
+//! optionally launches speculative duplicates of stragglers.
+
+use std::collections::VecDeque;
+
+use accelmr_des::prelude::*;
+use accelmr_des::FxHashMap;
+use accelmr_dfs::msgs::{BlockLoc, LocationsReply, PreloadDone};
+use accelmr_dfs::DfsHandle;
+use accelmr_net::{NetHandle, NodeId};
+
+use crate::config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+use crate::job::{
+    JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskWork,
+};
+use crate::msgs::{AssignTask, JobComplete, KillTask, SubmitJob, TaskReport, TtHeartbeat};
+
+const TIMER_LIVENESS: u64 = 0;
+const KIND_INIT: u64 = 1;
+const KIND_REDUCE_RPC: u64 = 2;
+const KIND_FINALIZE: u64 = 3;
+
+#[inline]
+fn job_timer_tag(kind: u64, job: JobId) -> u64 {
+    (kind << 32) | job.0 as u64
+}
+
+#[inline]
+fn unpack_job_timer(tag: u64) -> (u64, JobId) {
+    (tag >> 32, JobId(tag as u32))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Initializing,
+    WaitingLocations,
+    MapRunning,
+    ReduceRpc,
+    ReduceRunning,
+    Finalizing,
+    Done,
+}
+
+struct TtInfo {
+    actor: ActorId,
+    last_heartbeat: SimTime,
+    dead: bool,
+}
+
+struct TaskState {
+    work: TaskWork,
+    /// Nodes holding input replicas (locality scheduling hint).
+    hints: Vec<NodeId>,
+    attempts: u32,
+    completed: bool,
+    /// Running attempts: `(attempt, node, started)`.
+    running: Vec<(u32, NodeId, SimTime)>,
+    /// Node where the successful attempt ran (shuffle source).
+    ran_on: Option<NodeId>,
+    is_reduce: bool,
+}
+
+struct JobState {
+    spec: JobSpec,
+    client: (ActorId, NodeId),
+    submitted: SimTime,
+    phase: Phase,
+    tasks: Vec<TaskState>,
+    pending: VecDeque<TaskId>,
+    map_count: u32,
+    reduce_count: u32,
+    maps_completed: u32,
+    reduces_completed: u32,
+    // Aggregation.
+    attempts_total: u32,
+    failed_attempts: u32,
+    speculative_attempts: u32,
+    bytes_read: u64,
+    bytes_output: u64,
+    local_reads: u64,
+    remote_reads: u64,
+    kv: Vec<(u64, u64)>,
+    digest_acc: u64,
+    digest_count: u64,
+    task_times: Vec<SimDuration>,
+    /// Map output metadata for the shuffle: task → `(node, bytes, pairs)`.
+    map_outputs: FxHashMap<TaskId, (NodeId, u64, u64)>,
+    succeeded: bool,
+}
+
+impl JobState {
+    fn record_bytes(&self) -> u64 {
+        match &self.spec.input {
+            JobInput::File { record_bytes, .. } => record_bytes.unwrap_or(64 << 20),
+            JobInput::Synthetic { .. } => 0,
+        }
+    }
+}
+
+/// The cluster-wide scheduler, running on the head node next to the
+/// NameNode (the paper's Power6 JS22 blade).
+pub struct JobTracker {
+    cfg: MrConfig,
+    net: NetHandle,
+    dfs: DfsHandle,
+    node: NodeId,
+    tts: FxHashMap<NodeId, TtInfo>,
+    jobs: FxHashMap<u32, JobState>,
+    next_job: u32,
+}
+
+impl JobTracker {
+    /// Builds a JobTracker on `node` (normally the head node).
+    pub fn new(cfg: MrConfig, net: NetHandle, dfs: DfsHandle, node: NodeId) -> Self {
+        JobTracker {
+            cfg,
+            net,
+            dfs,
+            node,
+            tts: FxHashMap::default(),
+            jobs: FxHashMap::default(),
+            next_job: 0,
+        }
+    }
+
+    fn total_slots(&self) -> usize {
+        self.tts.values().filter(|t| !t.dead).count() * self.cfg.map_slots_per_node
+    }
+
+    /// Builds map tasks for a file job once locations are known.
+    fn build_file_tasks(&mut self, job_id: JobId, view: &accelmr_dfs::msgs::FileView) {
+        let default_maps = self.total_slots().max(1);
+        let Some(job) = self.jobs.get_mut(&job_id.0) else {
+            return;
+        };
+        let record_bytes = job.record_bytes().max(1);
+        let num_maps = job.spec.num_map_tasks.unwrap_or(default_maps).max(1);
+        let total_records = view.len.div_ceil(record_bytes);
+        // Balanced division of whole records across tasks (the paper's
+        // split = FileSize/NumMappers with 64 MB records).
+        let base = total_records / num_maps as u64;
+        let extra = (total_records % num_maps as u64) as usize;
+        let mut next_record = 0u64;
+        for i in 0..num_maps {
+            let records = base + u64::from(i < extra);
+            if records == 0 {
+                continue;
+            }
+            let start = next_record * record_bytes;
+            let end = ((next_record + records) * record_bytes).min(view.len);
+            next_record += records;
+            let blocks: Vec<BlockLoc> = view
+                .blocks
+                .iter()
+                .filter(|b| b.offset < end && b.offset + b.len > start)
+                .cloned()
+                .collect();
+            let mut hints: Vec<NodeId> = Vec::new();
+            for b in &blocks {
+                for &r in &b.replicas {
+                    if !hints.contains(&r) {
+                        hints.push(r);
+                    }
+                }
+            }
+            let (path, file_seed) = (view.path.clone(), view.seed);
+            job.tasks.push(TaskState {
+                work: TaskWork::MapRange {
+                    path,
+                    file_seed,
+                    start,
+                    end,
+                    record_bytes,
+                    blocks,
+                },
+                hints,
+                attempts: 0,
+                completed: false,
+                running: Vec::new(),
+                ran_on: None,
+                is_reduce: false,
+            });
+            job.pending.push_back(TaskId(job.tasks.len() as u32 - 1));
+        }
+        job.map_count = job.tasks.len() as u32;
+        job.phase = Phase::MapRunning;
+    }
+
+    fn build_synthetic_tasks(&mut self, job_id: JobId, total_units: u64) {
+        let default_maps = self.total_slots().max(1);
+        let Some(job) = self.jobs.get_mut(&job_id.0) else {
+            return;
+        };
+        let num_maps = job.spec.num_map_tasks.unwrap_or(default_maps).max(1) as u64;
+        let base = total_units / num_maps;
+        let extra = total_units % num_maps;
+        for i in 0..num_maps {
+            let units = base + u64::from(i < extra);
+            job.tasks.push(TaskState {
+                work: TaskWork::MapUnits { units, index: i },
+                hints: Vec::new(),
+                attempts: 0,
+                completed: false,
+                running: Vec::new(),
+                ran_on: None,
+                is_reduce: false,
+            });
+            job.pending.push_back(TaskId(i as u32));
+        }
+        job.map_count = job.tasks.len() as u32;
+        job.phase = Phase::MapRunning;
+    }
+
+    /// Picks the next pending task for `node` under the scheduling policy.
+    fn pick_task(&mut self, job_id: u32, node: NodeId) -> Option<TaskId> {
+        let job = self.jobs.get_mut(&job_id)?;
+        if job.pending.is_empty() {
+            return None;
+        }
+        let idx = match self.cfg.scheduler {
+            SchedulerPolicy::LocalityFirst => job
+                .pending
+                .iter()
+                .position(|t| job.tasks[t.0 as usize].hints.contains(&node))
+                .unwrap_or(0),
+            SchedulerPolicy::Fifo => 0,
+        };
+        job.pending.remove(idx)
+    }
+
+    fn assign(&mut self, ctx: &mut Ctx<'_>, job_id: u32, task: TaskId, node: NodeId) {
+        let Some(tt) = self.tts.get(&node) else {
+            return;
+        };
+        let tt_actor = tt.actor;
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        let ts = &mut job.tasks[task.0 as usize];
+        ts.attempts += 1;
+        job.attempts_total += 1;
+        let attempt = ts.attempts;
+        ts.running.push((attempt, node, ctx.now()));
+        let reduce_merge_time = if ts.is_reduce {
+            match (&job.spec.reduce, &ts.work) {
+                (ReduceSpec::Shuffle { reducer, .. }, TaskWork::Reduce { fetches, pairs, .. }) => {
+                    let bytes: u64 = fetches.iter().map(|&(_, b)| b).sum();
+                    Some(reducer.reduce_time(bytes, *pairs))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let output = if ts.is_reduce {
+            match &ts.work {
+                TaskWork::Reduce { write_output: true, output_path, .. } => OutputSink::Dfs {
+                    path: output_path.clone(),
+                    replication: None,
+                },
+                _ => OutputSink::Discard,
+            }
+        } else {
+            job.spec.output.clone()
+        };
+        let descriptor = TaskDescriptor {
+            job: JobId(job_id),
+            task,
+            attempt,
+            work: ts.work.clone(),
+            kernel: job.spec.kernel.clone(),
+            output,
+            reduce_merge_time,
+        };
+        ctx.stats().incr("mr.assignments");
+        let (net, my) = (self.net, self.node);
+        net.unicast(ctx, my, node, tt_actor, 1024, AssignTask { descriptor });
+    }
+
+    /// Heartbeat-driven scheduling for one TaskTracker.
+    fn schedule_on(&mut self, ctx: &mut Ctx<'_>, node: NodeId, mut free: usize) {
+        let job_ids: Vec<u32> = {
+            let mut ids: Vec<u32> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| {
+                    matches!(j.phase, Phase::MapRunning | Phase::ReduceRunning)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        for job_id in job_ids {
+            while free > 0 {
+                let Some(task) = self.pick_task(job_id, node) else {
+                    break;
+                };
+                self.assign(ctx, job_id, task, node);
+                free -= 1;
+            }
+            if free == 0 {
+                break;
+            }
+            // Speculative duplicates once the queue is dry.
+            if self.cfg.speculative {
+                while free > 0 {
+                    let Some(task) = self.pick_straggler(ctx.now(), job_id, node) else {
+                        break;
+                    };
+                    if let Some(job) = self.jobs.get_mut(&job_id) {
+                        job.speculative_attempts += 1;
+                    }
+                    ctx.stats().incr("mr.speculative_launches");
+                    self.assign(ctx, job_id, task, node);
+                    free -= 1;
+                }
+            }
+        }
+    }
+
+    /// A straggler: a single-attempt running task whose elapsed time
+    /// exceeds `speculative_slowdown` × the mean completed-task time.
+    fn pick_straggler(&self, now: SimTime, job_id: u32, node: NodeId) -> Option<TaskId> {
+        let job = self.jobs.get(&job_id)?;
+        if job.task_times.is_empty() {
+            return None;
+        }
+        let mean_ns: f64 = job
+            .task_times
+            .iter()
+            .map(|d| d.as_nanos() as f64)
+            .sum::<f64>()
+            / job.task_times.len() as f64;
+        let threshold = mean_ns * self.cfg.speculative_slowdown;
+        let mut best: Option<(TaskId, u64)> = None;
+        for (i, ts) in job.tasks.iter().enumerate() {
+            if ts.completed || ts.running.len() != 1 {
+                continue;
+            }
+            let (_, run_node, started) = ts.running[0];
+            if run_node == node {
+                continue; // don't duplicate onto the same machine
+            }
+            let elapsed = now.since(started).as_nanos();
+            if (elapsed as f64) > threshold {
+                if best.map(|(_, e)| elapsed > e).unwrap_or(true) {
+                    best = Some((TaskId(i as u32), elapsed));
+                }
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    fn handle_report(&mut self, ctx: &mut Ctx<'_>, report: TaskReport) {
+        let job_id = report.job.0;
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        let Some(ts) = job.tasks.get_mut(report.task.0 as usize) else {
+            return;
+        };
+        ts.running.retain(|&(a, n, _)| !(a == report.attempt && n == report.node));
+
+        if !report.ok {
+            job.failed_attempts += 1;
+            ctx.stats().incr("mr.attempt_failures");
+            if !ts.completed {
+                if ts.attempts >= self.cfg.max_attempts {
+                    job.succeeded = false;
+                    self.finalize(ctx, JobId(job_id));
+                } else {
+                    job.pending.push_back(report.task);
+                }
+            }
+            return;
+        }
+
+        if ts.completed {
+            // Speculative loser or zombie after recovery: drop the result.
+            ctx.stats().incr("mr.stale_reports");
+            return;
+        }
+        ts.completed = true;
+        ts.ran_on = Some(report.node);
+        // Kill other in-flight attempts of the same task.
+        let others: Vec<(u32, NodeId)> = ts.running.iter().map(|&(a, n, _)| (a, n)).collect();
+        let is_reduce = ts.is_reduce;
+
+        job.bytes_read += report.metrics.bytes_read;
+        job.bytes_output += report.metrics.bytes_output;
+        job.local_reads += report.metrics.local_reads;
+        job.remote_reads += report.metrics.remote_reads;
+        job.kv.extend(report.kv.iter().copied());
+        job.digest_acc = job.digest_acc.wrapping_add(report.digest.0);
+        job.digest_count += report.digest.1;
+        job.task_times.push(report.metrics.elapsed);
+        if is_reduce {
+            job.reduces_completed += 1;
+        } else {
+            job.maps_completed += 1;
+            job.map_outputs.insert(
+                report.task,
+                (
+                    report.node,
+                    report.metrics.bytes_output,
+                    report.kv.len() as u64,
+                ),
+            );
+        }
+
+        for (attempt, node) in others {
+            if let Some(tt) = self.tts.get(&node) {
+                let kill = KillTask {
+                    job: report.job,
+                    task: report.task,
+                    attempt,
+                };
+                let (net, my, actor) = (self.net, self.node, tt.actor);
+                net.unicast(ctx, my, node, actor, 128, kill);
+            }
+        }
+
+        self.check_phase(ctx, JobId(job_id));
+    }
+
+    fn check_phase(&mut self, ctx: &mut Ctx<'_>, job_id: JobId) {
+        let (phase, maps_done, reduces_done) = {
+            let Some(job) = self.jobs.get(&job_id.0) else {
+                return;
+            };
+            (
+                job.phase,
+                job.maps_completed == job.map_count,
+                job.reduce_count > 0 && job.reduces_completed == job.reduce_count,
+            )
+        };
+        match phase {
+            Phase::MapRunning if maps_done => {
+                let reduce = self.jobs.get(&job_id.0).map(|j| match &j.spec.reduce {
+                    ReduceSpec::None => 0u8,
+                    ReduceSpec::RpcAggregate { .. } => 1,
+                    ReduceSpec::Shuffle { .. } => 2,
+                });
+                match reduce {
+                    Some(0) | None => self.finalize(ctx, job_id),
+                    Some(1) => {
+                        // Lightweight reducer at the JobTracker.
+                        let dur = {
+                            let job = self.jobs.get_mut(&job_id.0).expect("job exists");
+                            job.phase = Phase::ReduceRpc;
+                            let ReduceSpec::RpcAggregate { reducer } = &job.spec.reduce else {
+                                unreachable!()
+                            };
+                            let pairs = job.kv.len() as u64;
+                            reducer.reduce_time(16 * pairs, pairs)
+                        };
+                        ctx.after(dur, job_timer_tag(KIND_REDUCE_RPC, job_id));
+                    }
+                    Some(_) => self.start_shuffle(ctx, job_id),
+                }
+            }
+            Phase::ReduceRunning if reduces_done => {
+                self.finalize(ctx, job_id);
+            }
+            _ => {}
+        }
+    }
+
+    fn start_shuffle(&mut self, ctx: &mut Ctx<'_>, job_id: JobId) {
+        let Some(job) = self.jobs.get_mut(&job_id.0) else {
+            return;
+        };
+        let ReduceSpec::Shuffle { reducers, write_output, .. } = &job.spec.reduce else {
+            return;
+        };
+        let reducers = *reducers;
+        let write_output = *write_output;
+        let output_path = match &job.spec.output {
+            OutputSink::Dfs { path, .. } => format!("{path}-reduced"),
+            _ => format!("/{}-reduced", job.spec.name),
+        };
+        // Partition every map output evenly across reducers.
+        let mut outputs: Vec<(NodeId, u64, u64)> = job.map_outputs.values().copied().collect();
+        outputs.sort_unstable_by_key(|&(n, b, p)| (n, b, p));
+        let total_pairs: u64 = outputs.iter().map(|&(_, _, p)| p).sum();
+        for r in 0..reducers {
+            let fetches: Vec<(NodeId, u64)> = outputs
+                .iter()
+                .map(|&(node, bytes, _)| {
+                    let share = bytes / reducers as u64
+                        + u64::from((bytes % reducers as u64) > r as u64);
+                    (node, share)
+                })
+                .collect();
+            job.tasks.push(TaskState {
+                work: TaskWork::Reduce {
+                    fetches,
+                    pairs: total_pairs / reducers as u64,
+                    write_output,
+                    output_path: output_path.clone(),
+                },
+                hints: Vec::new(),
+                attempts: 0,
+                completed: false,
+                running: Vec::new(),
+                ran_on: None,
+                is_reduce: true,
+            });
+            job.pending.push_back(TaskId(job.tasks.len() as u32 - 1));
+        }
+        job.reduce_count = reducers as u32;
+        job.phase = Phase::ReduceRunning;
+        ctx.stats().incr("mr.shuffles_started");
+    }
+
+    fn finalize(&mut self, ctx: &mut Ctx<'_>, job_id: JobId) {
+        if let Some(job) = self.jobs.get_mut(&job_id.0) {
+            if job.phase == Phase::Finalizing || job.phase == Phase::Done {
+                return;
+            }
+            job.phase = Phase::Finalizing;
+        }
+        ctx.after(self.cfg.job_finalize_time, job_timer_tag(KIND_FINALIZE, job_id));
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, job_id: JobId) {
+        let Some(job) = self.jobs.get_mut(&job_id.0) else {
+            return;
+        };
+        job.phase = Phase::Done;
+        // Final aggregate for RpcAggregate jobs.
+        let kv = match &job.spec.reduce {
+            ReduceSpec::RpcAggregate { reducer } | ReduceSpec::Shuffle { reducer, .. } => {
+                reducer.aggregate(&job.kv)
+            }
+            ReduceSpec::None => job.kv.clone(),
+        };
+        let result = JobResult {
+            job: job_id,
+            name: job.spec.name.clone(),
+            succeeded: job.succeeded,
+            elapsed: ctx.now() - job.submitted,
+            map_tasks: job.map_count,
+            reduce_tasks: job.reduce_count,
+            attempts: job.attempts_total,
+            failed_attempts: job.failed_attempts,
+            speculative_attempts: job.speculative_attempts,
+            bytes_read: job.bytes_read,
+            bytes_output: job.bytes_output,
+            local_reads: job.local_reads,
+            remote_reads: job.remote_reads,
+            kv,
+            digest: (job.digest_acc, job.digest_count),
+            task_times: job.task_times.clone(),
+        };
+        let client = job.client;
+        ctx.stats().incr("mr.jobs_completed");
+        let (net, my) = (self.net, self.node);
+        net.unicast(ctx, my, client.1, client.0, 2048, JobComplete { result });
+    }
+
+    /// Declares silent TaskTrackers dead and re-queues their work.
+    fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut newly_dead: Vec<NodeId> = Vec::new();
+        let mut nodes: Vec<NodeId> = self.tts.keys().copied().collect();
+        nodes.sort_unstable();
+        for node in nodes {
+            let tt = self.tts.get_mut(&node).expect("key exists");
+            if !tt.dead && now.since(tt.last_heartbeat) > self.cfg.tt_dead_after {
+                tt.dead = true;
+                newly_dead.push(node);
+            }
+        }
+        for node in newly_dead {
+            ctx.stats().incr("mr.tasktrackers_declared_dead");
+            let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
+            job_ids.sort_unstable();
+            for job_id in job_ids {
+                let Some(job) = self.jobs.get_mut(&job_id) else {
+                    continue;
+                };
+                if matches!(job.phase, Phase::Done | Phase::Finalizing) {
+                    continue;
+                }
+                let needs_shuffle = matches!(job.spec.reduce, ReduceSpec::Shuffle { .. })
+                    && job.phase != Phase::Done;
+                for (i, ts) in job.tasks.iter_mut().enumerate() {
+                    let tid = TaskId(i as u32);
+                    // Running attempts on the dead node vanish.
+                    let before = ts.running.len();
+                    ts.running.retain(|&(_, n, _)| n != node);
+                    if before != ts.running.len() && !ts.completed && ts.running.is_empty() {
+                        job.pending.push_back(tid);
+                    }
+                    // Completed map outputs on the dead node are lost for
+                    // unfinished shuffles: re-execute those maps.
+                    if needs_shuffle
+                        && job.phase == Phase::MapRunning
+                        && ts.completed
+                        && ts.ran_on == Some(node)
+                        && !ts.is_reduce
+                    {
+                        ts.completed = false;
+                        ts.ran_on = None;
+                        job.maps_completed -= 1;
+                        job.map_outputs.remove(&tid);
+                        job.pending.push_back(tid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor for JobTracker {
+    fn name(&self) -> String {
+        "mr.jobtracker".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
+            }
+            Event::Timer { tag: TIMER_LIVENESS, .. } => {
+                self.check_liveness(ctx);
+                ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
+            }
+            Event::Timer { tag, .. } => {
+                let (kind, job_id) = unpack_job_timer(tag);
+                match kind {
+                    KIND_INIT => {
+                        let input = self.jobs.get(&job_id.0).map(|j| j.spec.input.clone());
+                        match input {
+                            Some(JobInput::File { path, .. }) => {
+                                if let Some(job) = self.jobs.get_mut(&job_id.0) {
+                                    job.phase = Phase::WaitingLocations;
+                                }
+                                let (dfs, node) = (self.dfs.clone(), self.node);
+                                dfs.get_locations(ctx, node, &path, job_id.0 as u64);
+                            }
+                            Some(JobInput::Synthetic { total_units }) => {
+                                self.build_synthetic_tasks(job_id, total_units);
+                            }
+                            None => {}
+                        }
+                    }
+                    KIND_REDUCE_RPC => {
+                        if let Some(job) = self.jobs.get_mut(&job_id.0) {
+                            job.reduce_count = 1;
+                            job.reduces_completed = 1;
+                        }
+                        self.finalize(ctx, job_id);
+                    }
+                    KIND_FINALIZE => self.complete(ctx, job_id),
+                    _ => {}
+                }
+            }
+            Event::Msg { msg, .. } => {
+                if msg.is::<SubmitJob>() {
+                    let submit = msg.downcast::<SubmitJob>().expect("checked");
+                    let id = self.next_job;
+                    self.next_job += 1;
+                    self.jobs.insert(
+                        id,
+                        JobState {
+                            spec: submit.spec,
+                            client: (submit.reply, submit.reply_node),
+                            submitted: ctx.now(),
+                            phase: Phase::Initializing,
+                            tasks: Vec::new(),
+                            pending: VecDeque::new(),
+                            map_count: 0,
+                            reduce_count: 0,
+                            maps_completed: 0,
+                            reduces_completed: 0,
+                            attempts_total: 0,
+                            failed_attempts: 0,
+                            speculative_attempts: 0,
+                            bytes_read: 0,
+                            bytes_output: 0,
+                            local_reads: 0,
+                            remote_reads: 0,
+                            kv: Vec::new(),
+                            digest_acc: 0,
+                            digest_count: 0,
+                            task_times: Vec::new(),
+                            map_outputs: FxHashMap::default(),
+                            succeeded: true,
+                        },
+                    );
+                    ctx.stats().incr("mr.jobs_submitted");
+                    ctx.after(self.cfg.job_init_time, job_timer_tag(KIND_INIT, JobId(id)));
+                } else if msg.is::<LocationsReply>() {
+                    let reply = msg.downcast::<LocationsReply>().expect("checked");
+                    let job_id = JobId(reply.tag as u32);
+                    match reply.view {
+                        Some(view) => self.build_file_tasks(job_id, &view),
+                        None => {
+                            if let Some(job) = self.jobs.get_mut(&job_id.0) {
+                                job.succeeded = false;
+                            }
+                            self.finalize(ctx, job_id);
+                        }
+                    }
+                } else if msg.is::<TtHeartbeat>() {
+                    let hb = msg.downcast::<TtHeartbeat>().expect("checked");
+                    ctx.stats().incr("mr.heartbeats");
+                    let now = ctx.now();
+                    // A heartbeat resurrects nothing: dead stays dead (the
+                    // paper-era JobTracker required re-registration; our
+                    // crashed TaskTrackers never come back).
+                    let entry = self.tts.entry(hb.node).or_insert(TtInfo {
+                        actor: ActorId::ENGINE,
+                        last_heartbeat: now,
+                        dead: false,
+                    });
+                    entry.last_heartbeat = now;
+                    for report in hb.completed {
+                        self.handle_report(ctx, report);
+                    }
+                    if let Some(tt) = self.tts.get(&hb.node) {
+                        if !tt.dead {
+                            self.schedule_on(ctx, hb.node, hb.free_slots);
+                        }
+                    }
+                } else if let Some(reg) = msg.peek::<RegisterTaskTracker>() {
+                    self.register_tt(reg.node, reg.actor);
+                } else if msg.is::<PreloadDone>() {
+                    // Ignored: preloads are driven by clients.
+                }
+            }
+        }
+    }
+}
+
+/// Registers the TaskTracker actor for a node — delivered by `deploy_mr`
+/// right after spawning, because heartbeats alone cannot carry `ActorId`s
+/// through the typed fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterTaskTracker {
+    /// Worker node.
+    pub node: NodeId,
+    /// Its TaskTracker actor.
+    pub actor: ActorId,
+}
+
+impl JobTracker {
+    pub(crate) fn register_tt(&mut self, node: NodeId, actor: ActorId) {
+        self.tts
+            .entry(node)
+            .and_modify(|t| t.actor = actor)
+            .or_insert(TtInfo {
+                actor,
+                last_heartbeat: SimTime::ZERO,
+                dead: false,
+            });
+    }
+}

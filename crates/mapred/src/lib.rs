@@ -1,0 +1,48 @@
+//! # accelmr-mapred — Hadoop-like distributed MapReduce runtime
+//!
+//! The cluster-level half of the paper's two-level architecture: a
+//! JobTracker on the head node scheduling map/reduce tasks onto per-node
+//! TaskTrackers (two map slots each), over the HDFS-like DFS and the
+//! simulated interconnect. Mechanisms modeled explicitly because the
+//! paper's results depend on them:
+//!
+//! * **split/record data distribution** (Figure 3): split =
+//!   FileSize/NumMappers, records of one 64 MB DFS block;
+//! * **the RecordReader feed path**: per-stream-capped streaming from the
+//!   (usually local) DataNode, read-ahead overlapping map compute — the
+//!   bottleneck that hides acceleration in Figures 4/5;
+//! * **heartbeat-paced scheduling** with locality preference — part of the
+//!   runtime floor visible in Figures 7/8;
+//! * **fault tolerance**: heartbeat-silence detection, task re-execution,
+//!   replica-retrying reads, lost-output map re-execution for shuffles;
+//! * **speculative execution** of stragglers (off by default, as in the
+//!   paper's configuration).
+//!
+//! Map kernels are pluggable ([`TaskKernel`]); the hybrid crate provides
+//! the paper's Java/Cell kernels on top of the Cell BE simulator.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod job;
+pub mod jobtracker;
+pub mod kernel;
+pub mod msgs;
+pub mod tasktracker;
+
+pub use cluster::{deploy_cluster, deploy_mr, run_job, MrCluster, MrHandle, PreloadSpec};
+pub use config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+pub use job::{
+    JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskMetrics, TaskWork,
+};
+pub use jobtracker::JobTracker;
+pub use kernel::{
+    FixedCostKernel, NodeEnv, NodeEnvFactory, NullEnv, NullEnvFactory, RecordCtx, RecordOutcome,
+    ReduceKernel, SumReducer, TaskKernel, UnitsOutcome,
+};
+pub use msgs::{CrashTaskTracker, JobComplete, SubmitJob};
+pub use tasktracker::TaskTracker;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,466 @@
+//! Runtime-level scenario tests: scheduling, feed pipeline, fault
+//! tolerance, speculation, shuffle — all without the hybrid/Cell layer
+//! (kernels here are simple fixed-cost stand-ins).
+
+use std::sync::Arc;
+
+use accelmr_des::{SimDuration, SimTime};
+use accelmr_dfs::DfsConfig;
+use accelmr_net::NetConfig;
+
+use crate::cluster::{deploy_cluster, run_job, MrCluster, PreloadSpec};
+use crate::config::{MrConfig, SchedulerPolicy};
+use crate::job::{JobInput, JobResult, JobSpec, OutputSink, ReduceSpec};
+use crate::kernel::{
+    FixedCostKernel, NodeEnv, NullEnvFactory, SumReducer, TaskKernel, UnitsOutcome,
+};
+use crate::msgs::CrashTaskTracker;
+
+const MB: u64 = 1 << 20;
+
+fn cluster(seed: u64, workers: usize, mr_cfg: MrConfig, materialized: bool) -> MrCluster {
+    deploy_cluster(
+        seed,
+        workers,
+        NetConfig::default(),
+        DfsConfig::default(),
+        mr_cfg,
+        &NullEnvFactory,
+        materialized,
+    )
+}
+
+fn synthetic_spec(kernel: Arc<dyn TaskKernel>, units: u64, maps: Option<usize>) -> JobSpec {
+    JobSpec {
+        name: "synthetic".into(),
+        input: JobInput::Synthetic { total_units: units },
+        kernel,
+        num_map_tasks: maps,
+        output: OutputSink::Discard,
+        reduce: ReduceSpec::RpcAggregate {
+            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
+        },
+    }
+}
+
+#[test]
+fn synthetic_job_completes_and_aggregates() {
+    let mut c = cluster(1, 4, MrConfig::default(), false);
+    let kernel = Arc::new(FixedCostKernel::default());
+    let result = run_job(
+        &mut c.sim,
+        &c.mr,
+        &c.dfs,
+        vec![],
+        synthetic_spec(kernel, 1_000_000, None),
+    );
+    assert!(result.succeeded);
+    // Default task count = 2 slots × 4 nodes.
+    assert_eq!(result.map_tasks, 8);
+    assert_eq!(result.attempts, 8);
+    assert_eq!(result.failed_attempts, 0);
+    // Sum of per-task unit counts equals the total.
+    let total: u64 = result.kv.iter().map(|&(_, v)| v).sum();
+    assert_eq!(total, 1_000_000);
+    // The job floor: init + heartbeat dispatch + task start + finalize.
+    let floor = MrConfig::default().job_init_time + MrConfig::default().job_finalize_time;
+    assert!(result.elapsed > floor);
+    assert!(result.elapsed < SimDuration::from_secs(60), "{}", result.elapsed);
+}
+
+#[test]
+fn file_job_processes_every_record_exactly_once() {
+    let mut c = cluster(2, 3, MrConfig::default(), true);
+    // 18 MB file, 1 MB records, 2 MB blocks.
+    let preload = PreloadSpec {
+        path: "/in".into(),
+        len: 18 * MB,
+        block_size: Some(2 * MB),
+        replication: None,
+        seed: 77,
+    };
+    let spec = JobSpec {
+        name: "scan".into(),
+        input: JobInput::File {
+            path: "/in".into(),
+            record_bytes: Some(MB),
+        },
+        kernel: Arc::new(FixedCostKernel {
+            per_record: SimDuration::from_millis(1),
+            ..FixedCostKernel::default()
+        }),
+        num_map_tasks: Some(6),
+        output: OutputSink::Digest,
+        reduce: ReduceSpec::None,
+    };
+    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+    assert!(result.succeeded);
+    assert_eq!(result.map_tasks, 6);
+    assert_eq!(result.bytes_read, 18 * MB);
+
+    // Exactly-once record accounting via the order-independent digest:
+    // reproduce the expected digest locally.
+    let mut expect = accelmr_kernels::UnorderedDigest::new();
+    for r in 0..18u64 {
+        let mut buf = vec![0u8; MB as usize];
+        accelmr_kernels::fill_deterministic(77, r * MB, &mut buf);
+        expect.add(accelmr_kernels::checksum(&buf));
+    }
+    assert_eq!(result.digest, expect.finish());
+    assert_eq!(result.digest.1, 18);
+}
+
+#[test]
+fn feed_cap_dominates_data_job_time() {
+    // One node, one mapper slot, no pipelining interference: 4 records of
+    // 8 MB at 8.5 MB/s ≈ 3.76 s of pure feed.
+    let mut mr_cfg = MrConfig::default();
+    mr_cfg.map_slots_per_node = 1;
+    let mut c = cluster(3, 1, mr_cfg, false);
+    let preload = PreloadSpec {
+        path: "/d".into(),
+        len: 32 * MB,
+        block_size: Some(8 * MB),
+        replication: None,
+        seed: 1,
+    };
+    let spec = JobSpec {
+        name: "feed".into(),
+        input: JobInput::File {
+            path: "/d".into(),
+            record_bytes: Some(8 * MB),
+        },
+        kernel: Arc::new(FixedCostKernel {
+            per_record: SimDuration::from_micros(1), // compute ≈ free
+            ..FixedCostKernel::default()
+        }),
+        num_map_tasks: Some(1),
+        output: OutputSink::Discard,
+        reduce: ReduceSpec::None,
+    };
+    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+    let feed_secs = (32 * MB) as f64 / 8.5e6;
+    let total = result.elapsed.as_secs_f64();
+    assert!(
+        total > feed_secs,
+        "job ({total:.2}s) cannot beat the feed path ({feed_secs:.2}s)"
+    );
+    // All overheads together stay bounded: floor < 25 s on top of feed.
+    assert!(total < feed_secs + 25.0, "{total}");
+    // Single node: every read local.
+    assert_eq!(result.remote_reads, 0);
+    assert!(result.local_reads > 0);
+}
+
+#[test]
+fn pipelined_reads_overlap_compute() {
+    let run = |pipelined: bool| -> JobResult {
+        let mut mr_cfg = MrConfig::default();
+        mr_cfg.pipelined_reads = pipelined;
+        mr_cfg.map_slots_per_node = 1;
+        let mut c = cluster(4, 1, mr_cfg, false);
+        let preload = PreloadSpec {
+            path: "/p".into(),
+            len: 192 * MB,
+            block_size: Some(8 * MB),
+            replication: None,
+            seed: 2,
+        };
+        let spec = JobSpec {
+            name: "pipe".into(),
+            input: JobInput::File {
+                path: "/p".into(),
+                record_bytes: Some(8 * MB),
+            },
+            // Compute ≈ feed time per record: overlap halves the total.
+            kernel: Arc::new(FixedCostKernel {
+                per_record: SimDuration::from_secs_f64(8.0 * MB as f64 / 8.5e6),
+                ..FixedCostKernel::default()
+            }),
+            num_map_tasks: Some(1),
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::None,
+        };
+        run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec)
+    };
+    let with = run(true);
+    let without = run(false);
+    let speedup = without.elapsed.as_secs_f64() / with.elapsed.as_secs_f64();
+    assert!(
+        speedup > 1.5,
+        "pipelining speedup {speedup:.2} (with={}, without={})",
+        with.elapsed,
+        without.elapsed
+    );
+    // Overlap shows up as vanishing feed stall relative to stop-and-wait:
+    // every record wait beyond the first is hidden behind compute.
+    assert!(with.elapsed + SimDuration::from_secs(15) < without.elapsed);
+}
+
+#[test]
+fn locality_scheduler_beats_fifo() {
+    let run = |policy: SchedulerPolicy| -> JobResult {
+        let mut mr_cfg = MrConfig::default();
+        mr_cfg.scheduler = policy;
+        let mut c = cluster(5, 4, mr_cfg, false);
+        // One block per task so a local assignment means a local read.
+        let preload = PreloadSpec {
+            path: "/l".into(),
+            len: 64 * MB,
+            block_size: Some(4 * MB),
+            replication: None,
+            seed: 3,
+        };
+        let spec = JobSpec {
+            name: "loc".into(),
+            input: JobInput::File {
+                path: "/l".into(),
+                record_bytes: Some(4 * MB),
+            },
+            kernel: Arc::new(FixedCostKernel {
+                per_record: SimDuration::from_millis(5),
+                ..FixedCostKernel::default()
+            }),
+            num_map_tasks: Some(16),
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::None,
+        };
+        run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec)
+    };
+    let local = run(SchedulerPolicy::LocalityFirst);
+    let fifo = run(SchedulerPolicy::Fifo);
+    let frac = |r: &JobResult| r.local_reads as f64 / (r.local_reads + r.remote_reads) as f64;
+    assert!(
+        frac(&local) > frac(&fifo),
+        "locality {:.2} vs fifo {:.2}",
+        frac(&local),
+        frac(&fifo)
+    );
+    assert!(frac(&local) > 0.6, "{:.2}", frac(&local));
+}
+
+#[test]
+fn tasktracker_crash_recovers_with_reexecution() {
+    let mut c = cluster(6, 3, MrConfig::default(), true);
+    // Replication 2 so the dead node's blocks stay readable.
+    let preload = PreloadSpec {
+        path: "/ft".into(),
+        len: 24 * MB,
+        block_size: Some(2 * MB),
+        replication: Some(2),
+        seed: 9,
+    };
+    let spec = JobSpec {
+        name: "ft".into(),
+        input: JobInput::File {
+            path: "/ft".into(),
+            record_bytes: Some(2 * MB),
+        },
+        kernel: Arc::new(FixedCostKernel {
+            per_record: SimDuration::from_secs(4),
+            ..FixedCostKernel::default()
+        }),
+        num_map_tasks: Some(6),
+        output: OutputSink::Digest,
+        reduce: ReduceSpec::None,
+    };
+    // Crash node 1's TaskTracker 20 s in (mid-map), and abort its flows.
+    let victim_tt = c.mr.tasktracker_on(accelmr_net::NodeId(1)).unwrap();
+    c.sim.post_after(
+        victim_tt,
+        Box::new(CrashTaskTracker),
+        SimDuration::from_secs(20),
+    );
+
+    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+    assert!(result.succeeded);
+    assert_eq!(result.map_tasks, 6);
+    // Work was re-executed.
+    assert!(
+        result.attempts > result.map_tasks,
+        "attempts {} should exceed tasks {}",
+        result.attempts,
+        result.map_tasks
+    );
+    // Exactly-once digest: re-executed tasks re-produce, losers discarded.
+    let mut expect = accelmr_kernels::UnorderedDigest::new();
+    for r in 0..12u64 {
+        let mut buf = vec![0u8; 2 * MB as usize];
+        accelmr_kernels::fill_deterministic(9, r * 2 * MB, &mut buf);
+        expect.add(accelmr_kernels::checksum(&buf));
+    }
+    assert_eq!(result.digest, expect.finish());
+    assert_eq!(
+        c.sim.stats().counter("mr.tasktrackers_declared_dead"),
+        1
+    );
+}
+
+/// Kernel whose task 0 is pathologically slow — a straggler generator.
+#[derive(Debug)]
+struct SkewKernel;
+
+impl TaskKernel for SkewKernel {
+    fn name(&self) -> &'static str {
+        "skew"
+    }
+
+    fn map_record(
+        &self,
+        _env: &mut dyn NodeEnv,
+        _rec: &crate::kernel::RecordCtx<'_>,
+    ) -> crate::kernel::RecordOutcome {
+        unreachable!("synthetic-only kernel")
+    }
+
+    fn map_units(&self, _env: &mut dyn NodeEnv, units: u64, stream: u64) -> UnitsOutcome {
+        let slowdown = if stream == 0 { 400 } else { 1 };
+        UnitsOutcome {
+            compute: SimDuration::from_nanos(100 * units * slowdown),
+            kv: vec![(stream, units)],
+        }
+    }
+}
+
+#[test]
+fn speculative_execution_duplicates_stragglers() {
+    let mut mr_cfg = MrConfig::default();
+    mr_cfg.speculative = true;
+    let mut c = cluster(7, 4, mr_cfg, false);
+    let result = run_job(
+        &mut c.sim,
+        &c.mr,
+        &c.dfs,
+        vec![],
+        synthetic_spec(Arc::new(SkewKernel), 800_000, Some(8)),
+    );
+    assert!(result.succeeded);
+    assert!(
+        result.speculative_attempts >= 1,
+        "expected speculation, got {}",
+        result.speculative_attempts
+    );
+    // First completion wins; the duplicate's report is dropped, so each
+    // task contributes its units exactly once.
+    let total: u64 = result.kv.iter().map(|&(_, v)| v).sum();
+    assert_eq!(total, 800_000);
+}
+
+#[test]
+fn shuffle_reduce_runs_and_writes() {
+    let mut c = cluster(8, 3, MrConfig::default(), false);
+    let preload = PreloadSpec {
+        path: "/sh".into(),
+        len: 24 * MB,
+        block_size: Some(4 * MB),
+        replication: None,
+        seed: 4,
+    };
+    let spec = JobSpec {
+        name: "sortish".into(),
+        input: JobInput::File {
+            path: "/sh".into(),
+            record_bytes: Some(4 * MB),
+        },
+        // Map output = input (sorted runs), kept node-local for shuffle.
+        kernel: Arc::new(FixedCostKernel {
+            per_record: SimDuration::from_millis(50),
+            output_ratio_percent: 100,
+            ..FixedCostKernel::default()
+        }),
+        num_map_tasks: Some(6),
+        output: OutputSink::Digest,
+        reduce: ReduceSpec::Shuffle {
+            reducers: 3,
+            reducer: Arc::new(SumReducer { cycles_per_byte: 2.0 }),
+            write_output: true,
+        },
+    };
+    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+    assert!(result.succeeded);
+    assert_eq!(result.map_tasks, 6);
+    assert_eq!(result.reduce_tasks, 3);
+    // Reducers fetched (roughly) all map output and wrote it back.
+    assert!(result.bytes_output >= 24 * MB, "{}", result.bytes_output);
+    assert!(c.sim.stats().counter("dfs.blocks_allocated") > 0);
+    assert!(c.sim.stats().counter("mr.shuffles_started") == 1);
+}
+
+#[test]
+fn deterministic_runs_from_same_seed() {
+    let run_fp = || {
+        let mut c = cluster(42, 3, MrConfig::default(), false);
+        c.sim.enable_trace(1 << 12);
+        let preload = PreloadSpec {
+            path: "/det".into(),
+            len: 16 * MB,
+            block_size: Some(4 * MB),
+            replication: None,
+            seed: 5,
+        };
+        let spec = JobSpec {
+            name: "det".into(),
+            input: JobInput::File {
+                path: "/det".into(),
+                record_bytes: Some(4 * MB),
+            },
+            kernel: Arc::new(FixedCostKernel::default()),
+            num_map_tasks: Some(4),
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::None,
+        };
+        let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+        (result.elapsed, c.sim.trace().fingerprint())
+    };
+    let (e1, f1) = run_fp();
+    let (e2, f2) = run_fp();
+    assert_eq!(e1, e2);
+    assert_eq!(f1, f2);
+}
+
+#[test]
+fn missing_input_fails_gracefully() {
+    let mut c = cluster(10, 2, MrConfig::default(), false);
+    let spec = JobSpec {
+        name: "missing".into(),
+        input: JobInput::File {
+            path: "/does-not-exist".into(),
+            record_bytes: None,
+        },
+        kernel: Arc::new(FixedCostKernel::default()),
+        num_map_tasks: None,
+        output: OutputSink::Discard,
+        reduce: ReduceSpec::None,
+    };
+    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![], spec);
+    assert!(!result.succeeded);
+    assert_eq!(result.map_tasks, 0);
+}
+
+#[test]
+fn heartbeat_pacing_sets_minimum_job_time() {
+    // A trivial job cannot beat the init + dispatch + finalize floor.
+    let mut c = cluster(11, 2, MrConfig::default(), false);
+    let kernel = Arc::new(FixedCostKernel {
+        per_unit_ns: 0,
+        ..FixedCostKernel::default()
+    });
+    let result = run_job(
+        &mut c.sim,
+        &c.mr,
+        &c.dfs,
+        vec![],
+        synthetic_spec(kernel, 1, Some(1)),
+    );
+    let cfg = MrConfig::default();
+    let hard_floor =
+        cfg.job_init_time + cfg.task_start_overhead + cfg.task_cleanup_overhead + cfg.job_finalize_time;
+    assert!(
+        result.elapsed > hard_floor,
+        "elapsed {} vs floor {}",
+        result.elapsed,
+        hard_floor
+    );
+    // And the sim clock actually advanced past t=0.
+    assert!(c.sim.now() > SimTime::ZERO);
+}

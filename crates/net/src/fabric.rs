@@ -1,0 +1,631 @@
+//! The fabric actor: message delivery and fluid bulk transfers.
+//!
+//! One [`Fabric`] actor represents the cluster interconnect: every node's
+//! full-duplex NIC (tx/rx links), its loopback device, and a non-blocking
+//! switch between them. Protocol actors (DFS, MapReduce) talk to it with
+//! two primitives:
+//!
+//! * [`Unicast`] — control RPCs: fixed latency + serialization time.
+//! * [`StartFlow`] — bulk data: a fluid flow sharing link bandwidth
+//!   max-min-fairly with every other active flow, optionally capped by a
+//!   per-stream protocol ceiling (the paper's loopback feed behavior).
+//!   Completion is announced to the requester with [`FlowDone`].
+//!
+//! Node failures abort in-flight transfers via [`AbortNode`], announcing
+//! [`FlowAborted`] so blocked readers can recover — the mechanism the
+//! fault-tolerance tests drive.
+
+use std::collections::BTreeMap;
+
+use accelmr_des::prelude::*;
+
+use crate::config::{NetConfig, NodeId};
+use crate::flow::{max_min_rates, FlowDemand, LinkId, LinkTable};
+
+/// Control RPC from `src` to an actor on node `dst`.
+pub struct Unicast {
+    /// Sending node (for accounting; RPCs are small enough to ignore in
+    /// the fluid model).
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Destination actor.
+    pub to: ActorId,
+    /// Payload size for serialization delay.
+    pub bytes: u64,
+    /// The protocol message delivered to `to`.
+    pub payload: Box<dyn Msg>,
+}
+
+impl std::fmt::Debug for Unicast {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Unicast({}→{}, {} B, {})",
+            self.src,
+            self.dst,
+            self.bytes,
+            self.payload.as_ref().label()
+        )
+    }
+}
+
+/// Starts a bulk transfer.
+#[derive(Debug)]
+pub struct StartFlow {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node (may equal `src`: loopback).
+    pub dst: NodeId,
+    /// Transfer size.
+    pub bytes: u64,
+    /// Optional per-stream rate ceiling, bytes/second.
+    pub cap_bytes_per_sec: Option<f64>,
+    /// Actor to notify on completion/abort.
+    pub notify: ActorId,
+    /// Caller-chosen correlation tag echoed in the notification.
+    pub tag: u64,
+    /// Optional payload delivered to `notify` *instead of* [`FlowDone`]
+    /// when the flow completes (aborts still deliver [`FlowAborted`]).
+    /// This is how data-bearing transfers (DFS block reads) hand the
+    /// materialized bytes to the receiver at the moment the last byte
+    /// arrives.
+    pub on_done: Option<Box<dyn Msg>>,
+}
+
+/// Aborts all flows touching a node (its crash).
+#[derive(Debug)]
+pub struct AbortNode {
+    /// The failed node.
+    pub node: NodeId,
+}
+
+/// A flow completed; delivered to the flow's `notify` actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDone {
+    /// The caller's correlation tag.
+    pub tag: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// A flow was aborted by a node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowAborted {
+    /// The caller's correlation tag.
+    pub tag: u64,
+}
+
+struct ActiveFlow {
+    remaining: f64,
+    rate: f64,
+    links: Vec<LinkId>,
+    cap: f64,
+    notify: ActorId,
+    tag: u64,
+    total: u64,
+    src: NodeId,
+    dst: NodeId,
+    on_done: Option<Box<dyn Msg>>,
+}
+
+/// The interconnect actor.
+pub struct Fabric {
+    cfg: NetConfig,
+    links: LinkTable,
+    tx: Vec<LinkId>,
+    rx: Vec<LinkId>,
+    loopback: Vec<LinkId>,
+    flows: BTreeMap<u64, ActiveFlow>,
+    next_flow_id: u64,
+    timer: Option<TimerHandle>,
+    last_update: SimTime,
+}
+
+const EPS_BYTES: f64 = 1e-3;
+
+impl Fabric {
+    /// Builds a fabric for `nodes` machines.
+    pub fn new(cfg: NetConfig, nodes: usize) -> Self {
+        let mut links = LinkTable::new();
+        let tx = (0..nodes).map(|_| links.add(cfg.link_bytes_per_sec)).collect();
+        let rx = (0..nodes).map(|_| links.add(cfg.link_bytes_per_sec)).collect();
+        let loopback = (0..nodes)
+            .map(|_| links.add(cfg.loopback_bytes_per_sec))
+            .collect();
+        Fabric {
+            cfg,
+            links,
+            tx,
+            rx,
+            loopback,
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            timer: None,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Number of nodes the fabric serves.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        if src == dst {
+            vec![self.loopback[src.index()]]
+        } else {
+            vec![self.tx[src.index()], self.rx[dst.index()]]
+        }
+    }
+
+    /// Advances flow progress to `now`, completing finished flows.
+    fn elapse(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let dt = (now - self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                f.remaining -= f.rate * dt;
+            }
+        }
+        // Completions in flow-id order: deterministic.
+        let done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS_BYTES)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in done {
+            let f = self.flows.remove(&id).expect("flow present");
+            ctx.stats().add("net.flow_bytes_done", f.total);
+            ctx.stats().incr("net.flows_done");
+            match f.on_done {
+                Some(payload) => ctx.send_boxed(f.notify, payload, SimDuration::ZERO),
+                None => ctx.send(f.notify, FlowDone { tag: f.tag, bytes: f.total }),
+            }
+        }
+    }
+
+    /// Re-solves rates and re-arms the completion timer.
+    fn reschedule(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if self.flows.is_empty() {
+            return;
+        }
+        let demands: Vec<FlowDemand> = self
+            .flows
+            .values()
+            .map(|f| FlowDemand {
+                links: f.links.clone(),
+                cap: f.cap,
+            })
+            .collect();
+        let rates = max_min_rates(&self.links, &demands);
+        let mut next = f64::INFINITY;
+        for (f, rate) in self.flows.values_mut().zip(rates) {
+            f.rate = rate;
+            if rate > 0.0 {
+                next = next.min(f.remaining / rate);
+            }
+        }
+        if next.is_finite() {
+            let delay = SimDuration::from_secs_f64(next).max(SimDuration::from_nanos(1));
+            self.timer = Some(ctx.after(delay, 0));
+        }
+    }
+}
+
+impl Actor for Fabric {
+    fn name(&self) -> String {
+        "net.fabric".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let now = ctx.now();
+        match ev {
+            Event::Start => {
+                self.last_update = now;
+            }
+            Event::Timer { .. } => {
+                self.timer = None;
+                self.elapse(ctx, now);
+                self.reschedule(ctx);
+            }
+            Event::Msg { msg, .. } => {
+                if msg.is::<Unicast>() {
+                    let u = msg.downcast::<Unicast>().expect("checked");
+                    ctx.stats().incr("net.rpcs");
+                    ctx.stats().add("net.rpc_bytes", u.bytes);
+                    let delay = self.cfg.rpc_delay(u.bytes);
+                    ctx.send_boxed(u.to, u.payload, delay);
+                } else if msg.is::<StartFlow>() {
+                    let req = msg.downcast::<StartFlow>().expect("checked");
+                    self.elapse(ctx, now);
+                    if req.bytes == 0 {
+                        match req.on_done {
+                            Some(payload) => ctx.send_boxed(req.notify, payload, SimDuration::ZERO),
+                            None => ctx.send(req.notify, FlowDone { tag: req.tag, bytes: 0 }),
+                        }
+                    } else {
+                        let id = self.next_flow_id;
+                        self.next_flow_id += 1;
+                        let links = self.route(req.src, req.dst);
+                        self.flows.insert(
+                            id,
+                            ActiveFlow {
+                                remaining: req.bytes as f64,
+                                rate: 0.0,
+                                links,
+                                cap: req.cap_bytes_per_sec.unwrap_or(f64::INFINITY),
+                                notify: req.notify,
+                                tag: req.tag,
+                                total: req.bytes,
+                                src: req.src,
+                                dst: req.dst,
+                                on_done: req.on_done,
+                            },
+                        );
+                        ctx.stats().incr("net.flows_started");
+                    }
+                    self.reschedule(ctx);
+                } else if let Some(abort) = msg.peek::<AbortNode>() {
+                    let node = abort.node;
+                    self.elapse(ctx, now);
+                    let dead: Vec<u64> = self
+                        .flows
+                        .iter()
+                        .filter(|(_, f)| f.src == node || f.dst == node)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in dead {
+                        let f = self.flows.remove(&id).expect("flow present");
+                        ctx.stats().incr("net.flows_aborted");
+                        ctx.send(f.notify, FlowAborted { tag: f.tag });
+                    }
+                    self.reschedule(ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Cheap copyable handle other actors use to talk to the fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct NetHandle {
+    /// The fabric actor.
+    pub fabric: ActorId,
+}
+
+impl NetHandle {
+    /// Sends a control RPC to actor `to` on node `dst`.
+    pub fn unicast(
+        self,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        dst: NodeId,
+        to: ActorId,
+        bytes: u64,
+        payload: impl Msg,
+    ) {
+        ctx.send(
+            self.fabric,
+            Unicast {
+                src,
+                dst,
+                to,
+                bytes,
+                payload: Box::new(payload),
+            },
+        );
+    }
+
+    /// Starts a bulk flow; the *calling* actor receives [`FlowDone`] /
+    /// [`FlowAborted`] tagged with `tag`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_flow(
+        self,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cap_bytes_per_sec: Option<f64>,
+        tag: u64,
+    ) {
+        let notify = ctx.self_id();
+        ctx.send(
+            self.fabric,
+            StartFlow {
+                src,
+                dst,
+                bytes,
+                cap_bytes_per_sec,
+                notify,
+                tag,
+                on_done: None,
+            },
+        );
+    }
+
+    /// Starts a bulk flow that delivers `payload` to `notify` on
+    /// completion (aborts still deliver [`FlowAborted`] with `tag`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_flow_with(
+        self,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cap_bytes_per_sec: Option<f64>,
+        notify: ActorId,
+        tag: u64,
+        payload: impl Msg,
+    ) {
+        ctx.send(
+            self.fabric,
+            StartFlow {
+                src,
+                dst,
+                bytes,
+                cap_bytes_per_sec,
+                notify,
+                tag,
+                on_done: Some(Box::new(payload)),
+            },
+        );
+    }
+
+    /// Aborts every flow touching `node`.
+    pub fn abort_node(self, ctx: &mut Ctx<'_>, node: NodeId) {
+        ctx.send(self.fabric, AbortNode { node });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Starts `flows` described as (src, dst, bytes, cap) at t=0 and records
+    /// each completion time (tag → seconds).
+    fn run_flows(flows: Vec<(u32, u32, u64, Option<f64>)>) -> Vec<(u64, f64)> {
+        struct Driver {
+            net: NetHandle,
+            flows: Vec<(u32, u32, u64, Option<f64>)>,
+            done: Vec<(u64, f64)>,
+            expected: usize,
+        }
+        impl Actor for Driver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        for (i, &(s, d, b, cap)) in self.flows.iter().enumerate() {
+                            self.net
+                                .start_flow(ctx, NodeId(s), NodeId(d), b, cap, i as u64);
+                        }
+                    }
+                    Event::Msg { msg, .. } => {
+                        if let Some(done) = msg.peek::<FlowDone>() {
+                            self.done.push((done.tag, ctx.now().as_secs_f64()));
+                            if self.done.len() == self.expected {
+                                ctx.stop();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut sim = Sim::new(0);
+        let fabric = sim.spawn(Box::new(Fabric::new(NetConfig::default(), 8)));
+        let expected = flows.len();
+        let results = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct DriverWrap(Driver, std::sync::Arc<std::sync::Mutex<Vec<(u64, f64)>>>);
+        impl Actor for DriverWrap {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                self.0.handle(ctx, ev);
+                *self.1.lock().unwrap() = self.0.done.clone();
+            }
+        }
+        sim.spawn(Box::new(DriverWrap(
+            Driver {
+                net: NetHandle { fabric },
+                flows,
+                done: Vec::new(),
+                expected,
+            },
+            results.clone(),
+        )));
+        sim.run();
+        let out = results.lock().unwrap().clone();
+        out
+    }
+
+    #[test]
+    fn single_flow_runs_at_link_rate() {
+        let done = run_flows(vec![(1, 2, 125_000_000, None)]);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].1 - 1.0).abs() < 1e-6, "t={}", done[0].1);
+    }
+
+    #[test]
+    fn two_flows_share_source_uplink() {
+        let done = run_flows(vec![
+            (1, 2, 125_000_000, None),
+            (1, 3, 125_000_000, None),
+        ]);
+        assert_eq!(done.len(), 2);
+        for (_, t) in &done {
+            assert!((*t - 2.0).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn early_finisher_frees_bandwidth() {
+        // Flow A: 125 MB, flow B: 62.5 MB on the same uplink. B finishes at
+        // t=1 (62.5 MB at half rate), then A runs at full rate and finishes
+        // at 1.5 s.
+        let done = run_flows(vec![
+            (1, 2, 125_000_000, None),
+            (1, 3, 62_500_000, None),
+        ]);
+        let a = done.iter().find(|(tag, _)| *tag == 0).unwrap().1;
+        let b = done.iter().find(|(tag, _)| *tag == 1).unwrap().1;
+        assert!((b - 1.0).abs() < 1e-6, "b={b}");
+        assert!((a - 1.5).abs() < 1e-6, "a={a}");
+    }
+
+    #[test]
+    fn per_stream_cap_binds_loopback() {
+        // 85 MB over loopback capped at 8.5 MB/s: 10 s, far below the
+        // device capacity — the paper's observed DataNode→TaskTracker path.
+        let done = run_flows(vec![(4, 4, 85_000_000, Some(8.5e6))]);
+        assert!((done[0].1 - 10.0).abs() < 1e-6, "t={}", done[0].1);
+    }
+
+    #[test]
+    fn loopback_does_not_consume_nic_links() {
+        // A capped loopback stream and a remote flow from the same node do
+        // not interact.
+        let done = run_flows(vec![
+            (2, 2, 17_000_000, Some(8.5e6)),
+            (2, 3, 125_000_000, None),
+        ]);
+        let lo = done.iter().find(|(tag, _)| *tag == 0).unwrap().1;
+        let remote = done.iter().find(|(tag, _)| *tag == 1).unwrap().1;
+        assert!((lo - 2.0).abs() < 1e-6);
+        assert!((remote - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let done = run_flows(vec![(1, 2, 0, None)]);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].1 < 1e-9);
+    }
+
+    #[test]
+    fn incast_shares_receiver_downlink() {
+        // 4 senders to one receiver: each gets 1/4 of the rx link.
+        let flows = (1..=4).map(|s| (s, 5, 125_000_000u64, None)).collect();
+        let done = run_flows(flows);
+        assert_eq!(done.len(), 4);
+        for (_, t) in &done {
+            assert!((*t - 4.0).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn unicast_delivers_after_rpc_delay() {
+        #[derive(Debug)]
+        struct Hello(u32);
+
+        struct Receiver;
+        impl Actor for Receiver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if let Event::Msg { msg, .. } = ev {
+                    if let Some(h) = msg.peek::<Hello>() {
+                        assert_eq!(h.0, 7);
+                        let t = ctx.now();
+                        assert_eq!(t, SimTime::ZERO + NetConfig::default().rpc_delay(1000));
+                        ctx.stats().incr("got_hello");
+                    }
+                }
+            }
+        }
+        struct Sender {
+            net: NetHandle,
+            to: ActorId,
+        }
+        impl Actor for Sender {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    self.net
+                        .unicast(ctx, NodeId(1), NodeId(2), self.to, 1000, Hello(7));
+                }
+            }
+        }
+
+        let mut sim = Sim::new(0);
+        let fabric = sim.spawn(Box::new(Fabric::new(NetConfig::default(), 4)));
+        let recv = sim.spawn(Box::new(Receiver));
+        sim.spawn(Box::new(Sender {
+            net: NetHandle { fabric },
+            to: recv,
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("got_hello"), 1);
+    }
+
+    #[test]
+    fn abort_node_kills_touching_flows() {
+        struct Driver {
+            net: NetHandle,
+            aborted: u32,
+        }
+        impl Actor for Driver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        self.net.start_flow(ctx, NodeId(1), NodeId(2), 125_000_000, None, 0);
+                        self.net.start_flow(ctx, NodeId(3), NodeId(1), 125_000_000, None, 1);
+                        self.net.start_flow(ctx, NodeId(3), NodeId(4), 125_000_000, None, 2);
+                        ctx.after(SimDuration::from_millis(100), 9);
+                    }
+                    Event::Timer { tag: 9, .. } => {
+                        self.net.abort_node(ctx, NodeId(1));
+                    }
+                    Event::Msg { msg, .. } => {
+                        if msg.peek::<FlowAborted>().is_some() {
+                            self.aborted += 1;
+                            ctx.stats().incr("aborted");
+                        } else if let Some(d) = msg.peek::<FlowDone>() {
+                            assert_eq!(d.tag, 2);
+                            ctx.stats().incr("survived");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let fabric = sim.spawn(Box::new(Fabric::new(NetConfig::default(), 6)));
+        sim.spawn(Box::new(Driver {
+            net: NetHandle { fabric },
+            aborted: 0,
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("aborted"), 2);
+        assert_eq!(sim.stats().counter("survived"), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let fp = || {
+            let mut sim = Sim::new(3);
+            sim.enable_trace(1 << 12);
+            let fabric = sim.spawn(Box::new(Fabric::new(NetConfig::default(), 8)));
+            struct D {
+                net: NetHandle,
+            }
+            impl Actor for D {
+                fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                    if matches!(ev, Event::Start) {
+                        for i in 0..20u64 {
+                            let s = NodeId((i % 7) as u32);
+                            let d = NodeId(((i * 3 + 1) % 8) as u32);
+                            self.net.start_flow(ctx, s, d, 1_000_000 * (i + 1), None, i);
+                        }
+                    }
+                }
+            }
+            sim.spawn(Box::new(D {
+                net: NetHandle { fabric },
+            }));
+            sim.run();
+            sim.trace().fingerprint()
+        };
+        assert_eq!(fp(), fp());
+    }
+}

@@ -1,0 +1,264 @@
+//! Max-min fair fluid flow allocation.
+//!
+//! Bulk transfers are modeled as fluid flows over capacitated links, the
+//! standard abstraction for TCP-like bandwidth sharing: whenever the flow
+//! set changes, rates are re-solved by progressive filling (water-filling),
+//! giving every flow the largest rate such that no link is oversubscribed
+//! and no flow can gain without an equally-or-less-served flow losing.
+//! Flows may also carry an intrinsic rate cap — how the per-stream protocol
+//! ceiling of the paper's loopback path is expressed.
+
+/// Index of a link inside a [`LinkTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Capacitated links.
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    caps: Vec<f64>,
+}
+
+impl LinkTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a link with `bytes_per_sec` capacity, returning its id.
+    pub fn add(&mut self, bytes_per_sec: f64) -> LinkId {
+        assert!(bytes_per_sec > 0.0, "link capacity must be positive");
+        self.caps.push(bytes_per_sec);
+        LinkId(self.caps.len() - 1)
+    }
+
+    /// Capacity of `link`.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.caps[link.0]
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// `true` when no links exist.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+}
+
+/// One flow's demand description for the solver.
+#[derive(Clone, Debug)]
+pub struct FlowDemand {
+    /// Links the flow traverses (1-3 in this fabric).
+    pub links: Vec<LinkId>,
+    /// Intrinsic rate ceiling, bytes/second (`f64::INFINITY` when unlimited).
+    pub cap: f64,
+}
+
+/// Computes max-min fair rates for `flows` over `links`.
+///
+/// Returns one rate per flow, in input order. Runs in
+/// O(iterations × flows × links-per-flow); each iteration freezes at least
+/// one flow, so it terminates in ≤ `flows.len()` rounds.
+pub fn max_min_rates(links: &LinkTable, flows: &[FlowDemand]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut frozen = vec![false; n];
+    let mut remaining_cap: Vec<f64> = links.caps.clone();
+
+    loop {
+        // Count unfrozen flows per link.
+        let mut unfrozen_on_link = vec![0usize; links.len()];
+        let mut any_unfrozen = false;
+        for (f, demand) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            any_unfrozen = true;
+            for l in &demand.links {
+                unfrozen_on_link[l.0] += 1;
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+
+        // The next increment every unfrozen flow can take uniformly.
+        let mut delta = f64::INFINITY;
+        for (l, &cnt) in unfrozen_on_link.iter().enumerate() {
+            if cnt > 0 {
+                delta = delta.min(remaining_cap[l] / cnt as f64);
+            }
+        }
+        for (f, demand) in flows.iter().enumerate() {
+            if !frozen[f] {
+                delta = delta.min(demand.cap - rates[f]);
+            }
+        }
+        // Flows with no links and no finite cap would make delta infinite;
+        // treat that as "unlimited" and freeze them at an arbitrary high
+        // rate (callers always provide at least one link or a cap).
+        if !delta.is_finite() {
+            for f in 0..n {
+                if !frozen[f] {
+                    rates[f] = f64::MAX / 4.0;
+                    frozen[f] = true;
+                }
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+
+        // Apply the increment.
+        for (f, demand) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            rates[f] += delta;
+            for l in &demand.links {
+                remaining_cap[l.0] -= delta;
+            }
+        }
+
+        // Freeze: flows at their cap, and flows crossing a saturated link.
+        const EPS: f64 = 1e-6;
+        let mut frozen_any = false;
+        for (f, demand) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let at_cap = rates[f] >= demand.cap - EPS;
+            let on_saturated = demand
+                .links
+                .iter()
+                .any(|l| remaining_cap[l.0] <= EPS * links.caps[l.0].max(1.0));
+            if at_cap || on_saturated {
+                frozen[f] = true;
+                frozen_any = true;
+            }
+        }
+        if !frozen_any {
+            // Numerical guard: freeze everything to guarantee progress.
+            for f in frozen.iter_mut() {
+                *f = true;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(caps: &[f64]) -> LinkTable {
+        let mut t = LinkTable::new();
+        for &c in caps {
+            t.add(c);
+        }
+        t
+    }
+
+    fn demand(links: &[usize], cap: f64) -> FlowDemand {
+        FlowDemand {
+            links: links.iter().map(|&l| LinkId(l)).collect(),
+            cap,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_link_capacity() {
+        let links = table(&[100.0]);
+        let r = max_min_rates(&links, &[demand(&[0], f64::INFINITY)]);
+        assert!((r[0] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let links = table(&[120.0]);
+        let flows = vec![demand(&[0], f64::INFINITY); 3];
+        let r = max_min_rates(&links, &flows);
+        for rate in r {
+            assert!((rate - 40.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn capped_flow_releases_capacity() {
+        let links = table(&[100.0]);
+        let flows = vec![demand(&[0], 10.0), demand(&[0], f64::INFINITY)];
+        let r = max_min_rates(&links, &flows);
+        assert!((r[0] - 10.0).abs() < 1e-6);
+        assert!((r[1] - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_is_respected_across_links() {
+        // Flow 0: links 0,1. Flow 1: link 1 only. Link 1 is the bottleneck.
+        let links = table(&[100.0, 50.0]);
+        let flows = vec![demand(&[0, 1], f64::INFINITY), demand(&[1], f64::INFINITY)];
+        let r = max_min_rates(&links, &flows);
+        assert!((r[0] - 25.0).abs() < 1e-6);
+        assert!((r[1] - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Three links: A=10, B=10, C=6. Flows: f0 over A,B; f1 over B,C;
+        // f2 over C. Water-filling: f1=f2=3 (C saturates), then f0 grows to
+        // 7 (B saturates at f0+f1=10).
+        let links = table(&[10.0, 10.0, 6.0]);
+        let flows = vec![
+            demand(&[0, 1], f64::INFINITY),
+            demand(&[1, 2], f64::INFINITY),
+            demand(&[2], f64::INFINITY),
+        ];
+        let r = max_min_rates(&links, &flows);
+        assert!((r[1] - 3.0).abs() < 1e-6, "{r:?}");
+        assert!((r[2] - 3.0).abs() < 1e-6, "{r:?}");
+        assert!((r[0] - 7.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn no_link_is_oversubscribed_property() {
+        // Randomized-ish deterministic sweep.
+        let links = table(&[100.0, 80.0, 60.0, 40.0]);
+        let mut flows = Vec::new();
+        for i in 0..20usize {
+            let l1 = i % 4;
+            let l2 = (i * 7 + 1) % 4;
+            let cap = if i % 3 == 0 { 15.0 } else { f64::INFINITY };
+            let ls = if l1 == l2 { vec![l1] } else { vec![l1, l2] };
+            flows.push(demand(&ls, cap));
+        }
+        let rates = max_min_rates(&links, &flows);
+        let mut used = vec![0.0f64; links.len()];
+        for (f, d) in flows.iter().enumerate() {
+            assert!(rates[f] >= 0.0);
+            assert!(rates[f] <= d.cap + 1e-6);
+            for l in &d.links {
+                used[l.0] += rates[f];
+            }
+        }
+        for (l, u) in used.iter().enumerate() {
+            assert!(*u <= links.caps[l] + 1e-3, "link {l} over: {u}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let links = table(&[10.0]);
+        assert!(max_min_rates(&links, &[]).is_empty());
+    }
+
+    #[test]
+    fn cap_only_flow_without_links() {
+        let links = table(&[10.0]);
+        let r = max_min_rates(&links, &[demand(&[], 42.0)]);
+        assert!((r[0] - 42.0).abs() < 1e-6);
+    }
+}

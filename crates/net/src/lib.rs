@@ -1,0 +1,28 @@
+//! # accelmr-net — simulated cluster interconnect
+//!
+//! The network substrate under the distributed file system and MapReduce
+//! runtime: per-node full-duplex Gigabit NICs behind a non-blocking switch,
+//! per-node loopback devices, control RPCs with latency + serialization
+//! cost, and bulk transfers as **max-min fair fluid flows** re-solved on
+//! every arrival/departure ([`flow::max_min_rates`]).
+//!
+//! Two modeling choices matter for reproducing the paper:
+//!
+//! 1. Flows accept a per-stream rate cap, which is how the measured
+//!    DataNode→TaskTracker loopback ceiling (a few MB/s per stream despite a
+//!    fast virtual device) enters the model.
+//! 2. Node failures abort in-flight flows with an explicit notification, so
+//!    the MapReduce fault-tolerance machinery above can be exercised end to
+//!    end.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fabric;
+pub mod flow;
+
+pub use config::{NetConfig, NodeId};
+pub use fabric::{
+    AbortNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast,
+};
+pub use flow::{max_min_rates, FlowDemand, LinkId, LinkTable};

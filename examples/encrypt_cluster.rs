@@ -1,0 +1,39 @@
+//! The paper's data-intensive scenario end to end: compare Java, Cell, and
+//! Empty mappers on a distributed encryption job, showing the record-feed
+//! bottleneck that makes acceleration invisible (Figures 4/5 in miniature).
+//!
+//!     cargo run --release --example encrypt_cluster
+
+use accelmr::hybrid::experiments::dist::{run_encrypt_job, AesMapper};
+use accelmr::prelude::*;
+
+fn main() {
+    let nodes = 8;
+    let bytes: u64 = 16 << 30; // 16 GB over 8 nodes
+    let mr = MrConfig::default();
+
+    println!("distributed encryption, {nodes} nodes, {} GB input", bytes >> 30);
+    println!(
+        "{:>14} {:>12} {:>16} {:>12}",
+        "mapper", "time (s)", "agg MB/s", "feed-bound?"
+    );
+    for mapper in [AesMapper::Empty, AesMapper::Java, AesMapper::Cell] {
+        let result = run_encrypt_job(1, nodes, bytes, mapper, &mr);
+        let secs = result.elapsed.as_secs_f64();
+        let mbps = bytes as f64 / 1e6 / secs;
+        // Per-stream feed ceiling × concurrent mappers.
+        let feed_ceiling = 8.5 * (nodes * mr.map_slots_per_node) as f64;
+        println!(
+            "{:>14} {:>12.1} {:>16.1} {:>12}",
+            format!("{mapper:?}"),
+            secs,
+            mbps,
+            if mbps < feed_ceiling * 1.05 { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("Despite the Cell kernel being ~35x faster than the Java kernel");
+    println!("(700 vs 20 MB/s per mapper), all three mappers finish together:");
+    println!("the RecordReader feed path (~8.5 MB/s per stream over loopback)");
+    println!("is the bottleneck — the paper's central data-intensive finding.");
+}

@@ -1,0 +1,88 @@
+//! Fault tolerance demo: crash a TaskTracker mid-job and watch the
+//! JobTracker detect the silence, re-execute lost tasks, and finish with
+//! byte-exact output accounting.
+//!
+//!     cargo run --release --example fault_tolerance
+
+use std::sync::Arc;
+
+use accelmr::mapred::CrashTaskTracker;
+use accelmr::prelude::*;
+
+fn main() {
+    let env = CellEnvFactory {
+        materialized: true,
+        ..CellEnvFactory::default()
+    };
+    let mut cluster = deploy_cluster(
+        7,
+        4,
+        NetConfig::default(),
+        DfsConfig::default(),
+        MrConfig::default(),
+        &env,
+        true, // materialized: DataNodes serve real bytes
+    );
+
+    // Small materialized input, replication 2 so a node death loses no data.
+    let preload = PreloadSpec {
+        path: "/in".into(),
+        len: 48 << 20,
+        block_size: Some(4 << 20),
+        replication: Some(2),
+        seed: 5,
+    };
+    let spec = JobSpec {
+        name: "encrypt-with-crash".into(),
+        input: JobInput::File {
+            path: "/in".into(),
+            record_bytes: Some(4 << 20),
+        },
+        kernel: Arc::new(CellAesKernel::new()),
+        num_map_tasks: Some(12),
+        output: OutputSink::Digest,
+        reduce: ReduceSpec::None,
+    };
+
+    // Crash node 2's TaskTracker 25 simulated seconds in.
+    let victim = cluster.mr.tasktracker_on(NodeId(2)).unwrap();
+    cluster
+        .sim
+        .post_after(victim, Box::new(CrashTaskTracker), SimDuration::from_secs(25));
+
+    let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec);
+
+    // Independent exactly-once verification: recompute the expected
+    // order-independent digest of all encrypted records.
+    let key = accelmr::hybrid::job_key();
+    let mut expect = accelmr::kernels::UnorderedDigest::new();
+    for r in 0..12u64 {
+        let mut buf = vec![0u8; 4 << 20];
+        accelmr::kernels::fill_deterministic(5, r * (4 << 20), &mut buf);
+        accelmr::kernels::aes::modes::ctr_xor(
+            &key,
+            AesImpl::TTable,
+            accelmr::hybrid::JOB_NONCE,
+            r * (4 << 20) / 16,
+            &mut buf,
+        );
+        expect.add(accelmr::kernels::checksum(&buf));
+    }
+
+    println!("job finished: success = {}", result.succeeded);
+    println!("  simulated time     : {}", result.elapsed);
+    println!("  map tasks          : {}", result.map_tasks);
+    println!("  attempts launched  : {} (re-execution visible)", result.attempts);
+    println!(
+        "  tasktrackers dead  : {}",
+        cluster.sim.stats().counter("mr.tasktrackers_declared_dead")
+    );
+    println!(
+        "  ciphertext digest  : {:#018x} over {} records",
+        result.digest.0, result.digest.1
+    );
+    let (exp_acc, exp_n) = expect.finish();
+    assert_eq!(result.digest, (exp_acc, exp_n), "exactly-once violated!");
+    println!("  verification       : digest matches serial reference — every");
+    println!("                       record encrypted exactly once despite the crash");
+}

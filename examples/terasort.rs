@@ -1,0 +1,35 @@
+//! Terasort-style experiment: full map → shuffle → reduce sort job, and the
+//! paper's closing observation that per-node throughput is feed-limited to
+//! single-digit MB/s.
+//!
+//!     cargo run --release --example terasort
+
+use accelmr::hybrid::experiments::terasort::{terasort_feed_rate, TerasortParams};
+use accelmr::kernels::sort::{generate_records, is_sorted, merge_sorted_runs, radix_sort};
+
+fn main() {
+    // First, the real sort kernel on real records (the in-node compute the
+    // distributed job models).
+    let mut runs = Vec::new();
+    for s in 0..4u64 {
+        let mut run = generate_records(s, 0, 250_000);
+        radix_sort(&mut run);
+        assert!(is_sorted(&run));
+        runs.push(run);
+    }
+    let merged = merge_sorted_runs(runs);
+    assert!(is_sorted(&merged));
+    println!(
+        "in-node kernel check: radix-sorted and merged {} GraySort records",
+        merged.len()
+    );
+    println!();
+
+    // Then the distributed experiment.
+    let fig = terasort_feed_rate(&TerasortParams::default());
+    print!("{}", fig.to_table());
+    println!();
+    println!("The paper's Terabyte Sort note: the winning 2009 entry moved only");
+    println!("~5.5 MB/s per node — matching what our simulated stack shows, the");
+    println!("feed/shuffle paths bound every data-intensive MapReduce job.");
+}

@@ -1,0 +1,77 @@
+//! # accelmr — two-level MapReduce for accelerator-equipped clusters
+//!
+//! A full-system reproduction of *"Speeding Up Distributed MapReduce
+//! Applications Using Hardware Accelerators"* (Becerra et al., ICPP 2009):
+//! a Hadoop-like distributed MapReduce runtime whose map tasks offload
+//! their kernels to simulated Cell BE accelerators through a JNI-like
+//! native bridge, exploiting cluster-level and intra-node parallelism at
+//! once.
+//!
+//! This facade crate re-exports every layer:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`des`] | `accelmr-des` | deterministic discrete-event engine |
+//! | [`net`] | `accelmr-net` | links, switch, max-min fair flows, loopback |
+//! | [`dfs`] | `accelmr-dfs` | HDFS-like NameNode/DataNodes |
+//! | [`mapred`] | `accelmr-mapred` | JobTracker/TaskTrackers, splits, shuffle |
+//! | [`cellbe`] | `accelmr-cellbe` | Cell BE machine (SPEs, local stores, DMA) |
+//! | [`cellmr`] | `accelmr-cellmr` | MapReduce-for-Cell framework |
+//! | [`kernels`] | `accelmr-kernels` | real AES-128 / Monte Carlo Pi / sort + cost model |
+//! | [`hybrid`] | `accelmr-hybrid` | the paper's two-level runtime + experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use accelmr::prelude::*;
+//!
+//! // Deploy a 4-node cluster with Cell-equipped workers.
+//! let env = CellEnvFactory::default();
+//! let mut cluster = deploy_cluster(
+//!     42, 4,
+//!     NetConfig::default(), DfsConfig::default(), MrConfig::default(),
+//!     &env, false,
+//! );
+//!
+//! // Estimate Pi with accelerated mappers.
+//! let spec = JobSpec {
+//!     name: "pi".into(),
+//!     input: JobInput::Synthetic { total_units: 10_000_000 },
+//!     kernel: Arc::new(CellPiKernel::new(7)),
+//!     num_map_tasks: None,
+//!     output: OutputSink::Discard,
+//!     reduce: ReduceSpec::RpcAggregate { reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }) },
+//! };
+//! let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![], spec);
+//! assert!(result.succeeded);
+//! let inside = result.kv.iter().find(|&&(k, _)| k == 0).unwrap().1;
+//! let total = result.kv.iter().find(|&&(k, _)| k == 1).unwrap().1;
+//! let pi = 4.0 * inside as f64 / total as f64;
+//! assert!((pi - std::f64::consts::PI).abs() < 0.01);
+//! ```
+
+pub use accelmr_cellbe as cellbe;
+pub use accelmr_cellmr as cellmr;
+pub use accelmr_des as des;
+pub use accelmr_dfs as dfs;
+pub use accelmr_hybrid as hybrid;
+pub use accelmr_kernels as kernels;
+pub use accelmr_mapred as mapred;
+pub use accelmr_net as net;
+
+/// The most commonly used items across all layers.
+pub mod prelude {
+    pub use accelmr_des::{Sim, SimDuration, SimTime};
+    pub use accelmr_dfs::{DfsConfig, DfsHandle};
+    pub use accelmr_hybrid::{
+        CellAesKernel, CellEnvFactory, CellMrAesKernel, CellPiKernel, EmptyKernel, JavaAesKernel,
+        JavaPiKernel,
+    };
+    pub use accelmr_kernels::{Aes128, AesImpl, Engine};
+    pub use accelmr_mapred::{
+        deploy_cluster, run_job, JobInput, JobResult, JobSpec, MrConfig, OutputSink, PreloadSpec,
+        ReduceSpec, SumReducer,
+    };
+    pub use accelmr_net::{NetConfig, NodeId};
+}

@@ -1,0 +1,168 @@
+//! Cross-crate property tests: determinism of whole-cluster runs, AES
+//! implementation equivalence, CTR split composition, flow-model
+//! invariants, and the Cell estimator-vs-event-model agreement.
+
+use std::sync::Arc;
+
+use accelmr::cellbe::{estimate, CellConfig, CellMachine, DataInput, IdentityKernel};
+use accelmr::kernels::aes::modes::{ctr_xor, ecb_decrypt, ecb_encrypt};
+use accelmr::net::{max_min_rates, FlowDemand, LinkId, LinkTable};
+use accelmr::prelude::*;
+use proptest::prelude::*;
+
+fn pi_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        name: "det-pi".into(),
+        input: JobInput::Synthetic {
+            total_units: 50_000_000,
+        },
+        kernel: Arc::new(CellPiKernel::new(seed)),
+        num_map_tasks: Some(6),
+        output: OutputSink::Discard,
+        reduce: ReduceSpec::RpcAggregate {
+            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
+        },
+    }
+}
+
+fn run_cluster_pi(seed: u64) -> (JobResult, u64) {
+    let env = CellEnvFactory::default();
+    let mut c = deploy_cluster(
+        seed,
+        3,
+        NetConfig::default(),
+        DfsConfig::default(),
+        MrConfig::default(),
+        &env,
+        false,
+    );
+    c.sim.enable_trace(1 << 14);
+    let r = run_job(&mut c.sim, &c.mr, &c.dfs, vec![], pi_spec(99));
+    let fp = c.sim.trace().fingerprint();
+    (r, fp)
+}
+
+#[test]
+fn whole_cluster_runs_are_deterministic() {
+    let (r1, f1) = run_cluster_pi(5);
+    let (r2, f2) = run_cluster_pi(5);
+    assert_eq!(r1.elapsed, r2.elapsed);
+    assert_eq!(r1.kv, r2.kv);
+    assert_eq!(f1, f2);
+}
+
+#[test]
+fn different_seeds_change_schedule_not_results() {
+    // Heartbeat jitter differs, so traces differ — but the Pi result (pure
+    // function of the job seed) and task structure are identical.
+    let (r1, f1) = run_cluster_pi(5);
+    let (r2, f2) = run_cluster_pi(6);
+    assert_ne!(f1, f2);
+    assert_eq!(r1.kv, r2.kv);
+    assert_eq!(r1.map_tasks, r2.map_tasks);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aes_implementations_agree(key in prop::array::uniform16(any::<u8>()),
+                                 blocks in 1usize..16,
+                                 seed in any::<u64>()) {
+        let aes = Aes128::new(&key);
+        let mut data = vec![0u8; blocks * 16];
+        accelmr::kernels::fill_deterministic(seed, 0, &mut data);
+        let mut scalar = data.clone();
+        let mut ttable = data.clone();
+        let mut lanes = data.clone();
+        ecb_encrypt(&aes, AesImpl::Scalar, &mut scalar);
+        ecb_encrypt(&aes, AesImpl::TTable, &mut ttable);
+        ecb_encrypt(&aes, AesImpl::Lanes4, &mut lanes);
+        prop_assert_eq!(&scalar, &ttable);
+        prop_assert_eq!(&ttable, &lanes);
+        // And decryption inverts.
+        ecb_decrypt(&aes, &mut scalar);
+        prop_assert_eq!(scalar, data);
+    }
+
+    #[test]
+    fn ctr_split_composition(key in prop::array::uniform16(any::<u8>()),
+                             len in 1usize..512,
+                             split in 0usize..512,
+                             nonce in any::<u64>()) {
+        // Splitting a CTR stream at any 16-byte boundary must compose to
+        // the serial result — the property split-parallel encryption needs.
+        let aes = Aes128::new(&key);
+        let split = (split % (len + 1) / 16) * 16;
+        let mut data = vec![0u8; len];
+        accelmr::kernels::fill_deterministic(1, 0, &mut data);
+        let mut serial = data.clone();
+        ctr_xor(&aes, AesImpl::TTable, nonce, 0, &mut serial);
+        let (a, b) = data.split_at_mut(split);
+        ctr_xor(&aes, AesImpl::Lanes4, nonce, 0, a);
+        ctr_xor(&aes, AesImpl::Scalar, nonce, split as u64 / 16, b);
+        prop_assert_eq!(data, serial);
+    }
+
+    #[test]
+    fn max_min_never_oversubscribes(caps in prop::collection::vec(1.0f64..1000.0, 1..6),
+                                    flows in prop::collection::vec((0usize..6, 0usize..6, 0.5f64..500.0), 0..12)) {
+        let mut links = LinkTable::new();
+        for &c in &caps { links.add(c); }
+        let demands: Vec<FlowDemand> = flows.iter().map(|&(a, b, cap)| {
+            let mut ls = vec![LinkId(a % caps.len())];
+            let l2 = LinkId(b % caps.len());
+            if !ls.contains(&l2) { ls.push(l2); }
+            FlowDemand { links: ls, cap }
+        }).collect();
+        let rates = max_min_rates(&links, &demands);
+        prop_assert_eq!(rates.len(), demands.len());
+        let mut used = vec![0.0f64; caps.len()];
+        for (r, d) in rates.iter().zip(&demands) {
+            prop_assert!(*r >= 0.0);
+            prop_assert!(*r <= d.cap + 1e-6);
+            for l in &d.links { used[l.0] += r; }
+        }
+        for (u, c) in used.iter().zip(&caps) {
+            prop_assert!(*u <= c + 1e-3, "link oversubscribed: {} > {}", u, c);
+        }
+        // Work conservation: at least one flow is bottlenecked (at cap or
+        // on a saturated link) unless there are no flows.
+        if !demands.is_empty() {
+            let any_positive = rates.iter().any(|&r| r > 0.0);
+            prop_assert!(any_positive);
+        }
+    }
+
+    #[test]
+    fn cell_estimator_tracks_event_model(mb in 1u64..64,
+                                         cpb in 1.0f64..300.0,
+                                         block_kb in 1usize..8) {
+        let cfg = CellConfig::default();
+        let block = block_kb * 4096; // 4..32 KB, aligned
+        let bytes = mb << 20;
+        let mut m = CellMachine::new(cfg.clone(), false).unwrap();
+        m.warm_up();
+        let kernel = IdentityKernel::new(cpb);
+        let detailed = m.run_data(DataInput::Virtual(bytes), &kernel, block).unwrap();
+        let body = (detailed.elapsed - detailed.startup).as_secs_f64();
+        let est = estimate::data_run_body(&cfg, bytes, cpb, block).as_secs_f64();
+        let rel = (est - body).abs() / body.max(1e-9);
+        prop_assert!(rel < 0.15, "estimate {est} vs detailed {body} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn unordered_digest_is_permutation_invariant(items in prop::collection::vec(any::<u64>(), 0..32),
+                                                 seed in any::<u64>()) {
+        use accelmr::kernels::UnorderedDigest;
+        let mut shuffled = items.clone();
+        let mut rng = accelmr::des::Xoshiro256::seed_from_u64(seed);
+        rng.shuffle(&mut shuffled);
+        let fold = |v: &[u64]| {
+            let mut d = UnorderedDigest::new();
+            for &x in v { d.add(x); }
+            d.finish()
+        };
+        prop_assert_eq!(fold(&items), fold(&shuffled));
+    }
+}

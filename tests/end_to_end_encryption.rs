@@ -1,0 +1,150 @@
+//! End-to-end functional verification: ciphertext produced through the
+//! *entire* simulated stack — HDFS blocks → record feed over the loopback →
+//! JNI bridge → SPE local stores and DMA → map output — must equal a
+//! locally computed serial AES-CTR reference, for every mapper engine.
+
+use std::sync::Arc;
+
+use accelmr::hybrid::{job_key, JOB_NONCE};
+use accelmr::kernels::aes::modes::ctr_xor;
+use accelmr::kernels::{checksum, fill_deterministic, UnorderedDigest};
+use accelmr::mapred::CrashTaskTracker;
+use accelmr::prelude::*;
+
+const MB: u64 = 1 << 20;
+const FILE_LEN: u64 = 24 * MB;
+const RECORD: u64 = 2 * MB;
+const SEED: u64 = 1234;
+
+/// Serial reference digest: encrypt `file_len` bytes on one core, digest
+/// each record's ciphertext.
+fn reference_digest_for(file_len: u64) -> (u64, u64) {
+    let key = job_key();
+    let mut digest = UnorderedDigest::new();
+    for r in 0..(file_len / RECORD) {
+        let mut buf = vec![0u8; RECORD as usize];
+        fill_deterministic(SEED, r * RECORD, &mut buf);
+        ctr_xor(&key, AesImpl::TTable, JOB_NONCE, r * RECORD / 16, &mut buf);
+        digest.add(checksum(&buf));
+    }
+    digest.finish()
+}
+
+fn reference_digest() -> (u64, u64) {
+    reference_digest_for(FILE_LEN)
+}
+
+fn run_encryption(kernel: Arc<dyn accelmr::mapred::TaskKernel>, seed: u64) -> JobResult {
+    let env = CellEnvFactory {
+        materialized: true,
+        ..CellEnvFactory::default()
+    };
+    let mut cluster = deploy_cluster(
+        seed,
+        3,
+        NetConfig::default(),
+        DfsConfig::default(),
+        MrConfig::default(),
+        &env,
+        true,
+    );
+    let preload = PreloadSpec {
+        path: "/plain".into(),
+        len: FILE_LEN,
+        block_size: Some(4 * MB),
+        replication: Some(2),
+        seed: SEED,
+    };
+    let spec = JobSpec {
+        name: "e2e-encrypt".into(),
+        input: JobInput::File {
+            path: "/plain".into(),
+            record_bytes: Some(RECORD),
+        },
+        kernel,
+        num_map_tasks: Some(6),
+        output: OutputSink::Digest,
+        reduce: ReduceSpec::None,
+    };
+    run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec)
+}
+
+#[test]
+fn java_mapper_ciphertext_matches_serial_reference() {
+    let result = run_encryption(Arc::new(JavaAesKernel::new()), 1);
+    assert!(result.succeeded);
+    assert_eq!(result.digest, reference_digest());
+}
+
+#[test]
+fn cell_mapper_ciphertext_matches_serial_reference() {
+    let result = run_encryption(Arc::new(CellAesKernel::new()), 2);
+    assert!(result.succeeded);
+    assert_eq!(result.digest, reference_digest());
+}
+
+#[test]
+fn cellmr_mapper_ciphertext_matches_serial_reference() {
+    let result = run_encryption(Arc::new(CellMrAesKernel::new()), 3);
+    assert!(result.succeeded);
+    assert_eq!(result.digest, reference_digest());
+}
+
+#[test]
+fn all_engines_agree_with_each_other() {
+    let a = run_encryption(Arc::new(JavaAesKernel::new()), 4);
+    let b = run_encryption(Arc::new(CellAesKernel::new()), 5);
+    let c = run_encryption(Arc::new(CellMrAesKernel::new()), 6);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(b.digest, c.digest);
+    // ...while their simulated times differ (different engines).
+    assert_ne!(a.elapsed, b.elapsed);
+}
+
+#[test]
+fn crash_during_job_preserves_exactly_once_output() {
+    // Larger file so tasks (4 records x ~1.2 s feed each) are guaranteed to
+    // straddle the crash instant: work begins no later than
+    // init(8) + heartbeat(3) + task start(1.8) = 12.8 s and each task needs
+    // >4 s more, so a crash at t=14 s always hits node 1 mid-task.
+    let crash_len = 48 * MB;
+    let env = CellEnvFactory {
+        materialized: true,
+        ..CellEnvFactory::default()
+    };
+    let mut cluster = deploy_cluster(
+        7,
+        3,
+        NetConfig::default(),
+        DfsConfig::default(),
+        MrConfig::default(),
+        &env,
+        true,
+    );
+    let preload = PreloadSpec {
+        path: "/plain".into(),
+        len: crash_len,
+        block_size: Some(4 * MB),
+        replication: Some(2),
+        seed: SEED,
+    };
+    let spec = JobSpec {
+        name: "e2e-crash".into(),
+        input: JobInput::File {
+            path: "/plain".into(),
+            record_bytes: Some(RECORD),
+        },
+        kernel: Arc::new(JavaAesKernel::new()),
+        num_map_tasks: Some(6),
+        output: OutputSink::Digest,
+        reduce: ReduceSpec::None,
+    };
+    let victim = cluster.mr.tasktracker_on(NodeId(1)).unwrap();
+    cluster
+        .sim
+        .post_after(victim, Box::new(CrashTaskTracker), SimDuration::from_secs(14));
+    let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec);
+    assert!(result.succeeded);
+    assert!(result.attempts > result.map_tasks, "no re-execution happened");
+    assert_eq!(result.digest, reference_digest_for(crash_len));
+}

@@ -1,0 +1,100 @@
+//! Concurrent jobs on one cluster: the JobTracker multiplexes two jobs'
+//! tasks over the same slots (FIFO between jobs, as Hadoop 0.19's default
+//! scheduler). Both must complete correctly, and the cluster must be
+//! reusable for a third job afterwards.
+
+use std::sync::{Arc, Mutex};
+
+use accelmr::des::prelude::*;
+use accelmr::mapred::{JobComplete, JobResult, SumReducer};
+use accelmr::prelude::*;
+
+struct TwoJobDriver {
+    mr: accelmr::mapred::MrHandle,
+    specs: Vec<JobSpec>,
+    done: Arc<Mutex<Vec<JobResult>>>,
+    expected: usize,
+}
+
+impl Actor for TwoJobDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                let node = self.mr.head_node;
+                for spec in self.specs.drain(..) {
+                    self.mr.submit(ctx, node, spec);
+                }
+            }
+            Event::Msg { msg, .. } => {
+                if msg.is::<JobComplete>() {
+                    let done = msg.downcast::<JobComplete>().expect("checked");
+                    let mut v = self.done.lock().unwrap();
+                    v.push(done.result);
+                    if v.len() == self.expected {
+                        ctx.stop();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn pi_spec(name: &str, units: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        input: JobInput::Synthetic { total_units: units },
+        kernel: Arc::new(CellPiKernel::new(seed)),
+        num_map_tasks: Some(8),
+        output: OutputSink::Discard,
+        reduce: ReduceSpec::RpcAggregate {
+            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
+        },
+    }
+}
+
+#[test]
+fn two_concurrent_jobs_share_the_cluster() {
+    let env = CellEnvFactory::default();
+    let mut cluster = deploy_cluster(
+        77,
+        4,
+        NetConfig::default(),
+        DfsConfig::default(),
+        MrConfig::default(),
+        &env,
+        false,
+    );
+    let done = Arc::new(Mutex::new(Vec::new()));
+    cluster.sim.spawn(Box::new(TwoJobDriver {
+        mr: cluster.mr.clone(),
+        specs: vec![
+            pi_spec("job-a", 400_000_000, 1),
+            pi_spec("job-b", 400_000_000, 2),
+        ],
+        done: done.clone(),
+        expected: 2,
+    }));
+    cluster.sim.run();
+
+    let results = done.lock().unwrap();
+    assert_eq!(results.len(), 2);
+    for r in results.iter() {
+        assert!(r.succeeded, "{} failed", r.name);
+        assert_eq!(r.map_tasks, 8);
+        let total: u64 = r.kv.iter().find(|&&(k, _)| k == 1).unwrap().1;
+        assert_eq!(total, 400_000_000);
+    }
+    // Distinct jobs, distinct ids.
+    assert_ne!(results[0].job, results[1].job);
+
+    // The cluster stays serviceable: run a third job to completion.
+    let third = accelmr::mapred::run_job(
+        &mut cluster.sim,
+        &cluster.mr,
+        &cluster.dfs,
+        vec![],
+        pi_spec("job-c", 10_000_000, 3),
+    );
+    assert!(third.succeeded);
+}

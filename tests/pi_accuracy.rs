@@ -1,0 +1,52 @@
+//! The paper's accuracy claim: the Pi estimator's error is O(1/sqrt(N))
+//! ("estimating Pi with 100,000,000 samples produces an actual accuracy of
+//! approximately 4 digits"). Verified through the full distributed stack,
+//! across both mapper engines and across the exact-sampling and
+//! binomial-approximation regimes.
+
+use accelmr::hybrid::experiments::dist::{run_pi_job, PiMapper};
+use accelmr::kernels::pi::standard_error;
+use accelmr::prelude::*;
+
+#[test]
+fn error_envelope_shrinks_with_n() {
+    let mr = MrConfig::default();
+    let mut last_bound = f64::INFINITY;
+    for (i, n) in [1_000_000u64, 100_000_000, 10_000_000_000].iter().enumerate() {
+        let (result, pi) = run_pi_job(100 + i as u64, 2, *n, PiMapper::Cell, &mr);
+        assert!(result.succeeded);
+        let err = (pi - std::f64::consts::PI).abs();
+        let bound = 5.0 * standard_error(*n);
+        assert!(err < bound, "n={n}: err {err:.2e} vs bound {bound:.2e}");
+        assert!(bound < last_bound);
+        last_bound = bound;
+    }
+}
+
+#[test]
+fn four_digits_at_hundred_million_samples() {
+    let mr = MrConfig::default();
+    let (result, pi) = run_pi_job(200, 4, 100_000_000, PiMapper::Java, &mr);
+    assert!(result.succeeded);
+    // "approximately 4 digits": within a few parts in 1e4.
+    let err = (pi - std::f64::consts::PI).abs();
+    assert!(err < 1.0e-3, "err {err}");
+}
+
+#[test]
+fn engines_give_statistically_consistent_estimates() {
+    let mr = MrConfig::default();
+    let n = 50_000_000u64;
+    let (_, pi_java) = run_pi_job(300, 2, n, PiMapper::Java, &mr);
+    let (_, pi_cell) = run_pi_job(301, 2, n, PiMapper::Cell, &mr);
+    let bound = 10.0 * standard_error(n);
+    assert!((pi_java - pi_cell).abs() < bound, "{pi_java} vs {pi_cell}");
+}
+
+#[test]
+fn estimate_is_deterministic_per_seed() {
+    let mr = MrConfig::default();
+    let (_, a) = run_pi_job(400, 2, 10_000_000, PiMapper::Cell, &mr);
+    let (_, b) = run_pi_job(400, 2, 10_000_000, PiMapper::Cell, &mr);
+    assert_eq!(a, b);
+}
