@@ -16,16 +16,20 @@ fn main() {
 
     println!("# ablation 1 — record feed pipelining (8 GB, 4 nodes, Java mapper)");
     for (label, pipelined) in [("pipelined", true), ("stop-and-wait", false)] {
-        let mut cfg = MrConfig::default();
-        cfg.pipelined_reads = pipelined;
+        let cfg = MrConfig {
+            pipelined_reads: pipelined,
+            ..MrConfig::default()
+        };
         let r = run_encrypt_job(1, nodes, bytes, AesMapper::Java, &cfg);
         println!("{label:>16} {:>10.1} s", r.elapsed.as_secs_f64());
     }
 
     println!("\n# ablation 1b — feed cap sweep (Cell mapper; linear in 1/cap)");
     for cap_mbps in [4.25, 8.5, 17.0, 34.0] {
-        let mut cfg = MrConfig::default();
-        cfg.record_feed_cap = Some(cap_mbps * 1e6);
+        let cfg = MrConfig {
+            record_feed_cap: Some(cap_mbps * 1e6),
+            ..MrConfig::default()
+        };
         let r = run_encrypt_job(2, nodes, bytes, AesMapper::Cell, &cfg);
         println!("{cap_mbps:>13.2} MB/s {:>10.1} s", r.elapsed.as_secs_f64());
     }
@@ -49,9 +53,11 @@ fn main() {
 
     println!("\n# ablation 3 — heartbeat interval vs tiny-job floor (Pi, 1e6 samples)");
     for hb_secs in [1u64, 3, 6, 12] {
-        let mut cfg = MrConfig::default();
-        cfg.heartbeat_interval = accelmr_des::SimDuration::from_secs(hb_secs);
-        cfg.tt_dead_after = accelmr_des::SimDuration::from_secs(hb_secs * 10);
+        let cfg = MrConfig {
+            heartbeat_interval: accelmr_des::SimDuration::from_secs(hb_secs),
+            tt_dead_after: accelmr_des::SimDuration::from_secs(hb_secs * 10),
+            ..MrConfig::default()
+        };
         let (r, _) = run_pi_job(3, nodes, 1_000_000, PiMapper::Cell, &cfg);
         println!("{hb_secs:>10} s hb {:>10.1} s job", r.elapsed.as_secs_f64());
     }
@@ -64,8 +70,10 @@ fn main() {
         ("locality-first", SchedulerPolicy::LocalityFirst),
         ("fifo", SchedulerPolicy::Fifo),
     ] {
-        let mut cfg = MrConfig::default();
-        cfg.scheduler = policy;
+        let cfg = MrConfig {
+            scheduler: policy,
+            ..MrConfig::default()
+        };
         let r = run_encrypt_job(4, nodes, bytes, AesMapper::Cell, &cfg);
         let frac = r.local_reads as f64 / (r.local_reads + r.remote_reads).max(1) as f64;
         println!(

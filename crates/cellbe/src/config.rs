@@ -97,10 +97,10 @@ impl CellConfig {
         if self.n_spes == 0 {
             return Err(CellConfigError::Degenerate("n_spes = 0"));
         }
-        if !(self.clock_hz > 0.0) {
+        if self.clock_hz <= 0.0 || self.clock_hz.is_nan() {
             return Err(CellConfigError::Degenerate("clock_hz <= 0"));
         }
-        if !(self.bus_bytes_per_sec > 0.0) {
+        if self.bus_bytes_per_sec <= 0.0 || self.bus_bytes_per_sec.is_nan() {
             return Err(CellConfigError::Degenerate("bus bandwidth <= 0"));
         }
         if self.dma_max_transfer == 0 || self.mfc_queue_depth == 0 {
@@ -128,7 +128,7 @@ impl CellConfig {
         if block_size == 0 {
             return Err(CellConfigError::Degenerate("block_size = 0"));
         }
-        if block_size % self.alignment != 0 {
+        if !block_size.is_multiple_of(self.alignment) {
             return Err(CellConfigError::Misaligned("block_size"));
         }
         let needed = 4 * block_size;
@@ -170,16 +170,22 @@ mod tests {
 
     #[test]
     fn validation_catches_degenerate_configs() {
-        let mut c = CellConfig::default();
-        c.n_spes = 0;
+        let c = CellConfig {
+            n_spes: 0,
+            ..CellConfig::default()
+        };
         assert!(matches!(c.validate(), Err(CellConfigError::Degenerate(_))));
 
-        let mut c = CellConfig::default();
-        c.code_stack_bytes = c.local_store_bytes;
+        let c = CellConfig {
+            code_stack_bytes: CellConfig::default().local_store_bytes,
+            ..CellConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CellConfig::default();
-        c.alignment = 3;
+        let c = CellConfig {
+            alignment: 3,
+            ..CellConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

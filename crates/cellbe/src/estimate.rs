@@ -13,7 +13,12 @@ use crate::config::CellConfig;
 
 /// Estimated duration of a data-parallel offload session (excluding
 /// context-creation/session start-up, which the caller owns).
-pub fn data_run_body(cfg: &CellConfig, bytes: u64, cycles_per_byte: f64, block_size: usize) -> SimDuration {
+pub fn data_run_body(
+    cfg: &CellConfig,
+    bytes: u64,
+    cycles_per_byte: f64,
+    block_size: usize,
+) -> SimDuration {
     if bytes == 0 {
         return SimDuration::ZERO;
     }
@@ -47,7 +52,7 @@ pub fn compute_run_body(cfg: &CellConfig, units: u64, cycles_per_unit: f64) -> S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::{DataKernel, IdentityKernel, PiSpeKernel, ComputeKernel};
+    use crate::kernel::{ComputeKernel, DataKernel, IdentityKernel, PiSpeKernel};
     use crate::machine::{CellMachine, DataInput};
 
     struct FixedCost(f64);
@@ -72,7 +77,9 @@ mod tests {
             let mut m = CellMachine::new(cfg.clone(), false).unwrap();
             m.warm_up();
             let kernel = FixedCost(36.6);
-            let detailed = m.run_data(DataInput::Virtual(bytes), &kernel, 4096).unwrap();
+            let detailed = m
+                .run_data(DataInput::Virtual(bytes), &kernel, 4096)
+                .unwrap();
             let body = detailed.elapsed - detailed.startup;
             let est = data_run_body(&cfg, bytes, 36.6, 4096);
             assert!(
@@ -89,7 +96,9 @@ mod tests {
         m.warm_up();
         let kernel = IdentityKernel::new(0.25); // DMA-dominated
         let bytes = 32u64 << 20;
-        let detailed = m.run_data(DataInput::Virtual(bytes), &kernel, 16 * 1024).unwrap();
+        let detailed = m
+            .run_data(DataInput::Virtual(bytes), &kernel, 16 * 1024)
+            .unwrap();
         let body = detailed.elapsed - detailed.startup;
         let est = data_run_body(&cfg, bytes, 0.25, 16 * 1024);
         assert!(

@@ -92,6 +92,7 @@ impl OffloadReport {
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(clippy::enum_variant_names)]
 enum Ev {
     FetchDone { spe: usize, block: u64, buf: usize },
     ComputeDone { spe: usize, block: u64, buf: usize },
@@ -123,7 +124,11 @@ impl Bus {
     /// instant (including the fixed request latency, which does not occupy
     /// the bus).
     fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if now > self.free_at { now } else { self.free_at };
+        let start = if now > self.free_at {
+            now
+        } else {
+            self.free_at
+        };
         let occupancy = SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
         self.free_at = start + occupancy;
         self.busy += occupancy;
@@ -257,7 +262,9 @@ impl CellMachine {
         // round-robin "sent to the SPUs" distribution).
         let mut spes: Vec<SpeRun> = (0..n_spes)
             .map(|s| SpeRun {
-                assigned: (0..n_blocks).filter(|b| (b % n_spes as u64) == s as u64).collect(),
+                assigned: (0..n_blocks)
+                    .filter(|b| (b % n_spes as u64) == s as u64)
+                    .collect(),
                 next_fetch: 0,
                 ready: VecDeque::new(),
                 computing: false,
@@ -330,7 +337,8 @@ impl CellMachine {
                     // Functional execution in the local store.
                     if output.is_some() {
                         let abs = base_offset + block * block_size as u64;
-                        if let Some(slice) = self.stores[spe].slice_mut(ls_buffers[spe][buf], 0, blen)
+                        if let Some(slice) =
+                            self.stores[spe].slice_mut(ls_buffers[spe][buf], 0, blen)
                         {
                             kernel.exec(abs, slice);
                         }
@@ -373,7 +381,10 @@ impl CellMachine {
                 }
             }
         }
-        debug_assert_eq!(puts_done, n_blocks, "pipeline stalled: not all blocks completed");
+        debug_assert_eq!(
+            puts_done, n_blocks,
+            "pipeline stalled: not all blocks completed"
+        );
 
         Ok(OffloadReport {
             elapsed: last_event - SimTime::ZERO,
@@ -511,9 +522,7 @@ mod tests {
 
         let mut input = vec![0u8; 300_000]; // spans many 4K blocks + tail
         fill_deterministic(9, 0, &mut input);
-        let report = m
-            .run_data(DataInput::Real(&input), &kernel, 4096)
-            .unwrap();
+        let report = m.run_data(DataInput::Real(&input), &kernel, 4096).unwrap();
 
         let mut expect = input.clone();
         ctr_xor(&key, AesImpl::Scalar, 5, 0, &mut expect);
@@ -531,7 +540,9 @@ mod tests {
         fill_deterministic(3, 0, &mut input);
 
         let mut mv = machine(false);
-        let rv = mv.run_data(DataInput::Virtual(input.len() as u64), &kernel, 4096).unwrap();
+        let rv = mv
+            .run_data(DataInput::Virtual(input.len() as u64), &kernel, 4096)
+            .unwrap();
         let mut mm = machine(true);
         let rm = mm.run_data(DataInput::Real(&input), &kernel, 4096).unwrap();
         assert_eq!(rv.elapsed, rm.elapsed);
@@ -572,7 +583,11 @@ mod tests {
         let mbps = r.throughput_bps() / 1e6;
         assert!((620.0..720.0).contains(&mbps), "throughput {mbps} MB/s");
         // SPEs nearly fully busy.
-        assert!(r.mean_spe_utilization() > 0.9, "{}", r.mean_spe_utilization());
+        assert!(
+            r.mean_spe_utilization() > 0.9,
+            "{}",
+            r.mean_spe_utilization()
+        );
     }
 
     #[test]
@@ -628,7 +643,11 @@ mod tests {
         let mut m = machine(false);
         let kernel = PiSpeKernel::new(1, 0);
         let r = m.run_compute(3, &kernel);
-        let worked = r.spe_busy.iter().filter(|d| **d > SimDuration::ZERO).count();
+        let worked = r
+            .spe_busy
+            .iter()
+            .filter(|d| **d > SimDuration::ZERO)
+            .count();
         assert_eq!(worked, 3);
         assert!(r.unit_results.iter().sum::<u64>() <= 3);
     }

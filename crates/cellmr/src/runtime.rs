@@ -193,8 +193,8 @@ impl CellMrRuntime {
 
         // ---- Partition phase: hash pairs to SPE-owned partitions. ----
         let cell = self.machine.config();
-        let partition_time = cell.cycles(self.cfg.partition_cycles_per_pair * map_pairs as f64)
-            / n_spes as u64;
+        let partition_time =
+            cell.cycles(self.cfg.partition_cycles_per_pair * map_pairs as f64) / n_spes as u64;
         let mut partitions: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_spes];
         for (k, v) in pairs {
             let mut s = k;
@@ -215,8 +215,8 @@ impl CellMrRuntime {
         let mut reduce_time = SimDuration::ZERO;
         let mut reduced: Vec<Vec<(u64, u64)>> = Vec::with_capacity(n_spes);
         for p in &partitions {
-            let cycles = (self.cfg.reduce_cycles_per_pair + reduce_fn.cycles_per_value())
-                * p.len() as f64;
+            let cycles =
+                (self.cfg.reduce_cycles_per_pair + reduce_fn.cycles_per_value()) * p.len() as f64;
             reduce_time = reduce_time.max(cell.cycles(cycles));
             let mut out = Vec::new();
             let mut i = 0;

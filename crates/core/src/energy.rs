@@ -127,9 +127,8 @@ mod tests {
         // Kernel busy time: bytes / engine bandwidth.
         let java_busy =
             SimDuration::from_secs_f64(bytes as f64 / cost::aes_bandwidth(Engine::JavaPpeTask));
-        let cell_busy = SimDuration::from_secs_f64(
-            bytes as f64 / (8.0 * cost::aes_bandwidth(Engine::SpeSimd)),
-        );
+        let cell_busy =
+            SimDuration::from_secs_f64(bytes as f64 / (8.0 * cost::aes_bandwidth(Engine::SpeSimd)));
 
         let e_java = job_energy(&model, &java, EngineClass::PpeScalar, nodes, java_busy);
         let e_cell = job_energy(&model, &cell, EngineClass::CellSpe, nodes, cell_busy);

@@ -22,7 +22,12 @@ pub struct CellNodeEnv {
 
 impl CellNodeEnv {
     /// Builds the environment with `slots` per-mapper Cell machines.
-    pub fn new(cell_cfg: CellConfig, mr_cfg: CellMrConfig, slots: usize, materialized: bool) -> Self {
+    pub fn new(
+        cell_cfg: CellConfig,
+        mr_cfg: CellMrConfig,
+        slots: usize,
+        materialized: bool,
+    ) -> Self {
         let machines = (0..slots.max(1))
             .map(|_| CellMachine::new(cell_cfg.clone(), materialized).expect("valid config"))
             .collect();
@@ -58,6 +63,7 @@ impl NodeEnv for CellNodeEnv {
 }
 
 /// Factory handing every node a [`CellNodeEnv`].
+#[derive(Clone)]
 pub struct CellEnvFactory {
     /// Cell machine configuration.
     pub cell_cfg: CellConfig,

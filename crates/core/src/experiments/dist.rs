@@ -6,60 +6,15 @@
 //! these scales; functional equivalence is covered by the materialized
 //! integration tests.
 
-use std::sync::Arc;
-
-use accelmr_dfs::DfsConfig;
-use accelmr_mapred::{
-    deploy_cluster, run_job, JobInput, JobResult, JobSpec, MrConfig, OutputSink, PreloadSpec,
-    ReduceSpec, SumReducer, TaskKernel,
-};
-use accelmr_net::NetConfig;
+use accelmr_mapred::{ClusterBuilder, JobResult, MrConfig};
 
 use super::{Figure, Series};
 use crate::env::CellEnvFactory;
-use crate::kernels::{CellAesKernel, CellPiKernel, EmptyKernel, JavaAesKernel, JavaPiKernel};
+use crate::presets::{self, pi_estimate};
+
+pub use crate::presets::{AesMapper, PiMapper};
 
 const GB: u64 = 1 << 30;
-const RECORD: u64 = 64 << 20;
-
-/// Which mapper configuration runs the encryption job.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum AesMapper {
-    /// Pure-Java mapper on the PPE.
-    Java,
-    /// Cell-accelerated mapper through the direct SPE library.
-    Cell,
-    /// EmptyMapper: reads data, computes and emits nothing.
-    Empty,
-}
-
-impl AesMapper {
-    fn kernel(self) -> Arc<dyn TaskKernel> {
-        match self {
-            AesMapper::Java => Arc::new(JavaAesKernel::new()),
-            AesMapper::Cell => Arc::new(CellAesKernel::new()),
-            AesMapper::Empty => Arc::new(EmptyKernel),
-        }
-    }
-
-    fn label(self) -> &'static str {
-        match self {
-            AesMapper::Java => "Java Mapper",
-            AesMapper::Cell => "Cell BE Mapper",
-            AesMapper::Empty => "Empty Mapper",
-        }
-    }
-
-    fn output(self) -> OutputSink {
-        match self {
-            AesMapper::Empty => OutputSink::Discard,
-            _ => OutputSink::Dfs {
-                path: "/out".into(),
-                replication: Some(1),
-            },
-        }
-    }
-}
 
 /// Runs one distributed encryption job and returns its result.
 pub fn run_encrypt_job(
@@ -69,35 +24,17 @@ pub fn run_encrypt_job(
     mapper: AesMapper,
     mr_cfg: &MrConfig,
 ) -> JobResult {
-    let env = CellEnvFactory::default();
-    let mut c = deploy_cluster(
-        seed,
-        nodes,
-        NetConfig::default(),
-        DfsConfig::default(),
-        mr_cfg.clone(),
-        &env,
-        false,
-    );
-    let preload = PreloadSpec {
-        path: "/input".into(),
-        len: total_bytes,
-        block_size: Some(RECORD),
-        replication: Some(1),
-        seed: 7,
-    };
-    let spec = JobSpec {
-        name: format!("encrypt-{}", mapper.label()),
-        input: JobInput::File {
-            path: "/input".into(),
-            record_bytes: Some(RECORD),
-        },
-        kernel: mapper.kernel(),
-        num_map_tasks: Some(nodes * mr_cfg.map_slots_per_node),
-        output: mapper.output(),
-        reduce: ReduceSpec::None,
-    };
-    run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec)
+    let mut c = ClusterBuilder::new()
+        .seed(seed)
+        .workers(nodes)
+        .mr(mr_cfg.clone())
+        .env(CellEnvFactory::default())
+        .deploy();
+    let job = presets::encrypt(mapper, "/input", total_bytes)
+        .map_tasks(nodes * mr_cfg.map_slots_per_node);
+    let mut session = c.session();
+    session.submit(job);
+    session.run()
 }
 
 /// Parameters of the Figure 4 sweep (proportional data set).
@@ -186,31 +123,6 @@ pub fn fig5(params: &DistEncryptParams) -> Figure {
     }
 }
 
-/// Which mapper configuration runs the Pi job.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum PiMapper {
-    /// Pure-Java PiEstimator port.
-    Java,
-    /// Cell-accelerated sampler.
-    Cell,
-}
-
-impl PiMapper {
-    fn kernel(self, seed: u64) -> Arc<dyn TaskKernel> {
-        match self {
-            PiMapper::Java => Arc::new(JavaPiKernel::new(seed)),
-            PiMapper::Cell => Arc::new(CellPiKernel::new(seed)),
-        }
-    }
-
-    fn label(self) -> &'static str {
-        match self {
-            PiMapper::Java => "Java Mapper",
-            PiMapper::Cell => "Cell BE Mapper",
-        }
-    }
-}
-
 /// Runs one distributed Pi job and returns `(result, pi estimate)`.
 pub fn run_pi_job(
     seed: u64,
@@ -219,46 +131,17 @@ pub fn run_pi_job(
     mapper: PiMapper,
     mr_cfg: &MrConfig,
 ) -> (JobResult, f64) {
-    let env = CellEnvFactory::default();
-    let mut c = deploy_cluster(
-        seed,
-        nodes,
-        NetConfig::default(),
-        DfsConfig::default(),
-        mr_cfg.clone(),
-        &env,
-        false,
-    );
-    let spec = JobSpec {
-        name: format!("pi-{}", mapper.label()),
-        input: JobInput::Synthetic {
-            total_units: samples,
-        },
-        kernel: mapper.kernel(seed),
-        num_map_tasks: Some(nodes * mr_cfg.map_slots_per_node),
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::RpcAggregate {
-            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
-        },
-    };
-    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![], spec);
-    let inside = result
-        .kv
-        .iter()
-        .find(|&&(k, _)| k == 0)
-        .map(|&(_, v)| v)
-        .unwrap_or(0);
-    let total = result
-        .kv
-        .iter()
-        .find(|&&(k, _)| k == 1)
-        .map(|&(_, v)| v)
-        .unwrap_or(0);
-    let pi = if total > 0 {
-        4.0 * inside as f64 / total as f64
-    } else {
-        f64::NAN
-    };
+    let mut c = ClusterBuilder::new()
+        .seed(seed)
+        .workers(nodes)
+        .mr(mr_cfg.clone())
+        .env(CellEnvFactory::default())
+        .deploy();
+    let job = presets::pi(mapper, seed, samples).map_tasks(nodes * mr_cfg.map_slots_per_node);
+    let mut session = c.session();
+    session.submit(job);
+    let result = session.run();
+    let pi = pi_estimate(&result).unwrap_or(f64::NAN);
     (result, pi)
 }
 
@@ -346,9 +229,27 @@ pub fn fig8(params: &DistPiParams) -> Figure {
         points: Vec::new(),
     };
     for &n in &params.fig8_nodes {
-        let (r_java, _) = run_pi_job(4000 + n as u64, n, params.fig8_samples, PiMapper::Java, &params.mr_cfg);
-        let (r_cell, _) = run_pi_job(5000 + n as u64, n, params.fig8_samples, PiMapper::Cell, &params.mr_cfg);
-        let (r_10x, _) = run_pi_job(6000 + n as u64, n, params.fig8_tenx, PiMapper::Cell, &params.mr_cfg);
+        let (r_java, _) = run_pi_job(
+            4000 + n as u64,
+            n,
+            params.fig8_samples,
+            PiMapper::Java,
+            &params.mr_cfg,
+        );
+        let (r_cell, _) = run_pi_job(
+            5000 + n as u64,
+            n,
+            params.fig8_samples,
+            PiMapper::Cell,
+            &params.mr_cfg,
+        );
+        let (r_10x, _) = run_pi_job(
+            6000 + n as u64,
+            n,
+            params.fig8_tenx,
+            PiMapper::Cell,
+            &params.mr_cfg,
+        );
         java.points.push((n as f64, r_java.elapsed.as_secs_f64()));
         cell.points.push((n as f64, r_cell.elapsed.as_secs_f64()));
         cell10.points.push((n as f64, r_10x.elapsed.as_secs_f64()));

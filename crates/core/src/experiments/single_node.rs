@@ -53,9 +53,8 @@ pub fn fig2(params: &Fig2Params) -> Figure {
 
     let mut machine = CellMachine::new(CellConfig::default(), false).expect("valid config");
     machine.warm_up();
-    let mut framework =
-        CellMrRuntime::new(CellConfig::default(), CellMrConfig::default(), false)
-            .expect("valid config");
+    let mut framework = CellMrRuntime::new(CellConfig::default(), CellMrConfig::default(), false)
+        .expect("valid config");
     framework.machine_mut().warm_up();
 
     for &mb in &params.sizes_mb {
@@ -75,10 +74,14 @@ pub fn fig2(params: &Fig2Params) -> Figure {
             .points
             .push((x, to_mbps(fw_report.total.as_secs_f64())));
 
-        ppc.points
-            .push((x, to_mbps(cost::aes_time(Engine::JavaPpe, bytes).as_secs_f64())));
-        p6.points
-            .push((x, to_mbps(cost::aes_time(Engine::JavaPower6, bytes).as_secs_f64())));
+        ppc.points.push((
+            x,
+            to_mbps(cost::aes_time(Engine::JavaPpe, bytes).as_secs_f64()),
+        ));
+        p6.points.push((
+            x,
+            to_mbps(cost::aes_time(Engine::JavaPower6, bytes).as_secs_f64()),
+        ));
     }
 
     Figure {
@@ -132,12 +135,17 @@ pub fn fig6(params: &Fig6Params) -> Figure {
         let mut machine = CellMachine::new(CellConfig::default(), false).expect("valid config");
         let spu_kernel = PiSpeKernel::new(params.seed, 0);
         let report = machine.run_compute(n, &spu_kernel);
-        cell.points.push((x, n as f64 / report.elapsed.as_secs_f64()));
+        cell.points
+            .push((x, n as f64 / report.elapsed.as_secs_f64()));
 
-        ppc.points
-            .push((x, n as f64 / cost::pi_time(Engine::JavaPpe, n).as_secs_f64()));
-        p6.points
-            .push((x, n as f64 / cost::pi_time(Engine::JavaPower6, n).as_secs_f64()));
+        ppc.points.push((
+            x,
+            n as f64 / cost::pi_time(Engine::JavaPpe, n).as_secs_f64(),
+        ));
+        p6.points.push((
+            x,
+            n as f64 / cost::pi_time(Engine::JavaPower6, n).as_secs_f64(),
+        ));
     }
 
     Figure {

@@ -8,60 +8,13 @@
 //! whose per-node throughput lands in single-digit MB/s regardless of the
 //! sort kernel's speed.
 
-use std::sync::Arc;
-
-use accelmr_des::SimDuration;
-use accelmr_dfs::DfsConfig;
-use accelmr_kernels::cost::{self, Engine};
-use accelmr_mapred::{
-    deploy_cluster, run_job, JobInput, JobSpec, MrConfig, NodeEnv, OutputSink, PreloadSpec,
-    RecordCtx, RecordOutcome, ReduceKernel, ReduceSpec, TaskKernel,
-};
-use accelmr_net::NetConfig;
+use accelmr_mapred::{ClusterBuilder, MrConfig};
 
 use super::{Figure, Series};
 use crate::env::CellEnvFactory;
+use crate::presets;
 
-/// Map-side sort kernel: radix-sorts each record into a run (modeled on the
-/// task-JVM engine; the paper's Terasort observation is engine-independent).
-#[derive(Clone, Copy, Debug)]
-pub struct SortMapKernel;
-
-impl TaskKernel for SortMapKernel {
-    fn name(&self) -> &'static str {
-        "terasort-map"
-    }
-
-    fn map_record(&self, _env: &mut dyn NodeEnv, rec: &RecordCtx<'_>) -> RecordOutcome {
-        RecordOutcome {
-            compute: cost::sort_time(Engine::JavaPpeTask, rec.len),
-            output_bytes: rec.len,
-            output: None,
-            digest: rec.bytes.map(accelmr_kernels::checksum).unwrap_or(0),
-            kv: vec![(0, rec.len)],
-        }
-    }
-}
-
-/// Reduce-side merge kernel.
-#[derive(Clone, Copy, Debug)]
-pub struct MergeReduceKernel;
-
-impl ReduceKernel for MergeReduceKernel {
-    fn name(&self) -> &'static str {
-        "terasort-merge"
-    }
-
-    fn reduce_time(&self, bytes: u64, _pairs: u64) -> SimDuration {
-        // k-way merge touches each byte once.
-        cost::sort_time(Engine::JavaPpeTask, bytes / 2)
-    }
-
-    fn aggregate(&self, pairs: &[(u64, u64)]) -> Vec<(u64, u64)> {
-        let total: u64 = pairs.iter().map(|&(_, v)| v).sum();
-        vec![(0, total)]
-    }
-}
+pub use crate::presets::{MergeReduceKernel, SortMapKernel};
 
 /// Parameters of the Terasort experiment.
 #[derive(Clone, Debug)]
@@ -93,39 +46,17 @@ pub fn terasort_feed_rate(params: &TerasortParams) -> Figure {
     };
     for &n in &params.nodes {
         let bytes = n as u64 * params.gb_per_node * (1 << 30);
-        let env = CellEnvFactory::default();
-        let mut c = deploy_cluster(
-            9000 + n as u64,
-            n,
-            NetConfig::default(),
-            DfsConfig::default(),
-            params.mr_cfg.clone(),
-            &env,
-            false,
+        let mut c = ClusterBuilder::new()
+            .seed(9000 + n as u64)
+            .workers(n)
+            .mr(params.mr_cfg.clone())
+            .env(CellEnvFactory::default())
+            .deploy();
+        let mut session = c.session();
+        session.submit(
+            presets::terasort("/tera-in", bytes, n).map_tasks(n * params.mr_cfg.map_slots_per_node),
         );
-        let preload = PreloadSpec {
-            path: "/tera-in".into(),
-            len: bytes,
-            block_size: Some(64 << 20),
-            replication: Some(1),
-            seed: 13,
-        };
-        let spec = JobSpec {
-            name: "terasort".into(),
-            input: JobInput::File {
-                path: "/tera-in".into(),
-                record_bytes: Some(64 << 20),
-            },
-            kernel: Arc::new(SortMapKernel),
-            num_map_tasks: Some(n * params.mr_cfg.map_slots_per_node),
-            output: OutputSink::Digest,
-            reduce: ReduceSpec::Shuffle {
-                reducers: n,
-                reducer: Arc::new(MergeReduceKernel),
-                write_output: true,
-            },
-        };
-        let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+        let result = session.run();
         assert!(result.succeeded, "terasort failed at {n} nodes");
         let mbps_per_node = bytes as f64 / 1e6 / result.elapsed.as_secs_f64() / n as f64;
         rate.points.push((n as f64, mbps_per_node));

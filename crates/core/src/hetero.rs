@@ -14,15 +14,14 @@
 //! *slowest class of nodes sets the CPU-bound job time*, so partial
 //! accelerator coverage buys far less than its proportional share.
 
-use accelmr_mapred::{
-    NodeEnv, NodeEnvFactory, RecordCtx, RecordOutcome, TaskKernel, UnitsOutcome,
-};
+use accelmr_mapred::{NodeEnv, NodeEnvFactory, RecordCtx, RecordOutcome, TaskKernel, UnitsOutcome};
 
 use crate::env::{CellEnvFactory, CellNodeEnv};
 use crate::kernels::{CellAesKernel, CellPiKernel, JavaAesKernel, JavaPiKernel};
 
 /// Equips the first `accelerated_of.0` of every `accelerated_of.1` nodes
 /// with Cell environments; the rest get plain (scalar-only) environments.
+#[derive(Clone)]
 pub struct MixedEnvFactory {
     /// `(accelerated, out_of)`: e.g. `(1, 2)` = every other node.
     pub accelerated_of: (usize, usize),
@@ -152,35 +151,25 @@ impl TaskKernel for AdaptivePiKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accelmr_dfs::DfsConfig;
-    use accelmr_mapred::{
-        deploy_cluster, run_job, JobInput, JobResult, JobSpec, MrConfig, OutputSink, ReduceSpec,
-        SumReducer,
-    };
-    use accelmr_net::NetConfig;
-    use std::sync::Arc;
+    use accelmr_mapred::{ClusterBuilder, JobBuilder, JobResult, SumReducer};
 
     fn run_mixed_pi(factory: &MixedEnvFactory, samples: u64, seed: u64) -> JobResult {
-        let mut c = deploy_cluster(
-            seed,
-            4,
-            NetConfig::default(),
-            DfsConfig::default(),
-            MrConfig::default(),
-            factory,
-            false,
+        let mut c = ClusterBuilder::new()
+            .seed(seed)
+            .workers(4)
+            .env(factory.clone())
+            .deploy();
+        let mut session = c.session();
+        session.submit(
+            JobBuilder::new("mixed-pi")
+                .synthetic(samples)
+                .kernel(AdaptivePiKernel::new(3))
+                .map_tasks(8)
+                .rpc_aggregate(SumReducer {
+                    cycles_per_byte: 1.0,
+                }),
         );
-        let spec = JobSpec {
-            name: "mixed-pi".into(),
-            input: JobInput::Synthetic { total_units: samples },
-            kernel: Arc::new(AdaptivePiKernel::new(3)),
-            num_map_tasks: Some(8),
-            output: OutputSink::Discard,
-            reduce: ReduceSpec::RpcAggregate {
-                reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
-            },
-        };
-        run_job(&mut c.sim, &c.mr, &c.dfs, vec![], spec)
+        session.run()
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn job_key() -> Arc<Aes128> {
 /// byte-comparable across engines and against a serial reference.
 pub const JOB_NONCE: u64 = 0xACCE1;
 
-fn cell_env<'a>(env: &'a mut dyn NodeEnv) -> &'a mut CellNodeEnv {
+fn cell_env(env: &mut dyn NodeEnv) -> &mut CellNodeEnv {
     env.as_any_mut()
         .downcast_mut::<CellNodeEnv>()
         .expect("accelerated kernels need a CellNodeEnv (use CellEnvFactory)")
@@ -81,7 +81,13 @@ impl TaskKernel for JavaAesKernel {
                 // tested); the T-table path keeps debug-build test runs
                 // fast. Timing comes from the cost model either way.
                 let mut out = bytes.to_vec();
-                ctr_xor(&self.key, AesImpl::TTable, JOB_NONCE, rec.abs_offset / 16, &mut out);
+                ctr_xor(
+                    &self.key,
+                    AesImpl::TTable,
+                    JOB_NONCE,
+                    rec.abs_offset / 16,
+                    &mut out,
+                );
                 let d = checksum(&out);
                 (Some(out), d)
             }
@@ -148,7 +154,12 @@ impl TaskKernel for CellAesKernel {
                 // Functional: the record truly rides through the local
                 // stores and comes back encrypted.
                 let report = machine
-                    .run_data_at(DataInput::Real(bytes), &spu_kernel, self.block_size, rec.abs_offset)
+                    .run_data_at(
+                        DataInput::Real(bytes),
+                        &spu_kernel,
+                        self.block_size,
+                        rec.abs_offset,
+                    )
                     .expect("valid block size");
                 let out = report.output.expect("materialized run yields output");
                 let digest = checksum(&out);
@@ -412,7 +423,13 @@ mod tests {
         let cellmr = CellMrAesKernel::new().map_record(env.as_mut(), &rec);
 
         let mut reference = plain.clone();
-        ctr_xor(&job_key(), AesImpl::TTable, JOB_NONCE, rec.abs_offset / 16, &mut reference);
+        ctr_xor(
+            &job_key(),
+            AesImpl::TTable,
+            JOB_NONCE,
+            rec.abs_offset / 16,
+            &mut reference,
+        );
 
         assert_eq!(java.output.as_deref(), Some(reference.as_slice()));
         assert_eq!(cell.output.as_deref(), Some(reference.as_slice()));

@@ -16,6 +16,8 @@
 //! * [`experiments`] — a runner per paper figure (2, 4, 5, 6, 7, 8) plus
 //!   the Terasort-style feed-rate experiment, each regenerating the
 //!   corresponding series;
+//! * [`presets`] — ready-to-submit `JobBuilder`s for the paper's Pi,
+//!   AES-encrypt, and Terasort workloads;
 //! * [`energy`], [`hetero`] — two of the paper's §V open issues,
 //!   implemented: per-job energy accounting (accelerators save kernel
 //!   energy on feed-bound jobs even when they save no time) and mixed
@@ -30,6 +32,7 @@ pub mod env;
 pub mod experiments;
 pub mod hetero;
 pub mod kernels;
+pub mod presets;
 
 pub use bridge::JniBridge;
 pub use energy::{job_energy, EnergyModel, EnergyReport, EngineClass};
@@ -39,3 +42,4 @@ pub use kernels::{
     job_key, CellAesKernel, CellMrAesKernel, CellPiKernel, EmptyKernel, JavaAesKernel,
     JavaPiKernel, JOB_NONCE,
 };
+pub use presets::{AesMapper, PiMapper};

@@ -351,8 +351,11 @@ impl<'a> Ctx<'a> {
     pub fn after(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
-        self.core
-            .push(self.core.now + delay, self.self_id, Payload::Timer { id, tag });
+        self.core.push(
+            self.core.now + delay,
+            self.self_id,
+            Payload::Timer { id, tag },
+        );
         TimerHandle(id)
     }
 

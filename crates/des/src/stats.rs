@@ -35,7 +35,11 @@ impl LogHistogram {
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, sample: u64) {
-        let idx = if sample == 0 { 0 } else { 63 - sample.leading_zeros() as usize };
+        let idx = if sample == 0 {
+            0
+        } else {
+            63 - sample.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         if self.count == 0 {
             self.min = sample;
@@ -85,7 +89,11 @@ impl LogHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i == 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         self.max

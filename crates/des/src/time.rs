@@ -89,7 +89,7 @@ impl SimDuration {
     /// nanosecond and saturating on overflow / negative input.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s <= 0.0 || s.is_nan() {
             return SimDuration::ZERO;
         }
         let ns = s * 1e9;
@@ -302,7 +302,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_nanos(1)),
             Some(SimTime::from_nanos(1))

@@ -25,25 +25,13 @@ pub struct TraceEntry {
 /// Ring-buffer-free bounded trace: recording stops at `capacity` entries but
 /// the fingerprint keeps folding every event, so determinism checks cover
 /// entire runs even when the stored trace is truncated.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
     capacity: usize,
     hasher: FxHasher,
     recorded: u64,
     enabled: bool,
-}
-
-impl Default for Trace {
-    fn default() -> Self {
-        Trace {
-            entries: Vec::new(),
-            capacity: 0,
-            hasher: FxHasher::default(),
-            recorded: 0,
-            enabled: false,
-        }
-    }
 }
 
 impl Trace {

@@ -209,7 +209,10 @@ struct PendingDataNode {
 
 impl PendingDataNode {
     fn new(inner: DataNode) -> Self {
-        PendingDataNode { inner, wired: false }
+        PendingDataNode {
+            inner,
+            wired: false,
+        }
     }
 }
 
@@ -239,18 +242,21 @@ mod tests {
     use super::*;
     use accelmr_net::{Fabric, NetConfig};
 
-    fn deploy(
-        sim: &mut Sim,
-        workers: u32,
-        materialized: bool,
-    ) -> (DfsHandle, Vec<NodeId>) {
+    fn deploy(sim: &mut Sim, workers: u32, materialized: bool) -> (DfsHandle, Vec<NodeId>) {
         let nodes: Vec<NodeId> = (1..=workers).map(NodeId).collect();
         let fabric = sim.spawn(Box::new(Fabric::new(
             NetConfig::default(),
             workers as usize + 1,
         )));
         let net = NetHandle { fabric };
-        let h = deploy_dfs(sim, net, &DfsConfig::default(), NodeId::HEAD, &nodes, materialized);
+        let h = deploy_dfs(
+            sim,
+            net,
+            &DfsConfig::default(),
+            NodeId::HEAD,
+            &nodes,
+            materialized,
+        );
         (h, nodes)
     }
 
@@ -340,16 +346,7 @@ mod tests {
                     if let Some(done) = msg.peek::<PreloadDone>() {
                         // Read 1000 bytes at offset 100 of block 1.
                         let b = &done.view.blocks[1];
-                        dfs.read_range(
-                            ctx,
-                            NodeId(1),
-                            b.replicas[0],
-                            b.id,
-                            100,
-                            1000,
-                            None,
-                            77,
-                        );
+                        dfs.read_range(ctx, NodeId(1), b.replicas[0], b.id, 100, 1000, None, 77);
                     } else if let Some(data) = msg.peek::<RangeData>() {
                         assert_eq!(data.tag, 77);
                         assert_eq!(data.len, 1000);

@@ -84,7 +84,11 @@ impl DataNode {
             return None;
         }
         let mut buf = vec![0u8; len as usize];
-        accelmr_kernels::fill_deterministic(meta.seed, meta.base_offset + offset_in_block, &mut buf);
+        accelmr_kernels::fill_deterministic(
+            meta.seed,
+            meta.base_offset + offset_in_block,
+            &mut buf,
+        );
         Some(buf)
     }
 }
@@ -103,7 +107,10 @@ impl Actor for DataNode {
                 let jitter = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
                 ctx.after(jitter, TIMER_HEARTBEAT);
             }
-            Event::Timer { tag: TIMER_HEARTBEAT, .. } => {
+            Event::Timer {
+                tag: TIMER_HEARTBEAT,
+                ..
+            } => {
                 let hb = DnHeartbeat { node: self.node };
                 let (net, node, head, nn) = (self.net, self.node, self.head_node, self.namenode);
                 net.unicast(ctx, node, head, nn, 128, hb);

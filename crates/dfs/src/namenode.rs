@@ -93,13 +93,7 @@ impl NameNode {
                 replicas: self
                     .block_map
                     .get(&id)
-                    .map(|nodes| {
-                        nodes
-                            .iter()
-                            .copied()
-                            .filter(|&n| self.is_live(n))
-                            .collect()
-                    })
+                    .map(|nodes| nodes.iter().copied().filter(|&n| self.is_live(n)).collect())
                     .unwrap_or_default(),
             })
             .collect();
@@ -133,10 +127,17 @@ impl Actor for NameNode {
                 }
                 ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
             }
-            Event::Timer { tag: TIMER_LIVENESS, .. } => {
+            Event::Timer {
+                tag: TIMER_LIVENESS,
+                ..
+            } => {
                 let now = ctx.now();
                 for &(node, _) in &self.datanodes {
-                    let last = self.last_heartbeat.get(&node).copied().unwrap_or(SimTime::ZERO);
+                    let last = self
+                        .last_heartbeat
+                        .get(&node)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO);
                     let stale = now.since(last) > self.cfg.dead_after;
                     if stale && !self.dead.contains(&node) {
                         self.dead.push(node);
@@ -163,8 +164,7 @@ impl Actor for NameNode {
                         let nodes = self.place(replication, None);
                         // Install metadata on every replica holder.
                         for &node in &nodes {
-                            if let Some(&(_, dn)) =
-                                self.datanodes.iter().find(|&&(n, _)| n == node)
+                            if let Some(&(_, dn)) = self.datanodes.iter().find(|&&(n, _)| n == node)
                             {
                                 ctx.send(
                                     dn,
@@ -243,7 +243,11 @@ impl Actor for NameNode {
                         reply_node,
                         reply,
                         128,
-                        BlockAllocated { tag, block: id, pipeline },
+                        BlockAllocated {
+                            tag,
+                            block: id,
+                            pipeline,
+                        },
                     );
                 } else if let Some(hb) = msg.peek::<DnHeartbeat>() {
                     self.last_heartbeat.insert(hb.node, ctx.now());

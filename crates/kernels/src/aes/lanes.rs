@@ -40,6 +40,8 @@ fn shr(v: Vec4, by: u32) -> Vec4 {
 }
 
 /// Encrypts exactly four blocks (64 bytes) in place.
+// Index-based loops keep the lane/column transpose legible.
+#[allow(clippy::needless_range_loop)]
 pub fn encrypt_blocks4(key: &Aes128, quad: &mut [u8; 64]) {
     let rk = &key.rk_words;
 

@@ -154,8 +154,8 @@ mod tests {
         assert_eq!(
             data,
             [
-                0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99,
-                0x0d, 0xb6, 0xce
+                0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d,
+                0xb6, 0xce
             ]
         );
     }

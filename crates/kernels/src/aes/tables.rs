@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn rcon_matches_fips() {
-        assert_eq!(RCON, [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36]);
+        assert_eq!(
+            RCON,
+            [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36]
+        );
     }
 
     #[test]

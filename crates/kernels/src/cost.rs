@@ -68,7 +68,7 @@ pub struct EngineCost {
 
 const SPE_SIMD: EngineCost = EngineCost {
     clock_hz: 3.2e9,
-    aes_cycles_per_byte: 36.6, // 8 SPEs => ~700 MB/s per Cell (Fig. 2)
+    aes_cycles_per_byte: 36.6,   // 8 SPEs => ~700 MB/s per Cell (Fig. 2)
     pi_cycles_per_sample: 256.0, // 8 SPEs => ~1e8 samples/s per Cell
     sort_cycles_per_byte: 8.0,
     memcpy_bytes_per_sec: 8.0e9, // LS-resident copies ride the EIB
@@ -76,7 +76,7 @@ const SPE_SIMD: EngineCost = EngineCost {
 
 const JAVA_PPE: EngineCost = EngineCost {
     clock_hz: 3.2e9,
-    aes_cycles_per_byte: 290.0, // ~11 MB/s (Fig. 2 "PPC")
+    aes_cycles_per_byte: 290.0,     // ~11 MB/s (Fig. 2 "PPC")
     pi_cycles_per_sample: 16_000.0, // ~2e5 samples/s (Fig. 6 "PPC")
     sort_cycles_per_byte: 60.0,
     memcpy_bytes_per_sec: 1.6e9,
@@ -84,7 +84,7 @@ const JAVA_PPE: EngineCost = EngineCost {
 
 const JAVA_PPE_TASK: EngineCost = EngineCost {
     clock_hz: 3.2e9,
-    aes_cycles_per_byte: 160.0, // ~20 MB/s with both SMT threads
+    aes_cycles_per_byte: 160.0,    // ~20 MB/s with both SMT threads
     pi_cycles_per_sample: 3_200.0, // ~1e6 samples/s (Figs. 7/8 Java mapper)
     sort_cycles_per_byte: 40.0,
     memcpy_bytes_per_sec: 1.6e9,
@@ -92,7 +92,7 @@ const JAVA_PPE_TASK: EngineCost = EngineCost {
 
 const JAVA_POWER6: EngineCost = EngineCost {
     clock_hz: 4.0e9,
-    aes_cycles_per_byte: 89.0, // ~45 MB/s (Fig. 2 "Power 6")
+    aes_cycles_per_byte: 89.0,     // ~45 MB/s (Fig. 2 "Power 6")
     pi_cycles_per_sample: 4_000.0, // ~1e6 samples/s (Fig. 6 "Power 6")
     sort_cycles_per_byte: 30.0,
     memcpy_bytes_per_sec: 4.0e9,

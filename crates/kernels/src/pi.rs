@@ -159,9 +159,21 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = PiPartial { inside: 3, total: 4 };
-        let b = PiPartial { inside: 1, total: 2 };
-        assert_eq!(a.merge(b), PiPartial { inside: 4, total: 6 });
+        let a = PiPartial {
+            inside: 3,
+            total: 4,
+        };
+        let b = PiPartial {
+            inside: 1,
+            total: 2,
+        };
+        assert_eq!(
+            a.merge(b),
+            PiPartial {
+                inside: 4,
+                total: 6
+            }
+        );
     }
 
     #[test]

@@ -192,10 +192,26 @@ mod tests {
     #[test]
     fn radix_sort_handles_ties_on_low_bytes() {
         let mut records = vec![
-            SortRecord { key_hi: 5, key_lo: 9, payload_seed: 1 },
-            SortRecord { key_hi: 5, key_lo: 2, payload_seed: 2 },
-            SortRecord { key_hi: 1, key_lo: 7, payload_seed: 3 },
-            SortRecord { key_hi: 5, key_lo: 5, payload_seed: 4 },
+            SortRecord {
+                key_hi: 5,
+                key_lo: 9,
+                payload_seed: 1,
+            },
+            SortRecord {
+                key_hi: 5,
+                key_lo: 2,
+                payload_seed: 2,
+            },
+            SortRecord {
+                key_hi: 1,
+                key_lo: 7,
+                payload_seed: 3,
+            },
+            SortRecord {
+                key_hi: 5,
+                key_lo: 5,
+                payload_seed: 4,
+            },
         ];
         radix_sort(&mut records);
         assert!(is_sorted(&records));

@@ -1,0 +1,425 @@
+//! Fluent builders for cluster deployment and job description.
+//!
+//! [`ClusterBuilder`] replaces the seven-positional-argument
+//! `deploy_cluster` call with named setters over sane defaults, and
+//! [`JobBuilder`] replaces hand-rolled [`JobSpec`] struct literals:
+//!
+//! ```
+//! use accelmr_mapred::{ClusterBuilder, JobBuilder, SumReducer};
+//! use accelmr_mapred::FixedCostKernel;
+//!
+//! let mut cluster = ClusterBuilder::new().workers(2).seed(7).deploy();
+//! let mut session = cluster.session();
+//! session.submit(
+//!     JobBuilder::new("count")
+//!         .synthetic(10_000)
+//!         .kernel(FixedCostKernel::default())
+//!         .rpc_aggregate(SumReducer { cycles_per_byte: 1.0 }),
+//! );
+//! let result = session.run();
+//! assert!(result.succeeded);
+//! ```
+
+use std::sync::Arc;
+
+use accelmr_dfs::DfsConfig;
+use accelmr_net::NetConfig;
+
+use crate::cluster::{deploy_cluster_impl, MrCluster, PreloadSpec};
+use crate::config::MrConfig;
+use crate::job::{JobInput, JobSpec, OutputSink, ReduceSpec};
+use crate::kernel::{NodeEnvFactory, NullEnvFactory, ReduceKernel, TaskKernel};
+use crate::session::JobRequest;
+
+/// Fluent deployment of a simulated cluster: fabric + DFS + MapReduce
+/// runtime over `workers` nodes, with named setters and defaults matching
+/// the paper's configuration (`NetConfig`/`DfsConfig`/`MrConfig` defaults,
+/// timing-only simulation, no accelerators).
+pub struct ClusterBuilder {
+    seed: u64,
+    workers: usize,
+    net: NetConfig,
+    dfs: DfsConfig,
+    mr: MrConfig,
+    env: Box<dyn NodeEnvFactory>,
+    materialized: bool,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts from the defaults: seed 42, 4 workers, default network/DFS/MR
+    /// configs, no per-node accelerator state, timing-only data.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            seed: 42,
+            workers: 4,
+            net: NetConfig::default(),
+            dfs: DfsConfig::default(),
+            mr: MrConfig::default(),
+            env: Box::new(NullEnvFactory),
+            materialized: false,
+        }
+    }
+
+    /// Seed of the deterministic simulation RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of worker nodes (the JobTracker's head node is extra).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Network fabric configuration.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// DFS configuration.
+    pub fn dfs(mut self, dfs: DfsConfig) -> Self {
+        self.dfs = dfs;
+        self
+    }
+
+    /// MapReduce runtime configuration.
+    pub fn mr(mut self, mr: MrConfig) -> Self {
+        self.mr = mr;
+        self
+    }
+
+    /// Per-node accelerator environment factory (the hybrid crate's
+    /// `CellEnvFactory` plugs in here).
+    pub fn env(mut self, env: impl NodeEnvFactory + 'static) -> Self {
+        self.env = Box::new(env);
+        self
+    }
+
+    /// Pre-boxed environment factory (when the concrete type is erased).
+    pub fn env_boxed(mut self, env: Box<dyn NodeEnvFactory>) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Materialized mode: DataNodes store and serve real bytes so kernels
+    /// run functionally (end-to-end verification). Default is timing-only.
+    pub fn materialized(mut self, materialized: bool) -> Self {
+        self.materialized = materialized;
+        self
+    }
+
+    /// Deploys the cluster: spawns the fabric, NameNode/DataNodes, and
+    /// JobTracker/TaskTrackers into a fresh simulation.
+    pub fn deploy(self) -> MrCluster {
+        deploy_cluster_impl(
+            self.seed,
+            self.workers,
+            self.net,
+            self.dfs,
+            self.mr,
+            self.env.as_ref(),
+            self.materialized,
+        )
+    }
+}
+
+/// Fluent construction of a [`JobSpec`], optionally bundling the DFS
+/// preloads the job's input depends on (carried to the
+/// [`Session`](crate::Session) by [`JobRequest`]).
+///
+/// Required before [`build`](JobBuilder::build): an input
+/// ([`input_file`](JobBuilder::input_file) or
+/// [`synthetic`](JobBuilder::synthetic)) and a kernel
+/// ([`kernel`](JobBuilder::kernel)). Everything else defaults to a
+/// map-only job discarding its output.
+#[derive(Clone)]
+pub struct JobBuilder {
+    name: String,
+    input: Option<JobInput>,
+    kernel: Option<Arc<dyn TaskKernel>>,
+    num_map_tasks: Option<usize>,
+    output: OutputSink,
+    reduce: ReduceSpec,
+    preloads: Vec<PreloadSpec>,
+}
+
+impl JobBuilder {
+    /// Starts a job description under `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder {
+            name: name.into(),
+            input: None,
+            kernel: None,
+            num_map_tasks: None,
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::None,
+            preloads: Vec::new(),
+        }
+    }
+
+    /// Renames the job.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Data-intensive input: a DFS file split across map tasks. Record
+    /// granularity defaults to one DFS block (64 MB, per the paper);
+    /// override with [`record_bytes`](JobBuilder::record_bytes).
+    pub fn input_file(mut self, path: impl Into<String>) -> Self {
+        self.input = Some(JobInput::File {
+            path: path.into(),
+            record_bytes: None,
+        });
+        self
+    }
+
+    /// Record granularity of a file input. Panics if called before
+    /// [`input_file`](JobBuilder::input_file).
+    pub fn record_bytes(mut self, bytes: u64) -> Self {
+        match &mut self.input {
+            Some(JobInput::File { record_bytes, .. }) => *record_bytes = Some(bytes),
+            _ => panic!("record_bytes requires input_file to be set first"),
+        }
+        self
+    }
+
+    /// CPU-intensive input: `total_units` synthetic work units split evenly
+    /// across map tasks (the Pi estimator's samples).
+    pub fn synthetic(mut self, total_units: u64) -> Self {
+        self.input = Some(JobInput::Synthetic { total_units });
+        self
+    }
+
+    /// An explicit [`JobInput`].
+    pub fn input(mut self, input: JobInput) -> Self {
+        self.input = Some(input);
+        self
+    }
+
+    /// The map kernel.
+    pub fn kernel(mut self, kernel: impl TaskKernel + 'static) -> Self {
+        self.kernel = Some(Arc::new(kernel));
+        self
+    }
+
+    /// The map kernel, pre-wrapped (shared or type-erased kernels).
+    pub fn kernel_arc(mut self, kernel: Arc<dyn TaskKernel>) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Number of map tasks. Default: one per configured map slot (the
+    /// paper's `NumMappers`).
+    pub fn map_tasks(mut self, tasks: usize) -> Self {
+        self.num_map_tasks = Some(tasks);
+        self
+    }
+
+    /// An explicit [`OutputSink`].
+    pub fn output(mut self, output: OutputSink) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// Discard map output (the default; the paper's EmptyMapper shape).
+    pub fn discard_output(mut self) -> Self {
+        self.output = OutputSink::Discard;
+        self
+    }
+
+    /// Account and digest map output without writing it back (kernel-level
+    /// verification without write traffic).
+    pub fn digest_output(mut self) -> Self {
+        self.output = OutputSink::Digest;
+        self
+    }
+
+    /// Write map output to a DFS directory (`<path>/part-NNNNN` per task).
+    pub fn write_output(mut self, path: impl Into<String>, replication: Option<usize>) -> Self {
+        self.output = OutputSink::Dfs {
+            path: path.into(),
+            replication,
+        };
+        self
+    }
+
+    /// An explicit [`ReduceSpec`].
+    pub fn reduce(mut self, reduce: ReduceSpec) -> Self {
+        self.reduce = reduce;
+        self
+    }
+
+    /// Map-only job (the default).
+    pub fn no_reduce(mut self) -> Self {
+        self.reduce = ReduceSpec::None;
+        self
+    }
+
+    /// Tiny per-task results aggregated at the JobTracker (the shape of
+    /// Hadoop's PiEstimator).
+    pub fn rpc_aggregate(mut self, reducer: impl ReduceKernel + 'static) -> Self {
+        self.reduce = ReduceSpec::RpcAggregate {
+            reducer: Arc::new(reducer),
+        };
+        self
+    }
+
+    /// Full shuffle into `reducers` reduce tasks.
+    pub fn shuffle(
+        mut self,
+        reducers: usize,
+        reducer: impl ReduceKernel + 'static,
+        write_output: bool,
+    ) -> Self {
+        self.reduce = ReduceSpec::Shuffle {
+            reducers,
+            reducer: Arc::new(reducer),
+            write_output,
+        };
+        self
+    }
+
+    /// Attaches a DFS preload this job's input depends on; the session
+    /// driver runs all preloads before submitting the job.
+    pub fn preload(mut self, preload: PreloadSpec) -> Self {
+        self.preloads.push(preload);
+        self
+    }
+
+    /// Finishes the spec. Panics when no input or no kernel was set — both
+    /// are required for a runnable job.
+    pub fn build(self) -> JobSpec {
+        self.request().spec
+    }
+
+    /// Finishes the spec together with its preloads, ready for
+    /// [`Session::submit`](crate::Session::submit).
+    pub fn request(self) -> JobRequest {
+        let input = self.input.unwrap_or_else(|| {
+            panic!(
+                "JobBuilder '{}': no input set (input_file/synthetic)",
+                self.name
+            )
+        });
+        let kernel = self
+            .kernel
+            .unwrap_or_else(|| panic!("JobBuilder: no kernel set (kernel/kernel_arc)"));
+        JobRequest {
+            spec: JobSpec {
+                name: self.name,
+                input,
+                kernel,
+                num_map_tasks: self.num_map_tasks,
+                output: self.output,
+                reduce: self.reduce,
+            },
+            preloads: self.preloads,
+        }
+    }
+}
+
+impl PreloadSpec {
+    /// A preload of `len` bytes at `path`, content derived from `seed`,
+    /// with default block size and replication.
+    pub fn new(path: impl Into<String>, len: u64, seed: u64) -> Self {
+        PreloadSpec {
+            path: path.into(),
+            len,
+            block_size: None,
+            replication: None,
+            seed,
+        }
+    }
+
+    /// Overrides the DFS block size.
+    pub fn block_size(mut self, bytes: u64) -> Self {
+        self.block_size = Some(bytes);
+        self
+    }
+
+    /// Overrides the replication factor.
+    pub fn replication(mut self, replicas: usize) -> Self {
+        self.replication = Some(replicas);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{FixedCostKernel, SumReducer};
+
+    #[test]
+    fn job_builder_fills_spec() {
+        let req = JobBuilder::new("j")
+            .input_file("/f")
+            .record_bytes(1 << 20)
+            .kernel(FixedCostKernel::default())
+            .map_tasks(3)
+            .digest_output()
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            })
+            .preload(
+                PreloadSpec::new("/f", 4 << 20, 9)
+                    .block_size(1 << 20)
+                    .replication(2),
+            )
+            .request();
+        assert_eq!(req.spec.name, "j");
+        assert_eq!(req.spec.num_map_tasks, Some(3));
+        assert_eq!(req.spec.output, OutputSink::Digest);
+        assert_eq!(req.preloads.len(), 1);
+        assert_eq!(req.preloads[0].block_size, Some(1 << 20));
+        assert_eq!(req.preloads[0].replication, Some(2));
+        match &req.spec.input {
+            JobInput::File { path, record_bytes } => {
+                assert_eq!(path, "/f");
+                assert_eq!(*record_bytes, Some(1 << 20));
+            }
+            other => panic!("unexpected input {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no input")]
+    fn job_builder_requires_input() {
+        let _ = JobBuilder::new("x")
+            .kernel(FixedCostKernel::default())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no kernel")]
+    fn job_builder_requires_kernel() {
+        let _ = JobBuilder::new("x").synthetic(1).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "record_bytes requires input_file")]
+    fn record_bytes_requires_file_input() {
+        let _ = JobBuilder::new("x").record_bytes(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn cluster_builder_rejects_zero_workers() {
+        let _ = ClusterBuilder::new().workers(0).deploy();
+    }
+
+    #[test]
+    fn cluster_builder_deploys_workers() {
+        let c = ClusterBuilder::new().workers(3).seed(9).deploy();
+        assert_eq!(c.workers.len(), 3);
+        assert_eq!(c.mr.tasktrackers.len(), 3);
+    }
+}

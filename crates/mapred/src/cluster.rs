@@ -1,9 +1,13 @@
 //! Cluster assembly and synchronous job-driving helpers.
+//!
+//! The preferred deployment surface is [`ClusterBuilder`](crate::ClusterBuilder)
+//! and the preferred driving surface is [`Session`](crate::Session); the
+//! positional [`deploy_cluster`] / blocking [`run_job`] helpers remain as
+//! deprecated wrappers over them.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use accelmr_des::prelude::*;
-use accelmr_dfs::msgs::{PreloadDone, PreloadFile};
 use accelmr_dfs::DfsHandle;
 use accelmr_net::{NetHandle, NodeId};
 
@@ -11,7 +15,8 @@ use crate::config::MrConfig;
 use crate::job::{JobResult, JobSpec};
 use crate::jobtracker::{JobTracker, RegisterTaskTracker};
 use crate::kernel::NodeEnvFactory;
-use crate::msgs::{JobComplete, SubmitJob};
+use crate::msgs::SubmitJob;
+use crate::session::{JobRequest, Session};
 use crate::tasktracker::TaskTracker;
 
 /// Handle to a deployed MapReduce runtime.
@@ -79,7 +84,10 @@ pub fn deploy_mr(
         );
         let id = sim.spawn(Box::new(tt));
         tts.push((w, id));
-        sim.post(jobtracker, Box::new(RegisterTaskTracker { node: w, actor: id }));
+        sim.post(
+            jobtracker,
+            Box::new(RegisterTaskTracker { node: w, actor: id }),
+        );
     }
     MrHandle {
         jobtracker,
@@ -104,71 +112,12 @@ pub struct PreloadSpec {
     pub seed: u64,
 }
 
-/// Driver actor: preloads files, submits one job, captures the result.
-struct JobDriver {
-    mr: MrHandle,
-    dfs: DfsHandle,
-    node: NodeId,
-    preloads: Vec<PreloadSpec>,
-    preloads_left: usize,
-    spec: Option<JobSpec>,
-    out: Arc<Mutex<Option<JobResult>>>,
-    stop_when_done: bool,
-}
-
-impl Actor for JobDriver {
-    fn name(&self) -> String {
-        "mr.jobdriver".into()
-    }
-
-    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
-        match ev {
-            Event::Start => {
-                if self.preloads.is_empty() {
-                    let spec = self.spec.take().expect("spec present");
-                    let node = self.node;
-                    self.mr.submit(ctx, node, spec);
-                } else {
-                    let me = ctx.self_id();
-                    for p in &self.preloads {
-                        ctx.send(
-                            self.dfs.namenode,
-                            PreloadFile {
-                                path: p.path.clone(),
-                                len: p.len,
-                                block_size: p.block_size,
-                                replication: p.replication,
-                                seed: p.seed,
-                                reply: me,
-                            },
-                        );
-                    }
-                }
-            }
-            Event::Msg { msg, .. } => {
-                if msg.is::<PreloadDone>() {
-                    self.preloads_left -= 1;
-                    if self.preloads_left == 0 {
-                        if let Some(spec) = self.spec.take() {
-                            let node = self.node;
-                            self.mr.submit(ctx, node, spec);
-                        }
-                    }
-                } else if msg.is::<JobComplete>() {
-                    let done = msg.downcast::<JobComplete>().expect("checked");
-                    *self.out.lock().unwrap() = Some(done.result);
-                    if self.stop_when_done {
-                        ctx.stop();
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
 /// Preloads `preloads`, submits `spec` from the head node, runs the
 /// simulation to completion, and returns the job result.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session`: `let mut s = cluster.session(); s.submit(job); s.run()`"
+)]
 pub fn run_job(
     sim: &mut Sim,
     mr: &MrHandle,
@@ -176,21 +125,9 @@ pub fn run_job(
     preloads: Vec<PreloadSpec>,
     spec: JobSpec,
 ) -> JobResult {
-    let out = Arc::new(Mutex::new(None));
-    let preloads_left = preloads.len();
-    sim.spawn(Box::new(JobDriver {
-        mr: mr.clone(),
-        dfs: dfs.clone(),
-        node: mr.head_node,
-        preloads,
-        preloads_left,
-        spec: Some(spec),
-        out: out.clone(),
-        stop_when_done: true,
-    }));
-    sim.run();
-    let result = out.lock().unwrap().take();
-    result.expect("job did not complete — simulation drained without a JobComplete")
+    let mut session = Session::new(sim, mr.clone(), dfs.clone());
+    session.submit(JobRequest { spec, preloads });
+    session.run()
 }
 
 /// Everything a deployed simulation needs in one bundle.
@@ -207,7 +144,12 @@ pub struct MrCluster {
     pub workers: Vec<NodeId>,
 }
 
-/// One-call deployment: fabric + DFS + MapReduce over `n_workers` nodes.
+/// One-call positional deployment: fabric + DFS + MapReduce over
+/// `n_workers` nodes.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ClusterBuilder` (named setters with defaults) instead"
+)]
 pub fn deploy_cluster(
     seed: u64,
     n_workers: usize,
@@ -217,12 +159,53 @@ pub fn deploy_cluster(
     env_factory: &dyn NodeEnvFactory,
     materialized: bool,
 ) -> MrCluster {
+    deploy_cluster_impl(
+        seed,
+        n_workers,
+        net_cfg,
+        dfs_cfg,
+        mr_cfg,
+        env_factory,
+        materialized,
+    )
+}
+
+/// Deployment shared by [`ClusterBuilder`](crate::ClusterBuilder) and the
+/// deprecated [`deploy_cluster`]: both paths spawn the same actors in the
+/// same order, so they are event-for-event identical.
+pub(crate) fn deploy_cluster_impl(
+    seed: u64,
+    n_workers: usize,
+    net_cfg: accelmr_net::NetConfig,
+    dfs_cfg: accelmr_dfs::DfsConfig,
+    mr_cfg: MrConfig,
+    env_factory: &dyn NodeEnvFactory,
+    materialized: bool,
+) -> MrCluster {
+    // A workerless cluster can never complete a job: the JobTracker would
+    // wait forever for TaskTrackers that don't exist.
+    assert!(n_workers > 0, "cluster needs at least one worker node");
     let mut sim = Sim::new(seed);
     let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
     let fabric = sim.spawn(Box::new(accelmr_net::Fabric::new(net_cfg, n_workers + 1)));
     let net = NetHandle { fabric };
-    let dfs = accelmr_dfs::deploy_dfs(&mut sim, net, &dfs_cfg, NodeId::HEAD, &workers, materialized);
-    let mr = deploy_mr(&mut sim, net, &dfs, &mr_cfg, NodeId::HEAD, &workers, env_factory);
+    let dfs = accelmr_dfs::deploy_dfs(
+        &mut sim,
+        net,
+        &dfs_cfg,
+        NodeId::HEAD,
+        &workers,
+        materialized,
+    );
+    let mr = deploy_mr(
+        &mut sim,
+        net,
+        &dfs,
+        &mr_cfg,
+        NodeId::HEAD,
+        &workers,
+        env_factory,
+    );
     MrCluster {
         sim,
         net,

@@ -75,7 +75,11 @@ impl std::fmt::Debug for ReduceSpec {
             ReduceSpec::RpcAggregate { reducer } => {
                 write!(f, "ReduceSpec::RpcAggregate({})", reducer.name())
             }
-            ReduceSpec::Shuffle { reducers, reducer, write_output } => write!(
+            ReduceSpec::Shuffle {
+                reducers,
+                reducer,
+                write_output,
+            } => write!(
                 f,
                 "ReduceSpec::Shuffle({} x {}, write={})",
                 reducers,
@@ -250,6 +254,13 @@ pub struct JobResult {
     pub task_times: Vec<SimDuration>,
 }
 
+impl JobResult {
+    /// The aggregated value under `key`, if the job emitted one.
+    pub fn value(&self, key: u64) -> Option<u64> {
+        self.kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,7 +275,9 @@ mod tests {
             num_map_tasks: Some(4),
             output: OutputSink::Discard,
             reduce: ReduceSpec::RpcAggregate {
-                reducer: Arc::new(SumReducer { cycles_per_byte: 0.0 }),
+                reducer: Arc::new(SumReducer {
+                    cycles_per_byte: 0.0,
+                }),
             },
         };
         let s = format!("{spec:?}");

@@ -16,9 +16,7 @@ use accelmr_dfs::DfsHandle;
 use accelmr_net::{NetHandle, NodeId};
 
 use crate::config::{JobId, MrConfig, SchedulerPolicy, TaskId};
-use crate::job::{
-    JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskWork,
-};
+use crate::job::{JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskWork};
 use crate::msgs::{AssignTask, JobComplete, KillTask, SubmitJob, TaskReport, TtHeartbeat};
 
 const TIMER_LIVENESS: u64 = 0;
@@ -260,7 +258,11 @@ impl JobTracker {
         };
         let output = if ts.is_reduce {
             match &ts.work {
-                TaskWork::Reduce { write_output: true, output_path, .. } => OutputSink::Dfs {
+                TaskWork::Reduce {
+                    write_output: true,
+                    output_path,
+                    ..
+                } => OutputSink::Dfs {
                     path: output_path.clone(),
                     replication: None,
                 },
@@ -289,9 +291,7 @@ impl JobTracker {
             let mut ids: Vec<u32> = self
                 .jobs
                 .iter()
-                .filter(|(_, j)| {
-                    matches!(j.phase, Phase::MapRunning | Phase::ReduceRunning)
-                })
+                .filter(|(_, j)| matches!(j.phase, Phase::MapRunning | Phase::ReduceRunning))
                 .map(|(&id, _)| id)
                 .collect();
             ids.sort_unstable();
@@ -349,10 +349,8 @@ impl JobTracker {
                 continue; // don't duplicate onto the same machine
             }
             let elapsed = now.since(started).as_nanos();
-            if (elapsed as f64) > threshold {
-                if best.map(|(_, e)| elapsed > e).unwrap_or(true) {
-                    best = Some((TaskId(i as u32), elapsed));
-                }
+            if (elapsed as f64) > threshold && best.map(|(_, e)| elapsed > e).unwrap_or(true) {
+                best = Some((TaskId(i as u32), elapsed));
             }
         }
         best.map(|(t, _)| t)
@@ -366,7 +364,8 @@ impl JobTracker {
         let Some(ts) = job.tasks.get_mut(report.task.0 as usize) else {
             return;
         };
-        ts.running.retain(|&(a, n, _)| !(a == report.attempt && n == report.node));
+        ts.running
+            .retain(|&(a, n, _)| !(a == report.attempt && n == report.node));
 
         if !report.ok {
             job.failed_attempts += 1;
@@ -477,7 +476,12 @@ impl JobTracker {
         let Some(job) = self.jobs.get_mut(&job_id.0) else {
             return;
         };
-        let ReduceSpec::Shuffle { reducers, write_output, .. } = &job.spec.reduce else {
+        let ReduceSpec::Shuffle {
+            reducers,
+            write_output,
+            ..
+        } = &job.spec.reduce
+        else {
             return;
         };
         let reducers = *reducers;
@@ -494,8 +498,8 @@ impl JobTracker {
             let fetches: Vec<(NodeId, u64)> = outputs
                 .iter()
                 .map(|&(node, bytes, _)| {
-                    let share = bytes / reducers as u64
-                        + u64::from((bytes % reducers as u64) > r as u64);
+                    let share =
+                        bytes / reducers as u64 + u64::from((bytes % reducers as u64) > r as u64);
                     (node, share)
                 })
                 .collect();
@@ -527,7 +531,10 @@ impl JobTracker {
             }
             job.phase = Phase::Finalizing;
         }
-        ctx.after(self.cfg.job_finalize_time, job_timer_tag(KIND_FINALIZE, job_id));
+        ctx.after(
+            self.cfg.job_finalize_time,
+            job_timer_tag(KIND_FINALIZE, job_id),
+        );
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, job_id: JobId) {
@@ -630,7 +637,10 @@ impl Actor for JobTracker {
             Event::Start => {
                 ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
             }
-            Event::Timer { tag: TIMER_LIVENESS, .. } => {
+            Event::Timer {
+                tag: TIMER_LIVENESS,
+                ..
+            } => {
                 self.check_liveness(ctx);
                 ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
             }

@@ -188,10 +188,7 @@ impl TaskKernel for FixedCostKernel {
             compute: self.per_record,
             output_bytes,
             output: None,
-            digest: rec
-                .bytes
-                .map(accelmr_kernels::checksum)
-                .unwrap_or(0),
+            digest: rec.bytes.map(accelmr_kernels::checksum).unwrap_or(0),
             kv: vec![(rec.abs_offset / rec.len.max(1), 1)],
         }
     }
@@ -238,7 +235,9 @@ mod tests {
 
     #[test]
     fn sum_reducer_aggregates_per_key() {
-        let r = SumReducer { cycles_per_byte: 1.0 };
+        let r = SumReducer {
+            cycles_per_byte: 1.0,
+        };
         let out = r.aggregate(&[(1, 2), (2, 5), (1, 3)]);
         assert_eq!(out, vec![(1, 5), (2, 5)]);
         assert!(r.reduce_time(1 << 20, 100) > SimDuration::ZERO);

@@ -20,18 +20,29 @@
 //!
 //! Map kernels are pluggable ([`TaskKernel`]); the hybrid crate provides
 //! the paper's Java/Cell kernels on top of the Cell BE simulator.
+//!
+//! The user-facing surface is [`ClusterBuilder`] (fluent deployment),
+//! [`JobBuilder`] (fluent job description), and [`Session`] (N concurrent
+//! jobs with staggered arrivals, driven to completion deterministically).
+//! The positional `deploy_cluster` / blocking `run_job` helpers are
+//! deprecated wrappers over the same machinery.
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod cluster;
 pub mod config;
 pub mod job;
 pub mod jobtracker;
 pub mod kernel;
 pub mod msgs;
+pub mod session;
 pub mod tasktracker;
 
-pub use cluster::{deploy_cluster, deploy_mr, run_job, MrCluster, MrHandle, PreloadSpec};
+pub use builder::{ClusterBuilder, JobBuilder};
+#[allow(deprecated)]
+pub use cluster::{deploy_cluster, run_job};
+pub use cluster::{deploy_mr, MrCluster, MrHandle, PreloadSpec};
 pub use config::{JobId, MrConfig, SchedulerPolicy, TaskId};
 pub use job::{
     JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskMetrics, TaskWork,
@@ -42,6 +53,7 @@ pub use kernel::{
     ReduceKernel, SumReducer, TaskKernel, UnitsOutcome,
 };
 pub use msgs::{CrashTaskTracker, JobComplete, SubmitJob};
+pub use session::{JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;
 
 #[cfg(test)]

@@ -1,0 +1,319 @@
+//! Multi-job session driver.
+//!
+//! A [`Session`] generalizes the old single-job driver actor: any number of
+//! jobs can be queued — immediately or after a simulated delay — and the
+//! whole batch is driven to completion with deterministic discrete-event
+//! interleaving. Concurrent jobs share the cluster's slots exactly as they
+//! would under Hadoop's FIFO scheduler.
+//!
+//! ```
+//! use accelmr_mapred::{ClusterBuilder, JobBuilder, FixedCostKernel, SumReducer};
+//! use accelmr_des::SimDuration;
+//!
+//! let mut cluster = ClusterBuilder::new().workers(2).seed(3).deploy();
+//! let mut session = cluster.session();
+//! let a = session.submit(
+//!     JobBuilder::new("a").synthetic(100_000).kernel(FixedCostKernel::default())
+//!         .rpc_aggregate(SumReducer { cycles_per_byte: 1.0 }),
+//! );
+//! let b = session.submit_after(
+//!     SimDuration::from_secs(5),
+//!     JobBuilder::new("b").synthetic(100_000).kernel(FixedCostKernel::default())
+//!         .rpc_aggregate(SumReducer { cycles_per_byte: 1.0 }),
+//! );
+//! let results = session.run_until_complete();
+//! assert_eq!(results.len(), 2);
+//! assert!(a.result().succeeded && b.result().succeeded);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use accelmr_des::prelude::*;
+use accelmr_dfs::msgs::{PreloadDone, PreloadFile};
+use accelmr_dfs::DfsHandle;
+
+use crate::builder::JobBuilder;
+use crate::cluster::{MrCluster, MrHandle, PreloadSpec};
+use crate::job::{JobResult, JobSpec};
+use crate::msgs::JobComplete;
+
+/// A job plus the driver-side work it needs before submission (DFS
+/// preloads). What [`Session::submit`] accepts; [`JobSpec`] and
+/// [`JobBuilder`] both convert into it.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// The job description handed to the JobTracker.
+    pub spec: JobSpec,
+    /// Files preloaded into the DFS before the job is submitted.
+    pub preloads: Vec<PreloadSpec>,
+}
+
+impl From<JobSpec> for JobRequest {
+    fn from(spec: JobSpec) -> Self {
+        JobRequest {
+            spec,
+            preloads: Vec::new(),
+        }
+    }
+}
+
+impl From<JobBuilder> for JobRequest {
+    fn from(builder: JobBuilder) -> Self {
+        builder.request()
+    }
+}
+
+/// Shared slot a job's result lands in when its `JobComplete` arrives.
+type ResultSlot = Arc<Mutex<Option<JobResult>>>;
+
+/// Handle to a job submitted through a [`Session`]. Cheap to clone; the
+/// result becomes observable after
+/// [`run_until_complete`](Session::run_until_complete).
+#[derive(Clone)]
+pub struct JobHandle {
+    index: usize,
+    name: String,
+    slot: ResultSlot,
+}
+
+impl JobHandle {
+    /// Position of this job within its batch's submission order — its
+    /// index into the result vector of the
+    /// [`run_until_complete`](Session::run_until_complete) call that
+    /// drives it. Resets for each new batch on a reused session.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the job has completed.
+    pub fn is_complete(&self) -> bool {
+        self.slot.lock().unwrap().is_some()
+    }
+
+    /// The result, if the job has completed.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.slot.lock().unwrap().clone()
+    }
+
+    /// The result. Panics when the job has not completed yet (call
+    /// [`Session::run_until_complete`] first).
+    pub fn result(&self) -> JobResult {
+        self.try_result()
+            .unwrap_or_else(|| panic!("job '{}' has not completed yet", self.name))
+    }
+}
+
+struct PendingJob {
+    delay: SimDuration,
+    request: JobRequest,
+    slot: ResultSlot,
+}
+
+/// Drives N jobs through one deployed cluster. Jobs queued with
+/// [`submit`](Session::submit) /
+/// [`submit_after`](Session::submit_after) all run concurrently (subject to
+/// the JobTracker's scheduling) once
+/// [`run_until_complete`](Session::run_until_complete) is called; the
+/// session can then queue and run further batches against the same,
+/// still-warm cluster.
+pub struct Session<'a> {
+    sim: &'a mut Sim,
+    mr: MrHandle,
+    dfs: DfsHandle,
+    pending: Vec<PendingJob>,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session over an already-deployed runtime.
+    pub fn new(sim: &'a mut Sim, mr: MrHandle, dfs: DfsHandle) -> Self {
+        Session {
+            sim,
+            mr,
+            dfs,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The underlying simulation (e.g. to inject faults before running).
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        self.sim
+    }
+
+    /// Queues a job for submission at the current simulated instant.
+    pub fn submit(&mut self, request: impl Into<JobRequest>) -> JobHandle {
+        self.submit_after(SimDuration::ZERO, request)
+    }
+
+    /// Queues a job whose submission is staggered by `delay` relative to
+    /// the start of the next [`run_until_complete`](Session::run_until_complete)
+    /// call (preloads run after the delay, immediately before submission).
+    pub fn submit_after(
+        &mut self,
+        delay: SimDuration,
+        request: impl Into<JobRequest>,
+    ) -> JobHandle {
+        let request = request.into();
+        let slot: ResultSlot = Arc::new(Mutex::new(None));
+        let handle = JobHandle {
+            index: self.pending.len(),
+            name: request.spec.name.clone(),
+            slot: slot.clone(),
+        };
+        self.pending.push(PendingJob {
+            delay,
+            request,
+            slot,
+        });
+        handle
+    }
+
+    /// Runs the simulation until every queued job has completed, and
+    /// returns their results in submission order. Returns an empty vector
+    /// when nothing is queued. Panics if the simulation drains without
+    /// completing every job (a runtime bug, not a job failure — failed jobs
+    /// complete with `succeeded == false`).
+    pub fn run_until_complete(&mut self) -> Vec<JobResult> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let outstanding = Arc::new(Mutex::new(self.pending.len()));
+        let batch: Vec<(String, ResultSlot)> = self
+            .pending
+            .iter()
+            .map(|p| (p.request.spec.name.clone(), p.slot.clone()))
+            .collect();
+        for job in self.pending.drain(..) {
+            self.sim.spawn(Box::new(JobDriver {
+                mr: self.mr.clone(),
+                dfs: self.dfs.clone(),
+                delay: job.delay,
+                preloads: job.request.preloads,
+                preloads_left: 0,
+                spec: Some(job.request.spec),
+                slot: job.slot,
+                outstanding: outstanding.clone(),
+            }));
+        }
+        self.sim.run();
+        batch
+            .into_iter()
+            .map(|(name, slot)| {
+                let result = slot.lock().unwrap().clone();
+                result.unwrap_or_else(|| {
+                    panic!("job '{name}' did not complete — simulation drained without its JobComplete")
+                })
+            })
+            .collect()
+    }
+
+    /// Convenience for the single-job case: queues nothing new, drives the
+    /// batch, and returns the one result. Panics unless exactly one job is
+    /// queued.
+    pub fn run(&mut self) -> JobResult {
+        assert_eq!(
+            self.pending.len(),
+            1,
+            "Session::run expects exactly one queued job; use run_until_complete"
+        );
+        self.run_until_complete().pop().expect("one result")
+    }
+}
+
+impl MrCluster {
+    /// Opens a [`Session`] over this cluster.
+    pub fn session(&mut self) -> Session<'_> {
+        Session::new(&mut self.sim, self.mr.clone(), self.dfs.clone())
+    }
+}
+
+const SUBMIT_TIMER_TAG: u64 = 1;
+
+/// Per-job driver actor: waits out the submission delay, preloads input
+/// files, submits the job, captures the result, and stops the world once
+/// the whole batch is done.
+struct JobDriver {
+    mr: MrHandle,
+    dfs: DfsHandle,
+    delay: SimDuration,
+    preloads: Vec<PreloadSpec>,
+    preloads_left: usize,
+    spec: Option<JobSpec>,
+    slot: ResultSlot,
+    outstanding: Arc<Mutex<usize>>,
+}
+
+impl JobDriver {
+    fn begin(&mut self, ctx: &mut Ctx<'_>) {
+        if self.preloads.is_empty() {
+            self.submit(ctx);
+        } else {
+            self.preloads_left = self.preloads.len();
+            let me = ctx.self_id();
+            for p in self.preloads.drain(..) {
+                ctx.send(
+                    self.dfs.namenode,
+                    PreloadFile {
+                        path: p.path,
+                        len: p.len,
+                        block_size: p.block_size,
+                        replication: p.replication,
+                        seed: p.seed,
+                        reply: me,
+                    },
+                );
+            }
+        }
+    }
+
+    fn submit(&mut self, ctx: &mut Ctx<'_>) {
+        let spec = self.spec.take().expect("spec present");
+        let node = self.mr.head_node;
+        self.mr.submit(ctx, node, spec);
+    }
+}
+
+impl Actor for JobDriver {
+    fn name(&self) -> String {
+        "mr.session.job".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                if self.delay == SimDuration::ZERO {
+                    self.begin(ctx);
+                } else {
+                    ctx.after(self.delay, SUBMIT_TIMER_TAG);
+                }
+            }
+            Event::Timer {
+                tag: SUBMIT_TIMER_TAG,
+                ..
+            } => {
+                self.begin(ctx);
+            }
+            Event::Msg { msg, .. } => {
+                if msg.is::<PreloadDone>() {
+                    self.preloads_left -= 1;
+                    if self.preloads_left == 0 {
+                        self.submit(ctx);
+                    }
+                } else if msg.is::<JobComplete>() {
+                    let done = msg.downcast::<JobComplete>().expect("checked");
+                    *self.slot.lock().unwrap() = Some(done.result);
+                    let mut left = self.outstanding.lock().unwrap();
+                    *left -= 1;
+                    if *left == 0 {
+                        ctx.stop();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -172,7 +172,10 @@ impl TaskTracker {
     }
 
     fn free_slots(&self) -> usize {
-        self.slots.iter().filter(|s| matches!(s, Slot::Idle)).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Idle))
+            .count()
     }
 
     fn tag(&mut self) -> u64 {
@@ -217,7 +220,12 @@ impl TaskTracker {
 
     fn record_bounds(work: &TaskWork, rec: u64) -> (u64, u64) {
         match work {
-            TaskWork::MapRange { start, end, record_bytes, .. } => {
+            TaskWork::MapRange {
+                start,
+                end,
+                record_bytes,
+                ..
+            } => {
                 let rs = start + rec * record_bytes;
                 let rl = (*end - rs).min(*record_bytes);
                 (rs, rl)
@@ -340,9 +348,7 @@ impl TaskTracker {
             let TaskWork::MapRange { blocks, .. } = &run.desc.work else {
                 return;
             };
-            Self::segments_of(blocks, rs, rl)
-                .get(rctx.seg)
-                .cloned()
+            Self::segments_of(blocks, rs, rl).get(rctx.seg).cloned()
         };
         let Some(seg) = seg else {
             self.fail_task(ctx, rctx.slot, rctx.gen);
@@ -544,7 +550,8 @@ impl TaskTracker {
             digest: run.digest.finish(),
             node: self.node,
         });
-        ctx.stats().incr(if ok { "mr.tasks_ok" } else { "mr.tasks_failed" });
+        ctx.stats()
+            .incr(if ok { "mr.tasks_ok" } else { "mr.tasks_failed" });
         if !self.cfg.assign_on_heartbeat_only {
             self.send_heartbeat(ctx);
         }
@@ -577,9 +584,12 @@ impl TaskTracker {
         self.gen_counter = self.gen_counter.wrapping_add(1);
         let gen = self.gen_counter;
         let n_records = match &descriptor.work {
-            TaskWork::MapRange { start, end, record_bytes, .. } => {
-                (end - start).div_ceil(*record_bytes)
-            }
+            TaskWork::MapRange {
+                start,
+                end,
+                record_bytes,
+                ..
+            } => (end - start).div_ceil(*record_bytes),
             _ => 0,
         };
         let run = TaskRun {
@@ -750,7 +760,10 @@ impl Actor for TaskTracker {
                 let jitter = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
                 ctx.after(jitter, TIMER_HEARTBEAT);
             }
-            Event::Timer { tag: TIMER_HEARTBEAT, .. } => {
+            Event::Timer {
+                tag: TIMER_HEARTBEAT,
+                ..
+            } => {
                 self.send_heartbeat(ctx);
                 ctx.after(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
             }

@@ -8,52 +8,53 @@ use accelmr_des::{SimDuration, SimTime};
 use accelmr_dfs::DfsConfig;
 use accelmr_net::NetConfig;
 
-use crate::cluster::{deploy_cluster, run_job, MrCluster, PreloadSpec};
+use crate::builder::{ClusterBuilder, JobBuilder};
+use crate::cluster::{MrCluster, PreloadSpec};
 use crate::config::{MrConfig, SchedulerPolicy};
-use crate::job::{JobInput, JobResult, JobSpec, OutputSink, ReduceSpec};
-use crate::kernel::{
-    FixedCostKernel, NodeEnv, NullEnvFactory, SumReducer, TaskKernel, UnitsOutcome,
-};
+use crate::job::{JobResult, JobSpec};
+use crate::kernel::{FixedCostKernel, NodeEnv, SumReducer, TaskKernel, UnitsOutcome};
 use crate::msgs::CrashTaskTracker;
+use crate::session::JobRequest;
 
 const MB: u64 = 1 << 20;
 
 fn cluster(seed: u64, workers: usize, mr_cfg: MrConfig, materialized: bool) -> MrCluster {
-    deploy_cluster(
-        seed,
-        workers,
-        NetConfig::default(),
-        DfsConfig::default(),
-        mr_cfg,
-        &NullEnvFactory,
-        materialized,
-    )
+    ClusterBuilder::new()
+        .seed(seed)
+        .workers(workers)
+        .dfs(DfsConfig::default())
+        .net(NetConfig::default())
+        .mr(mr_cfg)
+        .materialized(materialized)
+        .deploy()
 }
 
 fn synthetic_spec(kernel: Arc<dyn TaskKernel>, units: u64, maps: Option<usize>) -> JobSpec {
-    JobSpec {
-        name: "synthetic".into(),
-        input: JobInput::Synthetic { total_units: units },
-        kernel,
-        num_map_tasks: maps,
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::RpcAggregate {
-            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
-        },
+    let builder = JobBuilder::new("synthetic")
+        .synthetic(units)
+        .kernel_arc(kernel)
+        .rpc_aggregate(SumReducer {
+            cycles_per_byte: 1.0,
+        });
+    match maps {
+        Some(n) => builder.map_tasks(n),
+        None => builder,
     }
+    .build()
+}
+
+/// Drives one job (plus its preloads) through a fresh [`Session`].
+fn run_one(c: &mut MrCluster, preloads: Vec<PreloadSpec>, spec: JobSpec) -> JobResult {
+    let mut session = c.session();
+    session.submit(JobRequest { spec, preloads });
+    session.run()
 }
 
 #[test]
 fn synthetic_job_completes_and_aggregates() {
     let mut c = cluster(1, 4, MrConfig::default(), false);
     let kernel = Arc::new(FixedCostKernel::default());
-    let result = run_job(
-        &mut c.sim,
-        &c.mr,
-        &c.dfs,
-        vec![],
-        synthetic_spec(kernel, 1_000_000, None),
-    );
+    let result = run_one(&mut c, vec![], synthetic_spec(kernel, 1_000_000, None));
     assert!(result.succeeded);
     // Default task count = 2 slots × 4 nodes.
     assert_eq!(result.map_tasks, 8);
@@ -65,7 +66,11 @@ fn synthetic_job_completes_and_aggregates() {
     // The job floor: init + heartbeat dispatch + task start + finalize.
     let floor = MrConfig::default().job_init_time + MrConfig::default().job_finalize_time;
     assert!(result.elapsed > floor);
-    assert!(result.elapsed < SimDuration::from_secs(60), "{}", result.elapsed);
+    assert!(
+        result.elapsed < SimDuration::from_secs(60),
+        "{}",
+        result.elapsed
+    );
 }
 
 #[test]
@@ -79,21 +84,17 @@ fn file_job_processes_every_record_exactly_once() {
         replication: None,
         seed: 77,
     };
-    let spec = JobSpec {
-        name: "scan".into(),
-        input: JobInput::File {
-            path: "/in".into(),
-            record_bytes: Some(MB),
-        },
-        kernel: Arc::new(FixedCostKernel {
+    let spec = JobBuilder::new("scan")
+        .input_file("/in")
+        .record_bytes(MB)
+        .kernel(FixedCostKernel {
             per_record: SimDuration::from_millis(1),
             ..FixedCostKernel::default()
-        }),
-        num_map_tasks: Some(6),
-        output: OutputSink::Digest,
-        reduce: ReduceSpec::None,
-    };
-    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+        })
+        .map_tasks(6)
+        .digest_output()
+        .build();
+    let result = run_one(&mut c, vec![preload], spec);
     assert!(result.succeeded);
     assert_eq!(result.map_tasks, 6);
     assert_eq!(result.bytes_read, 18 * MB);
@@ -114,8 +115,10 @@ fn file_job_processes_every_record_exactly_once() {
 fn feed_cap_dominates_data_job_time() {
     // One node, one mapper slot, no pipelining interference: 4 records of
     // 8 MB at 8.5 MB/s ≈ 3.76 s of pure feed.
-    let mut mr_cfg = MrConfig::default();
-    mr_cfg.map_slots_per_node = 1;
+    let mr_cfg = MrConfig {
+        map_slots_per_node: 1,
+        ..MrConfig::default()
+    };
     let mut c = cluster(3, 1, mr_cfg, false);
     let preload = PreloadSpec {
         path: "/d".into(),
@@ -124,21 +127,16 @@ fn feed_cap_dominates_data_job_time() {
         replication: None,
         seed: 1,
     };
-    let spec = JobSpec {
-        name: "feed".into(),
-        input: JobInput::File {
-            path: "/d".into(),
-            record_bytes: Some(8 * MB),
-        },
-        kernel: Arc::new(FixedCostKernel {
+    let spec = JobBuilder::new("feed")
+        .input_file("/d")
+        .record_bytes(8 * MB)
+        .kernel(FixedCostKernel {
             per_record: SimDuration::from_micros(1), // compute ≈ free
             ..FixedCostKernel::default()
-        }),
-        num_map_tasks: Some(1),
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::None,
-    };
-    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+        })
+        .map_tasks(1)
+        .build();
+    let result = run_one(&mut c, vec![preload], spec);
     let feed_secs = (32 * MB) as f64 / 8.5e6;
     let total = result.elapsed.as_secs_f64();
     assert!(
@@ -155,9 +153,11 @@ fn feed_cap_dominates_data_job_time() {
 #[test]
 fn pipelined_reads_overlap_compute() {
     let run = |pipelined: bool| -> JobResult {
-        let mut mr_cfg = MrConfig::default();
-        mr_cfg.pipelined_reads = pipelined;
-        mr_cfg.map_slots_per_node = 1;
+        let mr_cfg = MrConfig {
+            pipelined_reads: pipelined,
+            map_slots_per_node: 1,
+            ..MrConfig::default()
+        };
         let mut c = cluster(4, 1, mr_cfg, false);
         let preload = PreloadSpec {
             path: "/p".into(),
@@ -166,22 +166,17 @@ fn pipelined_reads_overlap_compute() {
             replication: None,
             seed: 2,
         };
-        let spec = JobSpec {
-            name: "pipe".into(),
-            input: JobInput::File {
-                path: "/p".into(),
-                record_bytes: Some(8 * MB),
-            },
-            // Compute ≈ feed time per record: overlap halves the total.
-            kernel: Arc::new(FixedCostKernel {
+        // Compute ≈ feed time per record: overlap halves the total.
+        let spec = JobBuilder::new("pipe")
+            .input_file("/p")
+            .record_bytes(8 * MB)
+            .kernel(FixedCostKernel {
                 per_record: SimDuration::from_secs_f64(8.0 * MB as f64 / 8.5e6),
                 ..FixedCostKernel::default()
-            }),
-            num_map_tasks: Some(1),
-            output: OutputSink::Discard,
-            reduce: ReduceSpec::None,
-        };
-        run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec)
+            })
+            .map_tasks(1)
+            .build();
+        run_one(&mut c, vec![preload], spec)
     };
     let with = run(true);
     let without = run(false);
@@ -200,8 +195,10 @@ fn pipelined_reads_overlap_compute() {
 #[test]
 fn locality_scheduler_beats_fifo() {
     let run = |policy: SchedulerPolicy| -> JobResult {
-        let mut mr_cfg = MrConfig::default();
-        mr_cfg.scheduler = policy;
+        let mr_cfg = MrConfig {
+            scheduler: policy,
+            ..MrConfig::default()
+        };
         let mut c = cluster(5, 4, mr_cfg, false);
         // One block per task so a local assignment means a local read.
         let preload = PreloadSpec {
@@ -211,21 +208,16 @@ fn locality_scheduler_beats_fifo() {
             replication: None,
             seed: 3,
         };
-        let spec = JobSpec {
-            name: "loc".into(),
-            input: JobInput::File {
-                path: "/l".into(),
-                record_bytes: Some(4 * MB),
-            },
-            kernel: Arc::new(FixedCostKernel {
+        let spec = JobBuilder::new("loc")
+            .input_file("/l")
+            .record_bytes(4 * MB)
+            .kernel(FixedCostKernel {
                 per_record: SimDuration::from_millis(5),
                 ..FixedCostKernel::default()
-            }),
-            num_map_tasks: Some(16),
-            output: OutputSink::Discard,
-            reduce: ReduceSpec::None,
-        };
-        run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec)
+            })
+            .map_tasks(16)
+            .build();
+        run_one(&mut c, vec![preload], spec)
     };
     let local = run(SchedulerPolicy::LocalityFirst);
     let fifo = run(SchedulerPolicy::Fifo);
@@ -250,20 +242,16 @@ fn tasktracker_crash_recovers_with_reexecution() {
         replication: Some(2),
         seed: 9,
     };
-    let spec = JobSpec {
-        name: "ft".into(),
-        input: JobInput::File {
-            path: "/ft".into(),
-            record_bytes: Some(2 * MB),
-        },
-        kernel: Arc::new(FixedCostKernel {
+    let spec = JobBuilder::new("ft")
+        .input_file("/ft")
+        .record_bytes(2 * MB)
+        .kernel(FixedCostKernel {
             per_record: SimDuration::from_secs(4),
             ..FixedCostKernel::default()
-        }),
-        num_map_tasks: Some(6),
-        output: OutputSink::Digest,
-        reduce: ReduceSpec::None,
-    };
+        })
+        .map_tasks(6)
+        .digest_output()
+        .build();
     // Crash node 1's TaskTracker 20 s in (mid-map), and abort its flows.
     let victim_tt = c.mr.tasktracker_on(accelmr_net::NodeId(1)).unwrap();
     c.sim.post_after(
@@ -272,7 +260,7 @@ fn tasktracker_crash_recovers_with_reexecution() {
         SimDuration::from_secs(20),
     );
 
-    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+    let result = run_one(&mut c, vec![preload], spec);
     assert!(result.succeeded);
     assert_eq!(result.map_tasks, 6);
     // Work was re-executed.
@@ -290,10 +278,7 @@ fn tasktracker_crash_recovers_with_reexecution() {
         expect.add(accelmr_kernels::checksum(&buf));
     }
     assert_eq!(result.digest, expect.finish());
-    assert_eq!(
-        c.sim.stats().counter("mr.tasktrackers_declared_dead"),
-        1
-    );
+    assert_eq!(c.sim.stats().counter("mr.tasktrackers_declared_dead"), 1);
 }
 
 /// Kernel whose task 0 is pathologically slow — a straggler generator.
@@ -324,13 +309,13 @@ impl TaskKernel for SkewKernel {
 
 #[test]
 fn speculative_execution_duplicates_stragglers() {
-    let mut mr_cfg = MrConfig::default();
-    mr_cfg.speculative = true;
+    let mr_cfg = MrConfig {
+        speculative: true,
+        ..MrConfig::default()
+    };
     let mut c = cluster(7, 4, mr_cfg, false);
-    let result = run_job(
-        &mut c.sim,
-        &c.mr,
-        &c.dfs,
+    let result = run_one(
+        &mut c,
         vec![],
         synthetic_spec(Arc::new(SkewKernel), 800_000, Some(8)),
     );
@@ -356,27 +341,26 @@ fn shuffle_reduce_runs_and_writes() {
         replication: None,
         seed: 4,
     };
-    let spec = JobSpec {
-        name: "sortish".into(),
-        input: JobInput::File {
-            path: "/sh".into(),
-            record_bytes: Some(4 * MB),
-        },
-        // Map output = input (sorted runs), kept node-local for shuffle.
-        kernel: Arc::new(FixedCostKernel {
+    // Map output = input (sorted runs), kept node-local for shuffle.
+    let spec = JobBuilder::new("sortish")
+        .input_file("/sh")
+        .record_bytes(4 * MB)
+        .kernel(FixedCostKernel {
             per_record: SimDuration::from_millis(50),
             output_ratio_percent: 100,
             ..FixedCostKernel::default()
-        }),
-        num_map_tasks: Some(6),
-        output: OutputSink::Digest,
-        reduce: ReduceSpec::Shuffle {
-            reducers: 3,
-            reducer: Arc::new(SumReducer { cycles_per_byte: 2.0 }),
-            write_output: true,
-        },
-    };
-    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+        })
+        .map_tasks(6)
+        .digest_output()
+        .shuffle(
+            3,
+            SumReducer {
+                cycles_per_byte: 2.0,
+            },
+            true,
+        )
+        .build();
+    let result = run_one(&mut c, vec![preload], spec);
     assert!(result.succeeded);
     assert_eq!(result.map_tasks, 6);
     assert_eq!(result.reduce_tasks, 3);
@@ -398,18 +382,13 @@ fn deterministic_runs_from_same_seed() {
             replication: None,
             seed: 5,
         };
-        let spec = JobSpec {
-            name: "det".into(),
-            input: JobInput::File {
-                path: "/det".into(),
-                record_bytes: Some(4 * MB),
-            },
-            kernel: Arc::new(FixedCostKernel::default()),
-            num_map_tasks: Some(4),
-            output: OutputSink::Discard,
-            reduce: ReduceSpec::None,
-        };
-        let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![preload], spec);
+        let spec = JobBuilder::new("det")
+            .input_file("/det")
+            .record_bytes(4 * MB)
+            .kernel(FixedCostKernel::default())
+            .map_tasks(4)
+            .build();
+        let result = run_one(&mut c, vec![preload], spec);
         (result.elapsed, c.sim.trace().fingerprint())
     };
     let (e1, f1) = run_fp();
@@ -421,18 +400,11 @@ fn deterministic_runs_from_same_seed() {
 #[test]
 fn missing_input_fails_gracefully() {
     let mut c = cluster(10, 2, MrConfig::default(), false);
-    let spec = JobSpec {
-        name: "missing".into(),
-        input: JobInput::File {
-            path: "/does-not-exist".into(),
-            record_bytes: None,
-        },
-        kernel: Arc::new(FixedCostKernel::default()),
-        num_map_tasks: None,
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::None,
-    };
-    let result = run_job(&mut c.sim, &c.mr, &c.dfs, vec![], spec);
+    let spec = JobBuilder::new("missing")
+        .input_file("/does-not-exist")
+        .kernel(FixedCostKernel::default())
+        .build();
+    let result = run_one(&mut c, vec![], spec);
     assert!(!result.succeeded);
     assert_eq!(result.map_tasks, 0);
 }
@@ -445,16 +417,12 @@ fn heartbeat_pacing_sets_minimum_job_time() {
         per_unit_ns: 0,
         ..FixedCostKernel::default()
     });
-    let result = run_job(
-        &mut c.sim,
-        &c.mr,
-        &c.dfs,
-        vec![],
-        synthetic_spec(kernel, 1, Some(1)),
-    );
+    let result = run_one(&mut c, vec![], synthetic_spec(kernel, 1, Some(1)));
     let cfg = MrConfig::default();
-    let hard_floor =
-        cfg.job_init_time + cfg.task_start_overhead + cfg.task_cleanup_overhead + cfg.job_finalize_time;
+    let hard_floor = cfg.job_init_time
+        + cfg.task_start_overhead
+        + cfg.task_cleanup_overhead
+        + cfg.job_finalize_time;
     assert!(
         result.elapsed > hard_floor,
         "elapsed {} vs floor {}",

@@ -76,9 +76,6 @@ mod tests {
         let d0 = cfg.rpc_delay(0);
         assert_eq!(d0, cfg.rpc_latency);
         let d = cfg.rpc_delay(125_000_000);
-        assert_eq!(
-            d.as_nanos(),
-            cfg.rpc_latency.as_nanos() + 1_000_000_000
-        );
+        assert_eq!(d.as_nanos(), cfg.rpc_latency.as_nanos() + 1_000_000_000);
     }
 }

@@ -128,8 +128,12 @@ impl Fabric {
     /// Builds a fabric for `nodes` machines.
     pub fn new(cfg: NetConfig, nodes: usize) -> Self {
         let mut links = LinkTable::new();
-        let tx = (0..nodes).map(|_| links.add(cfg.link_bytes_per_sec)).collect();
-        let rx = (0..nodes).map(|_| links.add(cfg.link_bytes_per_sec)).collect();
+        let tx = (0..nodes)
+            .map(|_| links.add(cfg.link_bytes_per_sec))
+            .collect();
+        let rx = (0..nodes)
+            .map(|_| links.add(cfg.link_bytes_per_sec))
+            .collect();
         let loopback = (0..nodes)
             .map(|_| links.add(cfg.loopback_bytes_per_sec))
             .collect();
@@ -181,7 +185,13 @@ impl Fabric {
             ctx.stats().incr("net.flows_done");
             match f.on_done {
                 Some(payload) => ctx.send_boxed(f.notify, payload, SimDuration::ZERO),
-                None => ctx.send(f.notify, FlowDone { tag: f.tag, bytes: f.total }),
+                None => ctx.send(
+                    f.notify,
+                    FlowDone {
+                        tag: f.tag,
+                        bytes: f.total,
+                    },
+                ),
             }
         }
     }
@@ -246,7 +256,13 @@ impl Actor for Fabric {
                     if req.bytes == 0 {
                         match req.on_done {
                             Some(payload) => ctx.send_boxed(req.notify, payload, SimDuration::ZERO),
-                            None => ctx.send(req.notify, FlowDone { tag: req.tag, bytes: 0 }),
+                            None => ctx.send(
+                                req.notify,
+                                FlowDone {
+                                    tag: req.tag,
+                                    bytes: 0,
+                                },
+                            ),
                         }
                     } else {
                         let id = self.next_flow_id;
@@ -451,10 +467,7 @@ mod tests {
 
     #[test]
     fn two_flows_share_source_uplink() {
-        let done = run_flows(vec![
-            (1, 2, 125_000_000, None),
-            (1, 3, 125_000_000, None),
-        ]);
+        let done = run_flows(vec![(1, 2, 125_000_000, None), (1, 3, 125_000_000, None)]);
         assert_eq!(done.len(), 2);
         for (_, t) in &done {
             assert!((*t - 2.0).abs() < 1e-6, "t={t}");
@@ -466,10 +479,7 @@ mod tests {
         // Flow A: 125 MB, flow B: 62.5 MB on the same uplink. B finishes at
         // t=1 (62.5 MB at half rate), then A runs at full rate and finishes
         // at 1.5 s.
-        let done = run_flows(vec![
-            (1, 2, 125_000_000, None),
-            (1, 3, 62_500_000, None),
-        ]);
+        let done = run_flows(vec![(1, 2, 125_000_000, None), (1, 3, 62_500_000, None)]);
         let a = done.iter().find(|(tag, _)| *tag == 0).unwrap().1;
         let b = done.iter().find(|(tag, _)| *tag == 1).unwrap().1;
         assert!((b - 1.0).abs() < 1e-6, "b={b}");
@@ -568,9 +578,12 @@ mod tests {
             fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
                 match ev {
                     Event::Start => {
-                        self.net.start_flow(ctx, NodeId(1), NodeId(2), 125_000_000, None, 0);
-                        self.net.start_flow(ctx, NodeId(3), NodeId(1), 125_000_000, None, 1);
-                        self.net.start_flow(ctx, NodeId(3), NodeId(4), 125_000_000, None, 2);
+                        self.net
+                            .start_flow(ctx, NodeId(1), NodeId(2), 125_000_000, None, 0);
+                        self.net
+                            .start_flow(ctx, NodeId(3), NodeId(1), 125_000_000, None, 1);
+                        self.net
+                            .start_flow(ctx, NodeId(3), NodeId(4), 125_000_000, None, 2);
                         ctx.after(SimDuration::from_millis(100), 9);
                     }
                     Event::Timer { tag: 9, .. } => {

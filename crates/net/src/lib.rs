@@ -22,7 +22,5 @@ pub mod fabric;
 pub mod flow;
 
 pub use config::{NetConfig, NodeId};
-pub use fabric::{
-    AbortNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast,
-};
+pub use fabric::{AbortNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast};
 pub use flow::{max_min_rates, FlowDemand, LinkId, LinkTable};

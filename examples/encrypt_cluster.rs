@@ -12,7 +12,10 @@ fn main() {
     let bytes: u64 = 16 << 30; // 16 GB over 8 nodes
     let mr = MrConfig::default();
 
-    println!("distributed encryption, {nodes} nodes, {} GB input", bytes >> 30);
+    println!(
+        "distributed encryption, {nodes} nodes, {} GB input",
+        bytes >> 30
+    );
     println!(
         "{:>14} {:>12} {:>16} {:>12}",
         "mapper", "time (s)", "agg MB/s", "feed-bound?"
@@ -28,7 +31,11 @@ fn main() {
             format!("{mapper:?}"),
             secs,
             mbps,
-            if mbps < feed_ceiling * 1.05 { "yes" } else { "no" }
+            if mbps < feed_ceiling * 1.05 {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();

@@ -4,53 +4,44 @@
 //!
 //!     cargo run --release --example fault_tolerance
 
-use std::sync::Arc;
-
-use accelmr::mapred::CrashTaskTracker;
 use accelmr::prelude::*;
 
 fn main() {
-    let env = CellEnvFactory {
-        materialized: true,
-        ..CellEnvFactory::default()
-    };
-    let mut cluster = deploy_cluster(
-        7,
-        4,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &env,
-        true, // materialized: DataNodes serve real bytes
+    let mut cluster = ClusterBuilder::new()
+        .seed(7)
+        .workers(4)
+        .env(CellEnvFactory {
+            materialized: true,
+            ..CellEnvFactory::default()
+        })
+        .materialized(true) // DataNodes serve real bytes
+        .deploy();
+
+    // Crash node 2's TaskTracker 10 simulated seconds in — mid-job, while
+    // its map slots still hold unfinished tasks.
+    let victim = cluster.mr.tasktracker_on(NodeId(2)).unwrap();
+    cluster.sim.post_after(
+        victim,
+        Box::new(accelmr::mapred::CrashTaskTracker),
+        SimDuration::from_secs(10),
     );
 
     // Small materialized input, replication 2 so a node death loses no data.
-    let preload = PreloadSpec {
-        path: "/in".into(),
-        len: 48 << 20,
-        block_size: Some(4 << 20),
-        replication: Some(2),
-        seed: 5,
-    };
-    let spec = JobSpec {
-        name: "encrypt-with-crash".into(),
-        input: JobInput::File {
-            path: "/in".into(),
-            record_bytes: Some(4 << 20),
-        },
-        kernel: Arc::new(CellAesKernel::new()),
-        num_map_tasks: Some(12),
-        output: OutputSink::Digest,
-        reduce: ReduceSpec::None,
-    };
-
-    // Crash node 2's TaskTracker 25 simulated seconds in.
-    let victim = cluster.mr.tasktracker_on(NodeId(2)).unwrap();
-    cluster
-        .sim
-        .post_after(victim, Box::new(CrashTaskTracker), SimDuration::from_secs(25));
-
-    let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec);
+    let mut session = cluster.session();
+    session.submit(
+        JobBuilder::new("encrypt-with-crash")
+            .input_file("/in")
+            .record_bytes(4 << 20)
+            .kernel(CellAesKernel::new())
+            .map_tasks(12)
+            .digest_output()
+            .preload(
+                PreloadSpec::new("/in", 48 << 20, 5)
+                    .block_size(4 << 20)
+                    .replication(2),
+            ),
+    );
+    let result = session.run();
 
     // Independent exactly-once verification: recompute the expected
     // order-independent digest of all encrypted records.
@@ -72,7 +63,10 @@ fn main() {
     println!("job finished: success = {}", result.succeeded);
     println!("  simulated time     : {}", result.elapsed);
     println!("  map tasks          : {}", result.map_tasks);
-    println!("  attempts launched  : {} (re-execution visible)", result.attempts);
+    println!(
+        "  attempts launched  : {} (re-execution visible)",
+        result.attempts
+    );
     println!(
         "  tasktrackers dead  : {}",
         cluster.sim.stats().counter("mr.tasktrackers_declared_dead")

@@ -6,48 +6,41 @@
 //!
 //!     cargo run --release --example heterogeneous
 
-use std::sync::Arc;
-
-use accelmr::hybrid::experiments::dist::{run_encrypt_job, AesMapper};
-use accelmr::hybrid::{
-    job_energy, AdaptivePiKernel, CellEnvFactory, EnergyModel, EngineClass, MixedEnvFactory,
-};
+use accelmr::hybrid::experiments::dist::run_encrypt_job;
+use accelmr::hybrid::{job_energy, AdaptivePiKernel, EnergyModel, EngineClass, MixedEnvFactory};
 use accelmr::prelude::*;
 
 fn run_mixed(accel: usize, out_of: usize, samples: u64) -> f64 {
-    let factory = MixedEnvFactory {
-        accelerated_of: (accel, out_of),
-        cell: CellEnvFactory::default(),
-    };
-    let mut c = deploy_cluster(
-        11,
-        8,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &factory,
-        false,
+    let mut cluster = ClusterBuilder::new()
+        .seed(11)
+        .workers(8)
+        .env(MixedEnvFactory {
+            accelerated_of: (accel, out_of),
+            cell: CellEnvFactory::default(),
+        })
+        .deploy();
+    let mut session = cluster.session();
+    session.submit(
+        JobBuilder::new("mixed-pi")
+            .synthetic(samples)
+            .kernel(AdaptivePiKernel::new(3))
+            .map_tasks(16)
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            }),
     );
-    let spec = JobSpec {
-        name: "mixed-pi".into(),
-        input: JobInput::Synthetic { total_units: samples },
-        kernel: Arc::new(AdaptivePiKernel::new(3)),
-        num_map_tasks: Some(16),
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::RpcAggregate {
-            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
-        },
-    };
-    run_job(&mut c.sim, &c.mr, &c.dfs, vec![], spec)
-        .elapsed
-        .as_secs_f64()
+    session.run().elapsed.as_secs_f64()
 }
 
 fn main() {
     println!("== mixed-cluster Pi (8 nodes, 1e10 samples, adaptive kernel) ==");
     println!("{:>22} {:>12}", "accelerated nodes", "time (s)");
-    for (accel, out_of, label) in [(1usize, 1usize, "8/8"), (1, 2, "4/8"), (1, 4, "2/8"), (0, 1, "0/8")]
-    {
+    for (accel, out_of, label) in [
+        (1usize, 1usize, "8/8"),
+        (1, 2, "4/8"),
+        (1, 4, "2/8"),
+        (0, 1, "0/8"),
+    ] {
         let t = run_mixed(accel, out_of, 10_000_000_000);
         println!("{label:>22} {t:>12.1}");
     }

@@ -32,8 +32,10 @@ fn main() {
     }
 
     // 2. Ablation: disable record read-ahead (stop-and-wait feed).
-    let mut no_pipe = MrConfig::default();
-    no_pipe.pipelined_reads = false;
+    let no_pipe = MrConfig {
+        pipelined_reads: false,
+        ..MrConfig::default()
+    };
     let java_np = run_encrypt_job(4, nodes, bytes, AesMapper::Java, &no_pipe);
     println!("\nablation — record read-ahead off (stop-and-wait):");
     println!(
@@ -43,8 +45,10 @@ fn main() {
     );
 
     // 3. Ablation: slower feed cap shows the linear dependence.
-    let mut slow_feed = MrConfig::default();
-    slow_feed.record_feed_cap = Some(4.25e6);
+    let slow_feed = MrConfig {
+        record_feed_cap: Some(4.25e6),
+        ..MrConfig::default()
+    };
     let java_slow = run_encrypt_job(5, nodes, bytes, AesMapper::Java, &slow_feed);
     println!("\nablation — feed cap halved (8.5 -> 4.25 MB/s per stream):");
     println!(

@@ -3,77 +3,39 @@
 //!
 //!     cargo run --release --example quickstart
 
-use std::sync::Arc;
-
 use accelmr::prelude::*;
 
 fn main() {
     // ---- CPU-intensive: Monte Carlo Pi on Cell-accelerated mappers. ----
-    let env = CellEnvFactory::default();
-    let mut cluster = deploy_cluster(
-        42,
-        4,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &env,
-        false,
-    );
-    let spec = JobSpec {
-        name: "pi".into(),
-        input: JobInput::Synthetic {
-            total_units: 100_000_000,
-        },
-        kernel: Arc::new(CellPiKernel::new(7)),
-        num_map_tasks: None, // one per map slot, like the paper
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::RpcAggregate {
-            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
-        },
-    };
-    let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![], spec);
-    let inside = result.kv.iter().find(|&&(k, _)| k == 0).unwrap().1;
-    let total = result.kv.iter().find(|&&(k, _)| k == 1).unwrap().1;
+    let mut cluster = ClusterBuilder::new()
+        .seed(42)
+        .workers(4)
+        .env(CellEnvFactory::default())
+        .deploy();
+    let mut session = cluster.session();
+    // One map task per slot (the paper's NumMappers default).
+    session.submit(presets::pi(PiMapper::Cell, 7, 100_000_000));
+    let result = session.run();
     println!(
         "pi job: {} map tasks, simulated time {}, pi ≈ {:.6}",
         result.map_tasks,
         result.elapsed,
-        4.0 * inside as f64 / total as f64
+        presets::pi_estimate(&result).unwrap()
     );
 
     // ---- Data-intensive: encrypt 4 GB spread over the cluster. ----
-    let env = CellEnvFactory::default();
-    let mut cluster = deploy_cluster(
-        43,
-        4,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &env,
-        false,
+    let mut cluster = ClusterBuilder::new()
+        .seed(43)
+        .workers(4)
+        .env(CellEnvFactory::default())
+        .deploy();
+    let mut session = cluster.session();
+    session.submit(
+        presets::encrypt_seeded(AesMapper::Cell, "/input", 4 << 30, 9)
+            .name("encrypt")
+            .write_output("/encrypted", Some(1)),
     );
-    let preload = PreloadSpec {
-        path: "/input".into(),
-        len: 4 << 30,
-        block_size: Some(64 << 20),
-        replication: Some(1),
-        seed: 9,
-    };
-    let spec = JobSpec {
-        name: "encrypt".into(),
-        input: JobInput::File {
-            path: "/input".into(),
-            record_bytes: Some(64 << 20),
-        },
-        kernel: Arc::new(CellAesKernel::new()),
-        num_map_tasks: None,
-        output: OutputSink::Dfs {
-            path: "/encrypted".into(),
-            replication: Some(1),
-        },
-        reduce: ReduceSpec::None,
-    };
-    let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec);
+    let result = session.run();
     println!(
         "encrypt job: {} map tasks, {} read, simulated time {} ({:.1} MB/s aggregate)",
         result.map_tasks,

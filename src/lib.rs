@@ -22,34 +22,55 @@
 //!
 //! ## Quickstart
 //!
+//! Deploy a cluster with [`ClusterBuilder`](prelude::ClusterBuilder), open a
+//! [`Session`](prelude::Session), and submit jobs — hand-rolled or from the
+//! [`presets`](hybrid::presets) for the paper's workloads:
+//!
 //! ```
-//! use std::sync::Arc;
 //! use accelmr::prelude::*;
 //!
 //! // Deploy a 4-node cluster with Cell-equipped workers.
-//! let env = CellEnvFactory::default();
-//! let mut cluster = deploy_cluster(
-//!     42, 4,
-//!     NetConfig::default(), DfsConfig::default(), MrConfig::default(),
-//!     &env, false,
-//! );
+//! let mut cluster = ClusterBuilder::new()
+//!     .seed(42)
+//!     .workers(4)
+//!     .env(CellEnvFactory::default())
+//!     .deploy();
 //!
 //! // Estimate Pi with accelerated mappers.
-//! let spec = JobSpec {
-//!     name: "pi".into(),
-//!     input: JobInput::Synthetic { total_units: 10_000_000 },
-//!     kernel: Arc::new(CellPiKernel::new(7)),
-//!     num_map_tasks: None,
-//!     output: OutputSink::Discard,
-//!     reduce: ReduceSpec::RpcAggregate { reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }) },
-//! };
-//! let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![], spec);
+//! let mut session = cluster.session();
+//! let job = session.submit(presets::pi(PiMapper::Cell, 7, 10_000_000));
+//! session.run_until_complete();
+//!
+//! let result = job.result();
 //! assert!(result.succeeded);
-//! let inside = result.kv.iter().find(|&&(k, _)| k == 0).unwrap().1;
-//! let total = result.kv.iter().find(|&&(k, _)| k == 1).unwrap().1;
-//! let pi = 4.0 * inside as f64 / total as f64;
+//! let pi = presets::pi_estimate(&result).unwrap();
 //! assert!((pi - std::f64::consts::PI).abs() < 0.01);
 //! ```
+//!
+//! Sessions drive any number of jobs concurrently with deterministic
+//! discrete-event interleaving — including staggered arrivals:
+//!
+//! ```
+//! use accelmr::prelude::*;
+//!
+//! let mut cluster = ClusterBuilder::new()
+//!     .workers(4)
+//!     .env(CellEnvFactory::default())
+//!     .deploy();
+//! let mut session = cluster.session();
+//! let a = session.submit(presets::pi(PiMapper::Cell, 1, 50_000_000));
+//! let b = session.submit(presets::pi(PiMapper::Java, 2, 50_000_000));
+//! let late = session.submit_after(
+//!     SimDuration::from_secs(30),
+//!     presets::pi(PiMapper::Cell, 3, 50_000_000),
+//! );
+//! let results = session.run_until_complete();
+//! assert_eq!(results.len(), 3);
+//! assert!(a.result().succeeded && b.result().succeeded && late.result().succeeded);
+//! ```
+//!
+//! The pre-0.1 `deploy_cluster(seed, n, ..7 positional args)` / `run_job`
+//! helpers still compile but are deprecated in favor of the builders.
 
 pub use accelmr_cellbe as cellbe;
 pub use accelmr_cellmr as cellmr;
@@ -64,14 +85,17 @@ pub use accelmr_net as net;
 pub mod prelude {
     pub use accelmr_des::{Sim, SimDuration, SimTime};
     pub use accelmr_dfs::{DfsConfig, DfsHandle};
+    pub use accelmr_hybrid::presets;
     pub use accelmr_hybrid::{
-        CellAesKernel, CellEnvFactory, CellMrAesKernel, CellPiKernel, EmptyKernel, JavaAesKernel,
-        JavaPiKernel,
+        AesMapper, CellAesKernel, CellEnvFactory, CellMrAesKernel, CellPiKernel, EmptyKernel,
+        JavaAesKernel, JavaPiKernel, PiMapper,
     };
     pub use accelmr_kernels::{Aes128, AesImpl, Engine};
+    #[allow(deprecated)]
+    pub use accelmr_mapred::{deploy_cluster, run_job};
     pub use accelmr_mapred::{
-        deploy_cluster, run_job, JobInput, JobResult, JobSpec, MrConfig, OutputSink, PreloadSpec,
-        ReduceSpec, SumReducer,
+        ClusterBuilder, JobBuilder, JobHandle, JobInput, JobRequest, JobResult, JobSpec, MrConfig,
+        OutputSink, PreloadSpec, ReduceSpec, Session, SumReducer,
     };
     pub use accelmr_net::{NetConfig, NodeId};
 }

@@ -1,43 +1,31 @@
 //! Cross-crate property tests: determinism of whole-cluster runs, AES
 //! implementation equivalence, CTR split composition, flow-model
 //! invariants, and the Cell estimator-vs-event-model agreement.
-
-use std::sync::Arc;
+//!
+//! Property cases are generated with the workspace's own deterministic
+//! RNG (no external property-testing dependency): every run explores the
+//! same fixed set of random cases, so failures reproduce exactly.
 
 use accelmr::cellbe::{estimate, CellConfig, CellMachine, DataInput, IdentityKernel};
+use accelmr::des::Xoshiro256;
 use accelmr::kernels::aes::modes::{ctr_xor, ecb_decrypt, ecb_encrypt};
 use accelmr::net::{max_min_rates, FlowDemand, LinkId, LinkTable};
 use accelmr::prelude::*;
-use proptest::prelude::*;
-
-fn pi_spec(seed: u64) -> JobSpec {
-    JobSpec {
-        name: "det-pi".into(),
-        input: JobInput::Synthetic {
-            total_units: 50_000_000,
-        },
-        kernel: Arc::new(CellPiKernel::new(seed)),
-        num_map_tasks: Some(6),
-        output: OutputSink::Discard,
-        reduce: ReduceSpec::RpcAggregate {
-            reducer: Arc::new(SumReducer { cycles_per_byte: 1.0 }),
-        },
-    }
-}
 
 fn run_cluster_pi(seed: u64) -> (JobResult, u64) {
-    let env = CellEnvFactory::default();
-    let mut c = deploy_cluster(
-        seed,
-        3,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &env,
-        false,
-    );
+    let mut c = ClusterBuilder::new()
+        .seed(seed)
+        .workers(3)
+        .env(CellEnvFactory::default())
+        .deploy();
     c.sim.enable_trace(1 << 14);
-    let r = run_job(&mut c.sim, &c.mr, &c.dfs, vec![], pi_spec(99));
+    let mut session = c.session();
+    session.submit(
+        presets::pi(PiMapper::Cell, 99, 50_000_000)
+            .name("det-pi")
+            .map_tasks(6),
+    );
+    let r = session.run();
     let fp = c.sim.trace().fingerprint();
     (r, fp)
 }
@@ -62,13 +50,21 @@ fn different_seeds_change_schedule_not_results() {
     assert_eq!(r1.map_tasks, r2.map_tasks);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_key(rng: &mut Xoshiro256) -> [u8; 16] {
+    let mut key = [0u8; 16];
+    for b in &mut key {
+        *b = rng.next_u64() as u8;
+    }
+    key
+}
 
-    #[test]
-    fn aes_implementations_agree(key in prop::array::uniform16(any::<u8>()),
-                                 blocks in 1usize..16,
-                                 seed in any::<u64>()) {
+#[test]
+fn aes_implementations_agree() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA15);
+    for _ in 0..64 {
+        let key = random_key(&mut rng);
+        let blocks = rng.range_inclusive(1, 15) as usize;
+        let seed = rng.next_u64();
         let aes = Aes128::new(&key);
         let mut data = vec![0u8; blocks * 16];
         accelmr::kernels::fill_deterministic(seed, 0, &mut data);
@@ -78,20 +74,24 @@ proptest! {
         ecb_encrypt(&aes, AesImpl::Scalar, &mut scalar);
         ecb_encrypt(&aes, AesImpl::TTable, &mut ttable);
         ecb_encrypt(&aes, AesImpl::Lanes4, &mut lanes);
-        prop_assert_eq!(&scalar, &ttable);
-        prop_assert_eq!(&ttable, &lanes);
+        assert_eq!(scalar, ttable);
+        assert_eq!(ttable, lanes);
         // And decryption inverts.
         ecb_decrypt(&aes, &mut scalar);
-        prop_assert_eq!(scalar, data);
+        assert_eq!(scalar, data);
     }
+}
 
-    #[test]
-    fn ctr_split_composition(key in prop::array::uniform16(any::<u8>()),
-                             len in 1usize..512,
-                             split in 0usize..512,
-                             nonce in any::<u64>()) {
-        // Splitting a CTR stream at any 16-byte boundary must compose to
-        // the serial result — the property split-parallel encryption needs.
+#[test]
+fn ctr_split_composition() {
+    // Splitting a CTR stream at any 16-byte boundary must compose to the
+    // serial result — the property split-parallel encryption needs.
+    let mut rng = Xoshiro256::seed_from_u64(0xC12);
+    for _ in 0..64 {
+        let key = random_key(&mut rng);
+        let len = rng.range_inclusive(1, 511) as usize;
+        let split = rng.next_below(512) as usize;
+        let nonce = rng.next_u64();
         let aes = Aes128::new(&key);
         let split = (split % (len + 1) / 16) * 16;
         let mut data = vec![0u8; len];
@@ -101,68 +101,105 @@ proptest! {
         let (a, b) = data.split_at_mut(split);
         ctr_xor(&aes, AesImpl::Lanes4, nonce, 0, a);
         ctr_xor(&aes, AesImpl::Scalar, nonce, split as u64 / 16, b);
-        prop_assert_eq!(data, serial);
+        assert_eq!(data, serial);
     }
+}
 
-    #[test]
-    fn max_min_never_oversubscribes(caps in prop::collection::vec(1.0f64..1000.0, 1..6),
-                                    flows in prop::collection::vec((0usize..6, 0usize..6, 0.5f64..500.0), 0..12)) {
+#[test]
+fn max_min_never_oversubscribes() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF10);
+    for _ in 0..64 {
+        let n_links = rng.range_inclusive(1, 5) as usize;
+        let caps: Vec<f64> = (0..n_links).map(|_| 1.0 + rng.next_f64() * 999.0).collect();
+        let n_flows = rng.next_below(12) as usize;
+        let flows: Vec<(usize, usize, f64)> = (0..n_flows)
+            .map(|_| {
+                (
+                    rng.next_below(6) as usize,
+                    rng.next_below(6) as usize,
+                    0.5 + rng.next_f64() * 499.5,
+                )
+            })
+            .collect();
+
         let mut links = LinkTable::new();
-        for &c in &caps { links.add(c); }
-        let demands: Vec<FlowDemand> = flows.iter().map(|&(a, b, cap)| {
-            let mut ls = vec![LinkId(a % caps.len())];
-            let l2 = LinkId(b % caps.len());
-            if !ls.contains(&l2) { ls.push(l2); }
-            FlowDemand { links: ls, cap }
-        }).collect();
+        for &c in &caps {
+            links.add(c);
+        }
+        let demands: Vec<FlowDemand> = flows
+            .iter()
+            .map(|&(a, b, cap)| {
+                let mut ls = vec![LinkId(a % caps.len())];
+                let l2 = LinkId(b % caps.len());
+                if !ls.contains(&l2) {
+                    ls.push(l2);
+                }
+                FlowDemand { links: ls, cap }
+            })
+            .collect();
         let rates = max_min_rates(&links, &demands);
-        prop_assert_eq!(rates.len(), demands.len());
+        assert_eq!(rates.len(), demands.len());
         let mut used = vec![0.0f64; caps.len()];
         for (r, d) in rates.iter().zip(&demands) {
-            prop_assert!(*r >= 0.0);
-            prop_assert!(*r <= d.cap + 1e-6);
-            for l in &d.links { used[l.0] += r; }
+            assert!(*r >= 0.0);
+            assert!(*r <= d.cap + 1e-6);
+            for l in &d.links {
+                used[l.0] += r;
+            }
         }
         for (u, c) in used.iter().zip(&caps) {
-            prop_assert!(*u <= c + 1e-3, "link oversubscribed: {} > {}", u, c);
+            assert!(*u <= c + 1e-3, "link oversubscribed: {u} > {c}");
         }
-        // Work conservation: at least one flow is bottlenecked (at cap or
-        // on a saturated link) unless there are no flows.
+        // Work conservation: at least one flow gets a positive rate unless
+        // there are no flows.
         if !demands.is_empty() {
-            let any_positive = rates.iter().any(|&r| r > 0.0);
-            prop_assert!(any_positive);
+            assert!(rates.iter().any(|&r| r > 0.0));
         }
     }
+}
 
-    #[test]
-    fn cell_estimator_tracks_event_model(mb in 1u64..64,
-                                         cpb in 1.0f64..300.0,
-                                         block_kb in 1usize..8) {
+#[test]
+fn cell_estimator_tracks_event_model() {
+    let mut rng = Xoshiro256::seed_from_u64(0xCE11);
+    for _ in 0..24 {
+        let mb = rng.range_inclusive(1, 63);
+        let cpb = 1.0 + rng.next_f64() * 299.0;
+        let block_kb = rng.range_inclusive(1, 7) as usize;
         let cfg = CellConfig::default();
         let block = block_kb * 4096; // 4..32 KB, aligned
         let bytes = mb << 20;
         let mut m = CellMachine::new(cfg.clone(), false).unwrap();
         m.warm_up();
         let kernel = IdentityKernel::new(cpb);
-        let detailed = m.run_data(DataInput::Virtual(bytes), &kernel, block).unwrap();
+        let detailed = m
+            .run_data(DataInput::Virtual(bytes), &kernel, block)
+            .unwrap();
         let body = (detailed.elapsed - detailed.startup).as_secs_f64();
         let est = estimate::data_run_body(&cfg, bytes, cpb, block).as_secs_f64();
         let rel = (est - body).abs() / body.max(1e-9);
-        prop_assert!(rel < 0.15, "estimate {est} vs detailed {body} (rel {rel:.3})");
+        assert!(
+            rel < 0.15,
+            "estimate {est} vs detailed {body} (rel {rel:.3})"
+        );
     }
+}
 
-    #[test]
-    fn unordered_digest_is_permutation_invariant(items in prop::collection::vec(any::<u64>(), 0..32),
-                                                 seed in any::<u64>()) {
-        use accelmr::kernels::UnorderedDigest;
+#[test]
+fn unordered_digest_is_permutation_invariant() {
+    use accelmr::kernels::UnorderedDigest;
+    let mut rng = Xoshiro256::seed_from_u64(0xD16);
+    for _ in 0..64 {
+        let n = rng.next_below(32) as usize;
+        let items: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let mut shuffled = items.clone();
-        let mut rng = accelmr::des::Xoshiro256::seed_from_u64(seed);
         rng.shuffle(&mut shuffled);
         let fold = |v: &[u64]| {
             let mut d = UnorderedDigest::new();
-            for &x in v { d.add(x); }
+            for &x in v {
+                d.add(x);
+            }
             d.finish()
         };
-        prop_assert_eq!(fold(&items), fold(&shuffled));
+        assert_eq!(fold(&items), fold(&shuffled));
     }
 }

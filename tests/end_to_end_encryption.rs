@@ -34,39 +34,37 @@ fn reference_digest() -> (u64, u64) {
     reference_digest_for(FILE_LEN)
 }
 
+fn materialized_cluster(seed: u64) -> accelmr::mapred::MrCluster {
+    ClusterBuilder::new()
+        .seed(seed)
+        .workers(3)
+        .env(CellEnvFactory {
+            materialized: true,
+            ..CellEnvFactory::default()
+        })
+        .materialized(true)
+        .deploy()
+}
+
+fn encrypt_job(kernel: Arc<dyn accelmr::mapred::TaskKernel>, len: u64) -> JobBuilder {
+    JobBuilder::new("e2e-encrypt")
+        .input_file("/plain")
+        .record_bytes(RECORD)
+        .kernel_arc(kernel)
+        .map_tasks(6)
+        .digest_output()
+        .preload(
+            PreloadSpec::new("/plain", len, SEED)
+                .block_size(4 * MB)
+                .replication(2),
+        )
+}
+
 fn run_encryption(kernel: Arc<dyn accelmr::mapred::TaskKernel>, seed: u64) -> JobResult {
-    let env = CellEnvFactory {
-        materialized: true,
-        ..CellEnvFactory::default()
-    };
-    let mut cluster = deploy_cluster(
-        seed,
-        3,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &env,
-        true,
-    );
-    let preload = PreloadSpec {
-        path: "/plain".into(),
-        len: FILE_LEN,
-        block_size: Some(4 * MB),
-        replication: Some(2),
-        seed: SEED,
-    };
-    let spec = JobSpec {
-        name: "e2e-encrypt".into(),
-        input: JobInput::File {
-            path: "/plain".into(),
-            record_bytes: Some(RECORD),
-        },
-        kernel,
-        num_map_tasks: Some(6),
-        output: OutputSink::Digest,
-        reduce: ReduceSpec::None,
-    };
-    run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec)
+    let mut cluster = materialized_cluster(seed);
+    let mut session = cluster.session();
+    session.submit(encrypt_job(kernel, FILE_LEN));
+    session.run()
 }
 
 #[test]
@@ -108,43 +106,20 @@ fn crash_during_job_preserves_exactly_once_output() {
     // init(8) + heartbeat(3) + task start(1.8) = 12.8 s and each task needs
     // >4 s more, so a crash at t=14 s always hits node 1 mid-task.
     let crash_len = 48 * MB;
-    let env = CellEnvFactory {
-        materialized: true,
-        ..CellEnvFactory::default()
-    };
-    let mut cluster = deploy_cluster(
-        7,
-        3,
-        NetConfig::default(),
-        DfsConfig::default(),
-        MrConfig::default(),
-        &env,
-        true,
-    );
-    let preload = PreloadSpec {
-        path: "/plain".into(),
-        len: crash_len,
-        block_size: Some(4 * MB),
-        replication: Some(2),
-        seed: SEED,
-    };
-    let spec = JobSpec {
-        name: "e2e-crash".into(),
-        input: JobInput::File {
-            path: "/plain".into(),
-            record_bytes: Some(RECORD),
-        },
-        kernel: Arc::new(JavaAesKernel::new()),
-        num_map_tasks: Some(6),
-        output: OutputSink::Digest,
-        reduce: ReduceSpec::None,
-    };
+    let mut cluster = materialized_cluster(7);
     let victim = cluster.mr.tasktracker_on(NodeId(1)).unwrap();
-    cluster
-        .sim
-        .post_after(victim, Box::new(CrashTaskTracker), SimDuration::from_secs(14));
-    let result = run_job(&mut cluster.sim, &cluster.mr, &cluster.dfs, vec![preload], spec);
+    let mut session = cluster.session();
+    session.sim_mut().post_after(
+        victim,
+        Box::new(CrashTaskTracker),
+        SimDuration::from_secs(14),
+    );
+    session.submit(encrypt_job(Arc::new(JavaAesKernel::new()), crash_len).name("e2e-crash"));
+    let result = session.run();
     assert!(result.succeeded);
-    assert!(result.attempts > result.map_tasks, "no re-execution happened");
+    assert!(
+        result.attempts > result.map_tasks,
+        "no re-execution happened"
+    );
     assert_eq!(result.digest, reference_digest_for(crash_len));
 }

@@ -4,8 +4,8 @@
 //! the claims under continuous test.
 
 use accelmr::hybrid::experiments::{
-    dist, fig2, fig4, fig5, fig6, fig7, fig8, Fig2Params, Fig6Params, DistEncryptParams,
-    DistPiParams,
+    dist, fig2, fig4, fig5, fig6, fig7, fig8, DistEncryptParams, DistPiParams, Fig2Params,
+    Fig6Params,
 };
 use accelmr::prelude::*;
 
@@ -121,7 +121,7 @@ fn fig7_shape_floor_then_divergence() {
 fn fig8_shape_orders_of_magnitude_and_flattening() {
     let fig = fig8(&DistPiParams {
         fig8_nodes: vec![4, 8, 16, 32],
-        fig8_samples: 10_000_000_000,  // 1e10, scaled from the paper's 1e11
+        fig8_samples: 10_000_000_000, // 1e10, scaled from the paper's 1e11
         fig8_tenx: 100_000_000_000,
         ..DistPiParams::default()
     });

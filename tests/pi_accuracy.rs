@@ -12,7 +12,10 @@ use accelmr::prelude::*;
 fn error_envelope_shrinks_with_n() {
     let mr = MrConfig::default();
     let mut last_bound = f64::INFINITY;
-    for (i, n) in [1_000_000u64, 100_000_000, 10_000_000_000].iter().enumerate() {
+    for (i, n) in [1_000_000u64, 100_000_000, 10_000_000_000]
+        .iter()
+        .enumerate()
+    {
         let (result, pi) = run_pi_job(100 + i as u64, 2, *n, PiMapper::Cell, &mr);
         assert!(result.succeeded);
         let err = (pi - std::f64::consts::PI).abs();
