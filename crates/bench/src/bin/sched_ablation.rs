@@ -1,0 +1,221 @@
+//! Scheduler-policy ablation on the half-accelerated clusters from
+//! `core::hetero` — the mixed-cluster scenario the paper's §V anticipated.
+//!
+//! Compares `Fifo`, `LocalityFirst` and `AdaptiveHetero` on:
+//!
+//! * **pi-mixed** — the CPU-bound Pi workload, where placement-blind
+//!   scheduling lets the plain nodes set the job time;
+//! * **aes-mixed** — the data-bound AES workload, where the record feed
+//!   path bounds everything and policies should be near-equal (the
+//!   control: adaptivity must not *hurt* feed-bound jobs).
+//!
+//! Writes the `BENCH_sched.json` baseline next to the working directory;
+//! CI smoke-runs `--quick` to keep the path green.
+
+use accelmr_hybrid::hetero::{AdaptiveAesKernel, AdaptivePiKernel, MixedEnvFactory};
+use accelmr_mapred::{
+    ClusterBuilder, JobBuilder, JobResult, PreloadSpec, SchedulerPolicy, SumReducer,
+};
+
+const RECORD_BYTES: u64 = 64 << 20;
+
+fn policies() -> [(&'static str, SchedulerPolicy); 3] {
+    [
+        ("fifo", SchedulerPolicy::Fifo),
+        ("locality-first", SchedulerPolicy::LocalityFirst),
+        ("adaptive", SchedulerPolicy::adaptive()),
+    ]
+}
+
+fn mixed_cluster(seed: u64, policy: SchedulerPolicy) -> accelmr_mapred::MrCluster {
+    ClusterBuilder::new()
+        .seed(seed)
+        .workers(4)
+        .env(MixedEnvFactory::half())
+        .scheduler(policy)
+        .deploy()
+}
+
+/// Runs the job twice on one cluster (cold, then warm): adaptive policies
+/// pay a probe cost on the first job and schedule the second from the
+/// learned model; static policies repeat themselves.
+fn run_pi(policy: SchedulerPolicy, samples: u64, seed: u64) -> (JobResult, JobResult) {
+    let mut c = mixed_cluster(seed, policy);
+    let job = || {
+        JobBuilder::new("pi-mixed")
+            .synthetic(samples)
+            .kernel(AdaptivePiKernel::new(3))
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            })
+    };
+    let mut session = c.session();
+    session.submit(job());
+    let cold = session.run();
+    let mut session = c.session();
+    session.submit(job());
+    (cold, session.run())
+}
+
+fn run_aes(policy: SchedulerPolicy, bytes: u64, seed: u64) -> (JobResult, JobResult) {
+    let mut c = mixed_cluster(seed, policy);
+    let job = |path: &str, preload: bool| {
+        let b = JobBuilder::new("aes-mixed")
+            .input_file(path)
+            .record_bytes(RECORD_BYTES)
+            .kernel(AdaptiveAesKernel::new())
+            .digest_output();
+        if preload {
+            b.preload(
+                PreloadSpec::new(path, bytes, 7)
+                    .block_size(RECORD_BYTES)
+                    .replication(1),
+            )
+        } else {
+            b
+        }
+    };
+    let mut session = c.session();
+    session.submit(job("/input", true));
+    let cold = session.run();
+    let mut session = c.session();
+    session.submit(job("/input", false));
+    (cold, session.run())
+}
+
+struct Row {
+    policy: &'static str,
+    cold_s: f64,
+    warm_s: f64,
+    local_frac: f64,
+    attempts: u32,
+    tp_spread: Option<f64>,
+}
+
+fn row(policy: &'static str, cold: &JobResult, warm: &JobResult) -> Row {
+    let local_frac = warm.local_reads as f64 / (warm.local_reads + warm.remote_reads).max(1) as f64;
+    let tp_spread = (!warm.node_throughput.is_empty()).then(|| {
+        let max = warm
+            .node_throughput
+            .iter()
+            .map(|e| e.throughput)
+            .fold(f64::MIN, f64::max);
+        let min = warm
+            .node_throughput
+            .iter()
+            .map(|e| e.throughput)
+            .fold(f64::MAX, f64::min);
+        max / min
+    });
+    Row {
+        policy,
+        cold_s: cold.elapsed.as_secs_f64(),
+        warm_s: warm.elapsed.as_secs_f64(),
+        local_frac,
+        attempts: cold.attempts,
+        tp_spread,
+    }
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n# {title}");
+    println!(
+        "{:>16} {:>10} {:>10} {:>8} {:>9} {:>10}",
+        "policy", "cold(s)", "warm(s)", "local%", "attempts", "tp spread"
+    );
+    for r in rows {
+        println!(
+            "{:>16} {:>10.1} {:>10.1} {:>7.0}% {:>9} {:>10}",
+            r.policy,
+            r.cold_s,
+            r.warm_s,
+            r.local_frac * 100.0,
+            r.attempts,
+            r.tp_spread
+                .map(|s| format!("{s:.1}x"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+fn json_workload(name: &str, rows: &[Row]) -> String {
+    let mut fields: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{ \"cold_s\": {:.3}, \"warm_s\": {:.3} }}",
+                r.policy, r.cold_s, r.warm_s
+            )
+        })
+        .collect();
+    let locality = rows.iter().find(|r| r.policy == "locality-first");
+    let adaptive = rows.iter().find(|r| r.policy == "adaptive");
+    if let (Some(l), Some(a)) = (locality, adaptive) {
+        fields.push(format!(
+            "    \"adaptive_speedup_vs_locality\": {{ \"cold\": {:.3}, \"warm\": {:.3} }}",
+            l.cold_s / a.cold_s,
+            l.warm_s / a.warm_s
+        ));
+    }
+    format!("  \"{}\": {{\n{}\n  }}", name, fields.join(",\n"))
+}
+
+fn main() {
+    let quick = accelmr_bench::quick_mode();
+    let (samples, bytes) = if quick {
+        (200_000_000u64, 1u64 << 30)
+    } else {
+        (4_000_000_000u64, 8u64 << 30)
+    };
+
+    println!("# scheduler ablation — half-accelerated 4-node cluster");
+    println!(
+        "# pi: {samples} samples, aes: {} GiB{}",
+        bytes >> 30,
+        if quick { " (--quick)" } else { "" }
+    );
+
+    let pi_rows: Vec<Row> = policies()
+        .iter()
+        .map(|&(name, policy)| {
+            let (cold, warm) = run_pi(policy, samples, 11);
+            row(name, &cold, &warm)
+        })
+        .collect();
+    print_rows("pi-mixed (CPU-bound: adaptivity pays)", &pi_rows);
+
+    let aes_rows: Vec<Row> = policies()
+        .iter()
+        .map(|&(name, policy)| {
+            let (cold, warm) = run_aes(policy, bytes, 12);
+            row(name, &cold, &warm)
+        })
+        .collect();
+    print_rows(
+        "aes-mixed (feed-bound: adaptive pays a one-job probe cost, then matches)",
+        &aes_rows,
+    );
+
+    // The adaptive policy must never lose the CPU-bound comparison — this
+    // is the acceptance bar the hetero test also enforces.
+    let t = |rows: &[Row], p: &str| rows.iter().find(|r| r.policy == p).unwrap().cold_s;
+    assert!(
+        t(&pi_rows, "adaptive") < t(&pi_rows, "locality-first"),
+        "adaptive regressed on the CPU-bound mixed cluster"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sched_ablation\",\n  \"cluster\": \"4 workers, half Cell-accelerated\",\n  \"quick\": {quick},\n{},\n{}\n}}\n",
+        json_workload("pi_mixed", &pi_rows),
+        json_workload("aes_mixed", &aes_rows),
+    );
+    // Quick runs write next to the baseline, never over it: the committed
+    // BENCH_sched.json always holds full-scale numbers.
+    let out = if quick {
+        "BENCH_sched.quick.json"
+    } else {
+        "BENCH_sched.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("\nwrote {out}");
+}

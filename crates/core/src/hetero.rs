@@ -151,7 +151,7 @@ impl TaskKernel for AdaptivePiKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accelmr_mapred::{ClusterBuilder, JobBuilder, JobResult, SumReducer};
+    use accelmr_mapred::{ClusterBuilder, JobBuilder, JobResult, SchedulerPolicy, SumReducer};
 
     fn run_mixed_pi(factory: &MixedEnvFactory, samples: u64, seed: u64) -> JobResult {
         let mut c = ClusterBuilder::new()
@@ -223,6 +223,60 @@ mod tests {
             "half {t_half} should be straggler-bound (none: {t_none})"
         );
         assert!(t_half > 5.0 * t_all);
+    }
+
+    /// Runs the CPU-bound Pi workload on the half-accelerated cluster
+    /// under `policy`, letting the scheduler plan the splits (no explicit
+    /// `map_tasks`).
+    fn run_mixed_pi_policy(policy: SchedulerPolicy, samples: u64, seed: u64) -> JobResult {
+        let mut c = ClusterBuilder::new()
+            .seed(seed)
+            .workers(4)
+            .env(MixedEnvFactory::half())
+            .scheduler(policy)
+            .deploy();
+        let mut session = c.session();
+        session.submit(
+            JobBuilder::new("mixed-pi-sched")
+                .synthetic(samples)
+                .kernel(AdaptivePiKernel::new(3))
+                .rpc_aggregate(SumReducer {
+                    cycles_per_byte: 1.0,
+                }),
+        );
+        session.run()
+    }
+
+    /// The refactor's payoff, on the exact scenario the straggler test
+    /// reproduces: the adaptive scheduler's oversplit + learned dispatch
+    /// beats placement-blind LocalityFirst end to end on the
+    /// half-accelerated CPU-bound cluster. The same comparison lands in
+    /// `BENCH_sched.json` via the `sched_ablation` bench bin.
+    #[test]
+    fn adaptive_scheduler_beats_locality_on_mixed_cluster() {
+        let samples = 4_000_000_000u64;
+        let locality = run_mixed_pi_policy(SchedulerPolicy::LocalityFirst, samples, 11);
+        let adaptive = run_mixed_pi_policy(SchedulerPolicy::adaptive(), samples, 11);
+        assert!(locality.succeeded && adaptive.succeeded);
+        // Same work performed under both plans.
+        let total = |r: &JobResult| r.kv.iter().find(|&&(k, _)| k == 1).unwrap().1;
+        assert_eq!(total(&locality), samples);
+        assert_eq!(total(&adaptive), samples);
+        let (t_loc, t_ad) = (
+            locality.elapsed.as_secs_f64(),
+            adaptive.elapsed.as_secs_f64(),
+        );
+        // Strictly better — and by a real margin, not noise.
+        assert!(
+            t_ad < 0.75 * t_loc,
+            "adaptive {t_ad:.1}s vs locality {t_loc:.1}s"
+        );
+        // The learned model separates Cell nodes from plain nodes.
+        let tp = &adaptive.node_throughput;
+        assert!(tp.len() >= 2, "{tp:?}");
+        let max = tp.iter().map(|e| e.throughput).fold(f64::MIN, f64::max);
+        let min = tp.iter().map(|e| e.throughput).fold(f64::MAX, f64::min);
+        assert!(max / min > 2.0, "learned spread {max:.0}/{min:.0}");
     }
 
     /// Results stay correct regardless of which engine sampled.

@@ -7,7 +7,7 @@
 //!
 //! Layers glued together here:
 //!
-//! * [`env`] — per-node accelerator state ([`CellNodeEnv`]): Cell machines
+//! * [`mod@env`] — per-node accelerator state ([`CellNodeEnv`]): Cell machines
 //!   whose SPU contexts stay warm across map tasks, plus a
 //!   MapReduce-for-Cell framework instance;
 //! * [`bridge`] — the JNI call-cost model;

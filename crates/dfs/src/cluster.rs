@@ -151,7 +151,7 @@ impl DfsHandle {
 ///
 /// Actor ids form a cycle (DataNodes need the NameNode id, the NameNode
 /// needs the DataNode registry), so DataNodes spawn first behind a
-/// [`PendingDataNode`] shim and receive their wiring as the first posted
+/// internal `PendingDataNode` shim and receive their wiring as the first posted
 /// message — which the engine's FIFO-at-equal-time ordering guarantees
 /// arrives before any protocol traffic or armed timer.
 pub fn deploy_dfs(

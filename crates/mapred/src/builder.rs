@@ -26,7 +26,7 @@ use accelmr_dfs::DfsConfig;
 use accelmr_net::NetConfig;
 
 use crate::cluster::{deploy_cluster_impl, MrCluster, PreloadSpec};
-use crate::config::MrConfig;
+use crate::config::{MrConfig, SchedulerPolicy};
 use crate::job::{JobInput, JobSpec, OutputSink, ReduceSpec};
 use crate::kernel::{NodeEnvFactory, NullEnvFactory, ReduceKernel, TaskKernel};
 use crate::session::JobRequest;
@@ -96,6 +96,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Cluster-wide scheduling policy (shorthand for setting
+    /// [`MrConfig::scheduler`]; jobs may still override per job via
+    /// [`JobBuilder::scheduler`]).
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.mr.scheduler = policy;
+        self
+    }
+
     /// Per-node accelerator environment factory (the hybrid crate's
     /// `CellEnvFactory` plugs in here).
     pub fn env(mut self, env: impl NodeEnvFactory + 'static) -> Self {
@@ -148,6 +156,7 @@ pub struct JobBuilder {
     num_map_tasks: Option<usize>,
     output: OutputSink,
     reduce: ReduceSpec,
+    scheduler: Option<SchedulerPolicy>,
     preloads: Vec<PreloadSpec>,
 }
 
@@ -161,6 +170,7 @@ impl JobBuilder {
             num_map_tasks: None,
             output: OutputSink::Discard,
             reduce: ReduceSpec::None,
+            scheduler: None,
             preloads: Vec::new(),
         }
     }
@@ -288,6 +298,15 @@ impl JobBuilder {
         self
     }
 
+    /// Per-job scheduling policy, overriding the cluster default
+    /// ([`MrConfig::scheduler`]). The job gets a private scheduler
+    /// instance for its lifetime, so an adaptive override learns only
+    /// from this job's own attempts.
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = Some(policy);
+        self
+    }
+
     /// Attaches a DFS preload this job's input depends on; the session
     /// driver runs all preloads before submitting the job.
     pub fn preload(mut self, preload: PreloadSpec) -> Self {
@@ -321,6 +340,7 @@ impl JobBuilder {
                 num_map_tasks: self.num_map_tasks,
                 output: self.output,
                 reduce: self.reduce,
+                scheduler: self.scheduler,
             },
             preloads: self.preloads,
         }
@@ -414,6 +434,27 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn cluster_builder_rejects_zero_workers() {
         let _ = ClusterBuilder::new().workers(0).deploy();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MrConfig")]
+    fn cluster_builder_rejects_invalid_mr_config() {
+        let bad = MrConfig {
+            map_slots_per_node: 0,
+            ..MrConfig::default()
+        };
+        let _ = ClusterBuilder::new().workers(2).mr(bad).deploy();
+    }
+
+    #[test]
+    #[should_panic(expected = "tt_dead_after")]
+    fn cluster_builder_rejects_dead_timeout_within_heartbeat() {
+        let bad = MrConfig {
+            tt_dead_after: accelmr_des::SimDuration::from_secs(2),
+            heartbeat_interval: accelmr_des::SimDuration::from_secs(3),
+            ..MrConfig::default()
+        };
+        let _ = ClusterBuilder::new().workers(2).mr(bad).deploy();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Cluster assembly and synchronous job-driving helpers.
 //!
 //! The preferred deployment surface is [`ClusterBuilder`](crate::ClusterBuilder)
-//! and the preferred driving surface is [`Session`](crate::Session); the
+//! and the preferred driving surface is [`Session`]; the
 //! positional [`deploy_cluster`] / blocking [`run_job`] helpers remain as
 //! deprecated wrappers over them.
 
@@ -41,7 +41,8 @@ impl MrHandle {
             .map(|&(_, a)| a)
     }
 
-    /// Submits a job; the calling actor receives [`JobComplete`].
+    /// Submits a job; the calling actor receives
+    /// [`JobComplete`](crate::msgs::JobComplete).
     pub fn submit(&self, ctx: &mut Ctx<'_>, my_node: NodeId, spec: JobSpec) {
         let submit = SubmitJob {
             spec,
@@ -65,6 +66,11 @@ pub fn deploy_mr(
     workers: &[NodeId],
     env_factory: &dyn NodeEnvFactory,
 ) -> MrHandle {
+    // Guard the low-level assembly path too, not just ClusterBuilder:
+    // these configs hang jobs or mis-detect dead trackers.
+    if let Err(e) = cfg.validate() {
+        panic!("invalid MrConfig: {e}");
+    }
     let jobtracker = sim.spawn(Box::new(JobTracker::new(
         cfg.clone(),
         net,
@@ -185,6 +191,12 @@ pub(crate) fn deploy_cluster_impl(
     // A workerless cluster can never complete a job: the JobTracker would
     // wait forever for TaskTrackers that don't exist.
     assert!(n_workers > 0, "cluster needs at least one worker node");
+    // Reject configs that would hang or mis-detect dead trackers (zero
+    // slots, zero heartbeat, dead-timeout within one heartbeat). Call
+    // `MrConfig::validate` directly for the typed error.
+    if let Err(e) = mr_cfg.validate() {
+        panic!("invalid MrConfig: {e}");
+    }
     let mut sim = Sim::new(seed);
     let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
     let fabric = sim.spawn(Box::new(accelmr_net::Fabric::new(net_cfg, n_workers + 1)));

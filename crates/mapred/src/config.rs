@@ -22,8 +22,10 @@ impl std::fmt::Display for TaskId {
     }
 }
 
-/// Task scheduling policy.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Task scheduling policy. Each arm names a [`Scheduler`](crate::sched::Scheduler)
+/// implementation the JobTracker instantiates at deploy time (or per job,
+/// via [`JobBuilder::scheduler`](crate::JobBuilder::scheduler)).
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum SchedulerPolicy {
     /// Prefer tasks whose input blocks live on the requesting node — the
     /// Hadoop default the paper relies on ("it tries to minimize the number
@@ -31,7 +33,94 @@ pub enum SchedulerPolicy {
     LocalityFirst,
     /// Plain FIFO, ignoring placement (ablation baseline).
     Fifo,
+    /// Heterogeneity-aware adaptive dispatch: learns per-node, per-kernel
+    /// throughput online (EWMA over completed attempts) and weights
+    /// dispatch, split sizing, and speculative-copy placement toward
+    /// faster nodes — the remedy for the mixed-cluster straggler effect
+    /// the paper anticipated in §V.
+    Adaptive(AdaptiveTuning),
 }
+
+impl SchedulerPolicy {
+    /// The adaptive policy with default tuning.
+    pub fn adaptive() -> Self {
+        SchedulerPolicy::Adaptive(AdaptiveTuning::default())
+    }
+}
+
+/// Tuning knobs of the [`SchedulerPolicy::Adaptive`] scheduler.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AdaptiveTuning {
+    /// EWMA smoothing factor for per-node throughput observations
+    /// (`rate ← alpha·obs + (1-alpha)·rate`).
+    pub ewma_alpha: f64,
+    /// Before any throughput is learned, synthetic/file inputs are split
+    /// into `oversplit × total slots` tasks (instead of one per slot), so
+    /// demand-driven dispatch lets fast nodes pull proportionally more
+    /// work — the paper's per-node-slots knob generalized.
+    pub oversplit: f64,
+    /// A node whose learned throughput is below `tail_fraction × best` is
+    /// held back from the queue tail (it would turn the last tasks into
+    /// stragglers); the guard engages once the pending queue fits into the
+    /// fast nodes' slots.
+    pub tail_fraction: f64,
+    /// Minimum max/min learned-throughput ratio before split sizing
+    /// switches from uniform to throughput-weighted.
+    pub spread_threshold: f64,
+}
+
+impl Default for AdaptiveTuning {
+    fn default() -> Self {
+        AdaptiveTuning {
+            ewma_alpha: 0.4,
+            oversplit: 3.0,
+            tail_fraction: 0.5,
+            spread_threshold: 1.5,
+        }
+    }
+}
+
+/// A rejected [`MrConfig`], detected at deploy time ([`MrConfig::validate`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MrConfigError {
+    /// `map_slots_per_node == 0`: no TaskTracker could ever run a task, so
+    /// every job would hang forever.
+    ZeroMapSlots,
+    /// `heartbeat_interval` is zero: heartbeats (and with them dispatch and
+    /// liveness checking) would never be paced.
+    ZeroHeartbeatInterval,
+    /// `tt_dead_after <= heartbeat_interval`: a healthy TaskTracker would
+    /// be declared dead between two of its own heartbeats.
+    DeadTimeoutTooShort {
+        /// Configured heartbeat period.
+        heartbeat_interval: SimDuration,
+        /// Configured death timeout.
+        tt_dead_after: SimDuration,
+    },
+}
+
+impl std::fmt::Display for MrConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrConfigError::ZeroMapSlots => {
+                write!(f, "map_slots_per_node must be at least 1")
+            }
+            MrConfigError::ZeroHeartbeatInterval => {
+                write!(f, "heartbeat_interval must be non-zero")
+            }
+            MrConfigError::DeadTimeoutTooShort {
+                heartbeat_interval,
+                tt_dead_after,
+            } => write!(
+                f,
+                "tt_dead_after ({tt_dead_after}) must exceed heartbeat_interval \
+                 ({heartbeat_interval}); healthy trackers would be declared dead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MrConfigError {}
 
 /// Runtime parameters. Defaults model Hadoop 0.19 as deployed in the paper:
 /// two Mappers per node, 3-second heartbeats, task dispatch paced by
@@ -77,6 +166,27 @@ pub struct MrConfig {
     pub scheduler: SchedulerPolicy,
 }
 
+impl MrConfig {
+    /// Validates deploy-time invariants. Called by
+    /// [`ClusterBuilder::deploy`](crate::ClusterBuilder::deploy); call it
+    /// directly to surface a typed error instead of a panic.
+    pub fn validate(&self) -> Result<(), MrConfigError> {
+        if self.map_slots_per_node == 0 {
+            return Err(MrConfigError::ZeroMapSlots);
+        }
+        if self.heartbeat_interval == SimDuration::ZERO {
+            return Err(MrConfigError::ZeroHeartbeatInterval);
+        }
+        if self.tt_dead_after <= self.heartbeat_interval {
+            return Err(MrConfigError::DeadTimeoutTooShort {
+                heartbeat_interval: self.heartbeat_interval,
+                tt_dead_after: self.tt_dead_after,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for MrConfig {
     fn default() -> Self {
         MrConfig {
@@ -120,5 +230,64 @@ mod tests {
     fn id_display() {
         assert_eq!(JobId(3).to_string(), "job_0003");
         assert_eq!(TaskId(12).to_string(), "task_00012");
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(MrConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_map_slots() {
+        let c = MrConfig {
+            map_slots_per_node: 0,
+            ..MrConfig::default()
+        };
+        assert_eq!(c.validate(), Err(MrConfigError::ZeroMapSlots));
+    }
+
+    #[test]
+    fn validate_rejects_zero_heartbeat() {
+        let c = MrConfig {
+            heartbeat_interval: SimDuration::ZERO,
+            ..MrConfig::default()
+        };
+        assert_eq!(c.validate(), Err(MrConfigError::ZeroHeartbeatInterval));
+        // A zero heartbeat is caught before the (then vacuous) dead-timeout
+        // comparison.
+        assert!(c.validate().unwrap_err().to_string().contains("heartbeat"));
+    }
+
+    #[test]
+    fn validate_rejects_dead_timeout_at_or_below_heartbeat() {
+        for dead_secs in [1u64, 3] {
+            let c = MrConfig {
+                heartbeat_interval: SimDuration::from_secs(3),
+                tt_dead_after: SimDuration::from_secs(dead_secs),
+                ..MrConfig::default()
+            };
+            match c.validate() {
+                Err(MrConfigError::DeadTimeoutTooShort { .. }) => {}
+                other => panic!("expected DeadTimeoutTooShort, got {other:?}"),
+            }
+        }
+        // Strictly above the heartbeat is fine.
+        let ok = MrConfig {
+            heartbeat_interval: SimDuration::from_secs(3),
+            tt_dead_after: SimDuration::from_secs(4),
+            ..MrConfig::default()
+        };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn adaptive_policy_defaults() {
+        let SchedulerPolicy::Adaptive(t) = SchedulerPolicy::adaptive() else {
+            panic!("adaptive() must build the Adaptive arm");
+        };
+        assert!(t.ewma_alpha > 0.0 && t.ewma_alpha <= 1.0);
+        assert!(t.oversplit >= 1.0);
+        assert!((0.0..=1.0).contains(&t.tail_fraction));
+        assert!(t.spread_threshold >= 1.0);
     }
 }

@@ -6,8 +6,9 @@ use accelmr_des::SimDuration;
 use accelmr_dfs::msgs::BlockLoc;
 use accelmr_net::NodeId;
 
-use crate::config::{JobId, TaskId};
+use crate::config::{JobId, SchedulerPolicy, TaskId};
 use crate::kernel::{ReduceKernel, TaskKernel};
+use crate::sched::NodeThroughput;
 
 /// What a job consumes.
 #[derive(Clone, Debug)]
@@ -106,6 +107,11 @@ pub struct JobSpec {
     pub output: OutputSink,
     /// Reduce phase.
     pub reduce: ReduceSpec,
+    /// Per-job scheduling policy. `None` = the cluster default
+    /// ([`MrConfig::scheduler`](crate::MrConfig)); `Some` instantiates a
+    /// fresh scheduler for this job alone (an adaptive override therefore
+    /// learns only from this job's own attempts).
+    pub scheduler: Option<SchedulerPolicy>,
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -252,12 +258,30 @@ pub struct JobResult {
     pub digest: (u64, u64),
     /// Completed map task durations (speculation / distribution analysis).
     pub task_times: Vec<SimDuration>,
+    /// Name of the scheduling policy that drove this job.
+    pub scheduler: &'static str,
+    /// Every dispatch the scheduler made, in order: `(task, node)`.
+    /// Includes re-executions and speculative duplicates.
+    pub dispatch_log: Vec<(TaskId, NodeId)>,
+    /// Per-node throughput estimates for this job's kernel family, when
+    /// the scheduler learns them (adaptive policies; empty otherwise).
+    pub node_throughput: Vec<NodeThroughput>,
 }
 
 impl JobResult {
     /// The aggregated value under `key`, if the job emitted one.
     pub fn value(&self, key: u64) -> Option<u64> {
         self.kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Dispatches per node, ascending by node id (derived from
+    /// [`dispatch_log`](JobResult::dispatch_log)).
+    pub fn dispatch_counts(&self) -> Vec<(NodeId, u32)> {
+        let mut counts: std::collections::BTreeMap<NodeId, u32> = std::collections::BTreeMap::new();
+        for &(_, node) in &self.dispatch_log {
+            *counts.entry(node).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
     }
 }
 
@@ -279,6 +303,7 @@ mod tests {
                     cycles_per_byte: 0.0,
                 }),
             },
+            scheduler: None,
         };
         let s = format!("{spec:?}");
         assert!(s.contains("fixed-cost"));

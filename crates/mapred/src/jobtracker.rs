@@ -3,9 +3,17 @@
 //! Faithful to Hadoop 0.19 as the paper ran it: the JobTracker learns about
 //! TaskTrackers from their heartbeats, computes splits
 //! (`split = FileSize / NumMappers`, records of one DFS block — Figure 3),
-//! dispatches tasks *on heartbeats* with locality preference, detects dead
-//! TaskTrackers by heartbeat silence and re-executes their tasks, and
-//! optionally launches speculative duplicates of stragglers.
+//! dispatches tasks *on heartbeats*, detects dead TaskTrackers by
+//! heartbeat silence and re-executes their tasks, and optionally launches
+//! speculative duplicates of stragglers.
+//!
+//! Scheduling *decisions* live behind the [`Scheduler`] trait
+//! ([`crate::sched`]): the tracker feeds it observations (heartbeats, task
+//! starts/completions with durations and work sizes, node deaths) and asks
+//! it for split plans, dispatch picks and speculative placements. The
+//! cluster-wide policy comes from [`MrConfig::scheduler`]; a job may carry
+//! its own ([`JobSpec::scheduler`]), which gets a private scheduler
+//! instance for that job's lifetime.
 
 use std::collections::VecDeque;
 
@@ -15,9 +23,12 @@ use accelmr_dfs::msgs::{BlockLoc, LocationsReply, PreloadDone};
 use accelmr_dfs::DfsHandle;
 use accelmr_net::{NetHandle, NodeId};
 
-use crate::config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+use crate::config::{JobId, MrConfig, TaskId};
 use crate::job::{JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskWork};
 use crate::msgs::{AssignTask, JobComplete, KillTask, SubmitJob, TaskReport, TtHeartbeat};
+use crate::sched::{
+    build_scheduler, task_work_size, SchedView, Scheduler, SplitRequest, TaskCompletion, TaskView,
+};
 
 const TIMER_LIVENESS: u64 = 0;
 const KIND_INIT: u64 = 1;
@@ -87,6 +98,8 @@ struct JobState {
     digest_acc: u64,
     digest_count: u64,
     task_times: Vec<SimDuration>,
+    /// Every dispatch, in order: `(task, node)`.
+    dispatch_log: Vec<(TaskId, NodeId)>,
     /// Map output metadata for the shuffle: task → `(node, bytes, pairs)`.
     map_outputs: FxHashMap<TaskId, (NodeId, u64, u64)>,
     succeeded: bool,
@@ -111,11 +124,44 @@ pub struct JobTracker {
     tts: FxHashMap<NodeId, TtInfo>,
     jobs: FxHashMap<u32, JobState>,
     next_job: u32,
+    /// The cluster-wide scheduler ([`MrConfig::scheduler`]). Long-lived, so
+    /// adaptive policies learn across jobs within a session.
+    scheduler: Box<dyn Scheduler>,
+    /// Private scheduler instances for jobs carrying their own policy
+    /// ([`JobSpec::scheduler`]); removed when the job completes.
+    job_scheds: FxHashMap<u32, Box<dyn Scheduler>>,
+}
+
+/// Resolves the scheduler for `job`: its private override if it has one,
+/// the cluster default otherwise. A free function over the two fields so
+/// callers can keep disjoint borrows of the rest of the tracker.
+fn sched_mut<'a>(
+    overrides: &'a mut FxHashMap<u32, Box<dyn Scheduler>>,
+    default: &'a mut Box<dyn Scheduler>,
+    job: u32,
+) -> &'a mut dyn Scheduler {
+    if overrides.contains_key(&job) {
+        overrides.get_mut(&job).expect("checked").as_mut()
+    } else {
+        default.as_mut()
+    }
+}
+
+/// Snapshot of one task for scheduler decisions.
+fn task_view(ts: &TaskState) -> TaskView<'_> {
+    TaskView {
+        hints: &ts.hints,
+        is_reduce: ts.is_reduce,
+        completed: ts.completed,
+        running: &ts.running,
+        size: task_work_size(&ts.work),
+    }
 }
 
 impl JobTracker {
     /// Builds a JobTracker on `node` (normally the head node).
     pub fn new(cfg: MrConfig, net: NetHandle, dfs: DfsHandle, node: NodeId) -> Self {
+        let scheduler = build_scheduler(cfg.scheduler, &cfg);
         JobTracker {
             cfg,
             net,
@@ -124,6 +170,8 @@ impl JobTracker {
             tts: FxHashMap::default(),
             jobs: FxHashMap::default(),
             next_job: 0,
+            scheduler,
+            job_scheds: FxHashMap::default(),
         }
     }
 
@@ -131,22 +179,60 @@ impl JobTracker {
         self.tts.values().filter(|t| !t.dead).count() * self.cfg.map_slots_per_node
     }
 
+    /// Live worker nodes, ascending.
+    fn live_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .tts
+            .iter()
+            .filter(|(_, t)| !t.dead)
+            .map(|(&n, _)| n)
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Asks the job's scheduler how to split `total` work items into map
+    /// tasks. (`split = FileSize/NumMappers` under the default uniform
+    /// plan; adaptive policies may oversplit or weight by node speed.)
+    fn plan_splits(&mut self, job_id: JobId, total: u64) -> Option<Vec<u64>> {
+        let default_tasks = self.total_slots().max(1);
+        let live = self.live_nodes();
+        let (kernel, requested) = {
+            let job = self.jobs.get(&job_id.0)?;
+            (job.spec.kernel.name(), job.spec.num_map_tasks)
+        };
+        let req = SplitRequest {
+            job: job_id,
+            kernel,
+            total,
+            requested_tasks: requested,
+            default_tasks,
+            live_nodes: &live,
+            slots_per_node: self.cfg.map_slots_per_node,
+        };
+        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id.0);
+        Some(sched.plan_splits(&req).split(total))
+    }
+
     /// Builds map tasks for a file job once locations are known.
     fn build_file_tasks(&mut self, job_id: JobId, view: &accelmr_dfs::msgs::FileView) {
-        let default_maps = self.total_slots().max(1);
+        let record_bytes = self
+            .jobs
+            .get(&job_id.0)
+            .map(|j| j.record_bytes().max(1))
+            .unwrap_or(1);
+        let total_records = view.len.div_ceil(record_bytes);
+        // Balanced division of whole records across tasks (the paper's
+        // split = FileSize/NumMappers with 64 MB records, under the
+        // default plan).
+        let Some(counts) = self.plan_splits(job_id, total_records) else {
+            return;
+        };
         let Some(job) = self.jobs.get_mut(&job_id.0) else {
             return;
         };
-        let record_bytes = job.record_bytes().max(1);
-        let num_maps = job.spec.num_map_tasks.unwrap_or(default_maps).max(1);
-        let total_records = view.len.div_ceil(record_bytes);
-        // Balanced division of whole records across tasks (the paper's
-        // split = FileSize/NumMappers with 64 MB records).
-        let base = total_records / num_maps as u64;
-        let extra = (total_records % num_maps as u64) as usize;
         let mut next_record = 0u64;
-        for i in 0..num_maps {
-            let records = base + u64::from(i < extra);
+        for records in counts {
             if records == 0 {
                 continue;
             }
@@ -191,15 +277,14 @@ impl JobTracker {
     }
 
     fn build_synthetic_tasks(&mut self, job_id: JobId, total_units: u64) {
-        let default_maps = self.total_slots().max(1);
+        let Some(counts) = self.plan_splits(job_id, total_units) else {
+            return;
+        };
         let Some(job) = self.jobs.get_mut(&job_id.0) else {
             return;
         };
-        let num_maps = job.spec.num_map_tasks.unwrap_or(default_maps).max(1) as u64;
-        let base = total_units / num_maps;
-        let extra = total_units % num_maps;
-        for i in 0..num_maps {
-            let units = base + u64::from(i < extra);
+        for (i, &units) in counts.iter().enumerate() {
+            let i = i as u64;
             job.tasks.push(TaskState {
                 work: TaskWork::MapUnits { units, index: i },
                 hints: Vec::new(),
@@ -215,19 +300,27 @@ impl JobTracker {
         job.phase = Phase::MapRunning;
     }
 
-    /// Picks the next pending task for `node` under the scheduling policy.
+    /// Picks the next pending task for `node` by asking the job's
+    /// scheduler. `None` when the queue is dry — or when the scheduler
+    /// holds the node back (adaptive admission control).
     fn pick_task(&mut self, job_id: u32, node: NodeId) -> Option<TaskId> {
+        let slots_per_node = self.cfg.map_slots_per_node;
+        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
         let job = self.jobs.get_mut(&job_id)?;
         if job.pending.is_empty() {
             return None;
         }
-        let idx = match self.cfg.scheduler {
-            SchedulerPolicy::LocalityFirst => job
-                .pending
-                .iter()
-                .position(|t| job.tasks[t.0 as usize].hints.contains(&node))
-                .unwrap_or(0),
-            SchedulerPolicy::Fifo => 0,
+        let idx = {
+            let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
+            let view = SchedView {
+                job: JobId(job_id),
+                kernel: job.spec.kernel.name(),
+                pending: job.pending.make_contiguous(),
+                tasks: &tasks,
+                completed_task_times: &job.task_times,
+                slots_per_node,
+            };
+            sched.pick_task(&view, node)?
         };
         job.pending.remove(idx)
     }
@@ -245,6 +338,7 @@ impl JobTracker {
         job.attempts_total += 1;
         let attempt = ts.attempts;
         ts.running.push((attempt, node, ctx.now()));
+        job.dispatch_log.push((task, node));
         let reduce_merge_time = if ts.is_reduce {
             match (&job.spec.reduce, &ts.work) {
                 (ReduceSpec::Shuffle { reducer, .. }, TaskWork::Reduce { fetches, pairs, .. }) => {
@@ -281,6 +375,9 @@ impl JobTracker {
             reduce_merge_time,
         };
         ctx.stats().incr("mr.assignments");
+        let now = ctx.now();
+        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
+        sched.on_task_started(JobId(job_id), task, node, now);
         let (net, my) = (self.net, self.node);
         net.unicast(ctx, my, node, tt_actor, 1024, AssignTask { descriptor });
     }
@@ -325,35 +422,22 @@ impl JobTracker {
         }
     }
 
-    /// A straggler: a single-attempt running task whose elapsed time
-    /// exceeds `speculative_slowdown` × the mean completed-task time.
-    fn pick_straggler(&self, now: SimTime, job_id: u32, node: NodeId) -> Option<TaskId> {
-        let job = self.jobs.get(&job_id)?;
-        if job.task_times.is_empty() {
-            return None;
-        }
-        let mean_ns: f64 = job
-            .task_times
-            .iter()
-            .map(|d| d.as_nanos() as f64)
-            .sum::<f64>()
-            / job.task_times.len() as f64;
-        let threshold = mean_ns * self.cfg.speculative_slowdown;
-        let mut best: Option<(TaskId, u64)> = None;
-        for (i, ts) in job.tasks.iter().enumerate() {
-            if ts.completed || ts.running.len() != 1 {
-                continue;
-            }
-            let (_, run_node, started) = ts.running[0];
-            if run_node == node {
-                continue; // don't duplicate onto the same machine
-            }
-            let elapsed = now.since(started).as_nanos();
-            if (elapsed as f64) > threshold && best.map(|(_, e)| elapsed > e).unwrap_or(true) {
-                best = Some((TaskId(i as u32), elapsed));
-            }
-        }
-        best.map(|(t, _)| t)
+    /// Asks the job's scheduler for a straggler to speculatively
+    /// duplicate on `node`.
+    fn pick_straggler(&mut self, now: SimTime, job_id: u32, node: NodeId) -> Option<TaskId> {
+        let slots_per_node = self.cfg.map_slots_per_node;
+        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
+        let job = self.jobs.get_mut(&job_id)?;
+        let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
+        let view = SchedView {
+            job: JobId(job_id),
+            kernel: job.spec.kernel.name(),
+            pending: job.pending.make_contiguous(),
+            tasks: &tasks,
+            completed_task_times: &job.task_times,
+            slots_per_node,
+        };
+        sched.pick_straggler(&view, node, now)
     }
 
     fn handle_report(&mut self, ctx: &mut Ctx<'_>, report: TaskReport) {
@@ -391,6 +475,13 @@ impl JobTracker {
         // Kill other in-flight attempts of the same task.
         let others: Vec<(u32, NodeId)> = ts.running.iter().map(|&(a, n, _)| (a, n)).collect();
         let is_reduce = ts.is_reduce;
+        let kernel = job.spec.kernel.name();
+        // The work the attempt performed, for throughput learning: samples
+        // for synthetic tasks, actual bytes read otherwise.
+        let work = match &ts.work {
+            TaskWork::MapUnits { units, .. } => *units,
+            _ => report.metrics.bytes_read,
+        };
 
         job.bytes_read += report.metrics.bytes_read;
         job.bytes_output += report.metrics.bytes_output;
@@ -413,6 +504,17 @@ impl JobTracker {
                 ),
             );
         }
+
+        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
+        sched.on_task_completed(&TaskCompletion {
+            job: report.job,
+            task: report.task,
+            node: report.node,
+            kernel,
+            is_reduce,
+            elapsed: report.metrics.elapsed,
+            work,
+        });
 
         for (attempt, node) in others {
             if let Some(tt) = self.tts.get(&node) {
@@ -538,6 +640,14 @@ impl JobTracker {
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, job_id: JobId) {
+        let (scheduler, node_throughput) = {
+            let Some(job) = self.jobs.get(&job_id.0) else {
+                return;
+            };
+            let kernel = job.spec.kernel.name();
+            let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id.0);
+            (sched.name(), sched.throughput_estimates(kernel))
+        };
         let Some(job) = self.jobs.get_mut(&job_id.0) else {
             return;
         };
@@ -566,8 +676,13 @@ impl JobTracker {
             kv,
             digest: (job.digest_acc, job.digest_count),
             task_times: job.task_times.clone(),
+            scheduler,
+            dispatch_log: job.dispatch_log.clone(),
+            node_throughput,
         };
         let client = job.client;
+        // A per-job scheduler override dies with its job.
+        self.job_scheds.remove(&job_id.0);
         ctx.stats().incr("mr.jobs_completed");
         let (net, my) = (self.net, self.node);
         net.unicast(ctx, my, client.1, client.0, 2048, JobComplete { result });
@@ -588,6 +703,10 @@ impl JobTracker {
         }
         for node in newly_dead {
             ctx.stats().incr("mr.tasktrackers_declared_dead");
+            self.scheduler.on_node_dead(node);
+            for sched in self.job_scheds.values_mut() {
+                sched.on_node_dead(node);
+            }
             let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
             job_ids.sort_unstable();
             for job_id in job_ids {
@@ -679,6 +798,12 @@ impl Actor for JobTracker {
                     let submit = msg.downcast::<SubmitJob>().expect("checked");
                     let id = self.next_job;
                     self.next_job += 1;
+                    // A job carrying its own policy gets a private,
+                    // job-lifetime scheduler instance.
+                    if let Some(policy) = submit.spec.scheduler {
+                        self.job_scheds
+                            .insert(id, build_scheduler(policy, &self.cfg));
+                    }
                     self.jobs.insert(
                         id,
                         JobState {
@@ -703,6 +828,7 @@ impl Actor for JobTracker {
                             digest_acc: 0,
                             digest_count: 0,
                             task_times: Vec::new(),
+                            dispatch_log: Vec::new(),
                             map_outputs: FxHashMap::default(),
                             succeeded: true,
                         },
@@ -734,6 +860,10 @@ impl Actor for JobTracker {
                         dead: false,
                     });
                     entry.last_heartbeat = now;
+                    self.scheduler.on_heartbeat(hb.node, hb.free_slots, now);
+                    for sched in self.job_scheds.values_mut() {
+                        sched.on_heartbeat(hb.node, hb.free_slots, now);
+                    }
                     for report in hb.completed {
                         self.handle_report(ctx, report);
                     }

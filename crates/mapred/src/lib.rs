@@ -36,6 +36,7 @@ pub mod job;
 pub mod jobtracker;
 pub mod kernel;
 pub mod msgs;
+pub mod sched;
 pub mod session;
 pub mod tasktracker;
 
@@ -43,7 +44,7 @@ pub use builder::{ClusterBuilder, JobBuilder};
 #[allow(deprecated)]
 pub use cluster::{deploy_cluster, run_job};
 pub use cluster::{deploy_mr, MrCluster, MrHandle, PreloadSpec};
-pub use config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+pub use config::{AdaptiveTuning, JobId, MrConfig, MrConfigError, SchedulerPolicy, TaskId};
 pub use job::{
     JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskMetrics, TaskWork,
 };
@@ -53,6 +54,10 @@ pub use kernel::{
     ReduceKernel, SumReducer, TaskKernel, UnitsOutcome,
 };
 pub use msgs::{CrashTaskTracker, JobComplete, SubmitJob};
+pub use sched::{
+    build_scheduler, AdaptiveHetero, Fifo, LocalityFirst, NodeThroughput, SchedView, Scheduler,
+    SplitPlan, SplitRequest, TaskCompletion, TaskView,
+};
 pub use session::{JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;
 

@@ -1,0 +1,52 @@
+//! Locality-preferring dispatch (Hadoop's default, as the paper ran it).
+
+use accelmr_des::SimTime;
+use accelmr_net::NodeId;
+
+use crate::config::{MrConfig, TaskId};
+
+use super::{default_straggler, SchedView, Scheduler};
+
+/// Prefers the oldest pending task with an input replica on the
+/// requesting node ("it tries to minimize the number of remote blocks
+/// accesses"); falls back to the queue front when nothing is local.
+#[derive(Debug)]
+pub struct LocalityFirst {
+    slowdown: f64,
+}
+
+impl LocalityFirst {
+    /// Builds the policy from the runtime config (straggler threshold).
+    pub fn new(cfg: &MrConfig) -> Self {
+        LocalityFirst {
+            slowdown: cfg.speculative_slowdown,
+        }
+    }
+}
+
+impl Scheduler for LocalityFirst {
+    fn name(&self) -> &'static str {
+        "locality-first"
+    }
+
+    fn pick_task(&mut self, view: &SchedView<'_>, node: NodeId) -> Option<usize> {
+        if view.pending.is_empty() {
+            return None;
+        }
+        Some(
+            view.pending
+                .iter()
+                .position(|t| view.tasks[t.0 as usize].hints.contains(&node))
+                .unwrap_or(0),
+        )
+    }
+
+    fn pick_straggler(
+        &mut self,
+        view: &SchedView<'_>,
+        node: NodeId,
+        now: SimTime,
+    ) -> Option<TaskId> {
+        default_straggler(view, node, now, self.slowdown)
+    }
+}

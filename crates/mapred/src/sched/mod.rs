@@ -1,0 +1,364 @@
+//! The pluggable scheduling subsystem.
+//!
+//! Scheduling used to be a two-arm `match` inlined in the JobTracker;
+//! this module extracts it behind the [`Scheduler`] trait so policies are
+//! first-class and extensible. The JobTracker *feeds* the scheduler
+//! observations — heartbeats, task starts, completions (with durations and
+//! work sizes), node deaths — and *asks* it for decisions: split planning
+//! ([`Scheduler::plan_splits`]), dispatch ([`Scheduler::pick_task`]) and
+//! speculative-copy placement ([`Scheduler::pick_straggler`]). Policies
+//! never mutate runtime state and never emit simulation events, so swapping
+//! a policy cannot perturb anything but the decisions themselves — the
+//! property the trace-equivalence tests pin down for the ported
+//! [`Fifo`] and [`LocalityFirst`] implementations.
+//!
+//! Shipped implementations:
+//!
+//! * [`Fifo`] — dispatch in submission order, placement-blind (the
+//!   ablation baseline);
+//! * [`LocalityFirst`] — prefer tasks with an input replica on the
+//!   requesting node (Hadoop's default, as the paper ran it);
+//! * [`AdaptiveHetero`] — heterogeneity-aware dispatch for mixed
+//!   accelerated/plain clusters (the paper's §V open issue): per-node,
+//!   per-kernel throughput learned online, demand-weighted splits, and a
+//!   tail guard keeping the last tasks off slow nodes.
+
+mod adaptive;
+mod fifo;
+mod locality;
+
+pub use adaptive::AdaptiveHetero;
+pub use fifo::Fifo;
+pub use locality::LocalityFirst;
+
+use accelmr_des::{SimDuration, SimTime};
+use accelmr_net::NodeId;
+
+use crate::config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+use crate::job::TaskWork;
+
+/// Immutable snapshot of one task, handed to scheduling decisions.
+#[derive(Debug)]
+pub struct TaskView<'a> {
+    /// Nodes holding input replicas (locality hint; empty for synthetic
+    /// and reduce tasks).
+    pub hints: &'a [NodeId],
+    /// `true` for reduce tasks.
+    pub is_reduce: bool,
+    /// `true` once an attempt has succeeded.
+    pub completed: bool,
+    /// Running attempts: `(attempt, node, started)`.
+    pub running: &'a [(u32, NodeId, SimTime)],
+    /// Work size: input bytes (file tasks), units (synthetic tasks), or
+    /// fetch bytes (reduce tasks).
+    pub size: u64,
+}
+
+/// Everything a scheduler may inspect when deciding for one job on one
+/// heartbeat. Built by the JobTracker per decision; borrows its state.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// The job being scheduled.
+    pub job: JobId,
+    /// The job's map-kernel name (the per-kernel-family key adaptive
+    /// throughput learning uses).
+    pub kernel: &'a str,
+    /// Pending (not yet dispatched) task ids, in queue order. Re-queued
+    /// tasks (failures, node deaths) sit at the tail; the queue is never
+    /// reordered by the runtime, so index 0 is the oldest entry.
+    pub pending: &'a [TaskId],
+    /// All tasks of the job, indexed by [`TaskId`].
+    pub tasks: &'a [TaskView<'a>],
+    /// Durations of completed attempts (straggler thresholding).
+    pub completed_task_times: &'a [SimDuration],
+    /// Configured map slots per TaskTracker.
+    pub slots_per_node: usize,
+}
+
+/// Split-planning request: how should a job's input be carved into map
+/// tasks?
+#[derive(Debug)]
+pub struct SplitRequest<'a> {
+    /// The job being planned.
+    pub job: JobId,
+    /// The job's map-kernel name.
+    pub kernel: &'a str,
+    /// Total work to split: whole records (file inputs) or units
+    /// (synthetic inputs).
+    pub total: u64,
+    /// The user's explicit task count, if any (`JobBuilder::map_tasks`).
+    pub requested_tasks: Option<usize>,
+    /// Default task count: one per live map slot (the paper's
+    /// `NumMappers`).
+    pub default_tasks: usize,
+    /// Live worker nodes, ascending.
+    pub live_nodes: &'a [NodeId],
+    /// Configured map slots per TaskTracker.
+    pub slots_per_node: usize,
+}
+
+/// A split plan: how many map tasks, and how the work divides among them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SplitPlan {
+    /// `tasks` equal splits (remainder spread one-per-task from the
+    /// front) — the paper's `split = FileSize / NumMappers`.
+    Uniform {
+        /// Number of map tasks.
+        tasks: usize,
+    },
+    /// One split per weight, sized proportionally — heterogeneous split
+    /// sizing for clusters where nodes differ in throughput.
+    Weighted {
+        /// Relative split sizes; must be non-empty, entries > 0.
+        weights: Vec<f64>,
+    },
+}
+
+impl SplitPlan {
+    /// Divides `total` work items across the planned tasks. Uniform plans
+    /// reproduce the historical `base + (i < extra)` arithmetic exactly;
+    /// weighted plans use largest-remainder apportionment.
+    pub fn split(&self, total: u64) -> Vec<u64> {
+        match self {
+            SplitPlan::Uniform { tasks } => {
+                let tasks = (*tasks).max(1);
+                let base = total / tasks as u64;
+                let extra = (total % tasks as u64) as usize;
+                (0..tasks).map(|i| base + u64::from(i < extra)).collect()
+            }
+            SplitPlan::Weighted { weights } => {
+                assert!(!weights.is_empty(), "weighted plan needs weights");
+                let sum: f64 = weights.iter().sum();
+                assert!(sum > 0.0, "weighted plan needs positive weights");
+                let mut counts: Vec<u64> = Vec::with_capacity(weights.len());
+                let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+                let mut assigned = 0u64;
+                for (i, w) in weights.iter().enumerate() {
+                    let exact = total as f64 * w / sum;
+                    let floor = exact.floor() as u64;
+                    counts.push(floor);
+                    assigned += floor;
+                    remainders.push((i, exact - floor as f64));
+                }
+                // Hand the remainder out by largest fractional part,
+                // ties broken by task index (deterministic).
+                remainders.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                let mut left = total - assigned;
+                for &(i, _) in &remainders {
+                    if left == 0 {
+                        break;
+                    }
+                    counts[i] += 1;
+                    left -= 1;
+                }
+                counts
+            }
+        }
+    }
+}
+
+/// One completed (successful, first-winner) task attempt, observed by the
+/// scheduler.
+#[derive(Debug)]
+pub struct TaskCompletion<'a> {
+    /// Owning job.
+    pub job: JobId,
+    /// The task.
+    pub task: TaskId,
+    /// Node the winning attempt ran on.
+    pub node: NodeId,
+    /// The job's map-kernel name.
+    pub kernel: &'a str,
+    /// `true` for reduce tasks.
+    pub is_reduce: bool,
+    /// Wall time of the attempt.
+    pub elapsed: SimDuration,
+    /// Work performed: bytes read (file/reduce tasks) or units (synthetic).
+    pub work: u64,
+}
+
+/// A per-node throughput estimate, as learned by an adaptive scheduler
+/// (work units per second for one kernel family).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeThroughput {
+    /// The node.
+    pub node: NodeId,
+    /// Estimated throughput, work units (bytes or samples) per second.
+    pub throughput: f64,
+    /// Completed attempts folded into the estimate.
+    pub samples: u64,
+}
+
+/// A task-scheduling policy. The JobTracker feeds it observations and asks
+/// it for decisions; implementations are pure decision-makers — they hold
+/// whatever learning state they like but never touch runtime state.
+pub trait Scheduler: Send {
+    /// Policy name (results, traces, benches).
+    fn name(&self) -> &'static str;
+
+    /// Plans how a job's input splits into map tasks. The default honors
+    /// the user's task count (or one task per live slot) with uniform
+    /// sizes — the historical behavior.
+    fn plan_splits(&mut self, req: &SplitRequest<'_>) -> SplitPlan {
+        SplitPlan::Uniform {
+            tasks: req.requested_tasks.unwrap_or(req.default_tasks).max(1),
+        }
+    }
+
+    /// Picks the pending task (an index into `view.pending`) to dispatch
+    /// on `node`, or `None` to leave the node's slot empty this heartbeat
+    /// (admission control: an adaptive policy may hold the queue tail back
+    /// from slow nodes).
+    fn pick_task(&mut self, view: &SchedView<'_>, node: NodeId) -> Option<usize>;
+
+    /// Picks a running task to speculatively duplicate on `node` (the
+    /// JobTracker only asks when speculation is enabled and the node has
+    /// free slots after regular dispatch).
+    fn pick_straggler(
+        &mut self,
+        view: &SchedView<'_>,
+        node: NodeId,
+        now: SimTime,
+    ) -> Option<TaskId>;
+
+    /// A task attempt was dispatched to `node`.
+    fn on_task_started(&mut self, job: JobId, task: TaskId, node: NodeId, now: SimTime) {
+        let _ = (job, task, node, now);
+    }
+
+    /// A task completed successfully (first winner only; speculative
+    /// losers and zombies are not reported).
+    fn on_task_completed(&mut self, completion: &TaskCompletion<'_>) {
+        let _ = completion;
+    }
+
+    /// A TaskTracker heartbeat arrived.
+    fn on_heartbeat(&mut self, node: NodeId, free_slots: usize, now: SimTime) {
+        let _ = (node, free_slots, now);
+    }
+
+    /// A TaskTracker was declared dead (heartbeat silence).
+    fn on_node_dead(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
+    /// Per-node throughput estimates for `kernel`, if this policy learns
+    /// them (sorted by node; empty otherwise). Reported in
+    /// [`JobResult::node_throughput`](crate::JobResult::node_throughput).
+    fn throughput_estimates(&self, kernel: &str) -> Vec<NodeThroughput> {
+        let _ = kernel;
+        Vec::new()
+    }
+}
+
+/// Instantiates the [`Scheduler`] for a policy.
+pub fn build_scheduler(policy: SchedulerPolicy, cfg: &MrConfig) -> Box<dyn Scheduler> {
+    match policy {
+        SchedulerPolicy::Fifo => Box::new(Fifo::new(cfg)),
+        SchedulerPolicy::LocalityFirst => Box::new(LocalityFirst::new(cfg)),
+        SchedulerPolicy::Adaptive(tuning) => Box::new(AdaptiveHetero::new(tuning, cfg)),
+    }
+}
+
+/// Work size of a task (bytes for file/reduce tasks, units for synthetic).
+pub(crate) fn task_work_size(work: &TaskWork) -> u64 {
+    match work {
+        TaskWork::MapRange { start, end, .. } => end - start,
+        TaskWork::MapUnits { units, .. } => *units,
+        TaskWork::Reduce { fetches, .. } => fetches.iter().map(|&(_, b)| b).sum(),
+    }
+}
+
+/// The historical straggler rule, shared by [`Fifo`] and
+/// [`LocalityFirst`]: a single-attempt running task whose elapsed time
+/// exceeds `slowdown ×` the mean completed-attempt time, not already
+/// running on the requesting node; the worst offender (largest elapsed)
+/// wins.
+pub(crate) fn default_straggler(
+    view: &SchedView<'_>,
+    node: NodeId,
+    now: SimTime,
+    slowdown: f64,
+) -> Option<TaskId> {
+    if view.completed_task_times.is_empty() {
+        return None;
+    }
+    let mean_ns: f64 = view
+        .completed_task_times
+        .iter()
+        .map(|d| d.as_nanos() as f64)
+        .sum::<f64>()
+        / view.completed_task_times.len() as f64;
+    let threshold = mean_ns * slowdown;
+    let mut best: Option<(TaskId, u64)> = None;
+    for (i, ts) in view.tasks.iter().enumerate() {
+        if ts.completed || ts.running.len() != 1 {
+            continue;
+        }
+        let (_, run_node, started) = ts.running[0];
+        if run_node == node {
+            continue; // don't duplicate onto the same machine
+        }
+        let elapsed = now.since(started).as_nanos();
+        if (elapsed as f64) > threshold && best.map(|(_, e)| elapsed > e).unwrap_or(true) {
+            best = Some((TaskId(i as u32), elapsed));
+        }
+    }
+    best.map(|(t, _)| t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_split_matches_historical_arithmetic() {
+        // 10 items over 4 tasks: base 2, extra 2 → [3, 3, 2, 2].
+        assert_eq!(SplitPlan::Uniform { tasks: 4 }.split(10), vec![3, 3, 2, 2]);
+        // Fewer items than tasks: leading tasks get one each.
+        assert_eq!(
+            SplitPlan::Uniform { tasks: 5 }.split(2),
+            vec![1, 1, 0, 0, 0]
+        );
+        assert_eq!(SplitPlan::Uniform { tasks: 1 }.split(7), vec![7]);
+    }
+
+    #[test]
+    fn weighted_split_apportions_exactly() {
+        let plan = SplitPlan::Weighted {
+            weights: vec![3.0, 1.0],
+        };
+        assert_eq!(plan.split(100), vec![75, 25]);
+        // Totals always preserved, even with awkward weights.
+        let plan = SplitPlan::Weighted {
+            weights: vec![1.0, 1.0, 1.0],
+        };
+        let counts = plan.split(10);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert_eq!(counts, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn task_sizes_by_work_kind() {
+        assert_eq!(
+            task_work_size(&TaskWork::MapUnits {
+                units: 42,
+                index: 0
+            }),
+            42
+        );
+        assert_eq!(
+            task_work_size(&TaskWork::Reduce {
+                fetches: vec![(NodeId(1), 10), (NodeId(2), 5)],
+                pairs: 0,
+                write_output: false,
+                output_path: String::new(),
+            }),
+            15
+        );
+    }
+}

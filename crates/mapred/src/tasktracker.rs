@@ -6,7 +6,8 @@
 //! per-stream-capped feed path, with read-ahead of one record overlapping
 //! the map computation — the overlap that lets the feed ceiling hide the
 //! accelerator speedup in the paper's Figures 4 and 5. The map computation
-//! itself is delegated to the job's [`TaskKernel`], which may offload to
+//! itself is delegated to the job's
+//! [`TaskKernel`](crate::kernel::TaskKernel), which may offload to
 //! node-resident accelerator state ([`NodeEnv`]).
 //!
 //! Correctness around asynchrony relies on per-slot *generations*: every

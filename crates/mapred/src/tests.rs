@@ -370,6 +370,145 @@ fn shuffle_reduce_runs_and_writes() {
     assert!(c.sim.stats().counter("mr.shuffles_started") == 1);
 }
 
+/// Scenarios exercising every pre-refactor scheduling code path (FIFO
+/// pick, locality pick, straggler speculation, liveness re-queue, reduce
+/// dispatch), each returning the full event-trace fingerprint of the run.
+/// The golden values asserted in `ported_schedulers_are_trace_equivalent`
+/// were recorded from the pre-refactor `JobTracker` (scheduling inlined as
+/// a two-arm `match`); the extracted `sched::{Fifo, LocalityFirst}` must
+/// reproduce them event for event.
+pub(crate) fn sched_trace_scenarios() -> Vec<(&'static str, u64, u64)> {
+    let mut out = Vec::new();
+
+    // FIFO + speculation: exercises Fifo::pick_task and pick_straggler.
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::Fifo,
+            speculative: true,
+            ..MrConfig::default()
+        };
+        let mut c = cluster(21, 4, cfg, false);
+        c.sim.enable_trace(16);
+        let r = run_one(
+            &mut c,
+            vec![],
+            synthetic_spec(Arc::new(SkewKernel), 800_000, Some(8)),
+        );
+        assert!(r.succeeded);
+        out.push((
+            "fifo+speculative",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+        ));
+    }
+
+    // LocalityFirst over a block-per-task file job: exercises the
+    // locality-preferring pick.
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::LocalityFirst,
+            ..MrConfig::default()
+        };
+        let mut c = cluster(22, 4, cfg, false);
+        c.sim.enable_trace(16);
+        let preload = PreloadSpec {
+            path: "/l".into(),
+            len: 64 * MB,
+            block_size: Some(4 * MB),
+            replication: None,
+            seed: 3,
+        };
+        let spec = JobBuilder::new("loc")
+            .input_file("/l")
+            .record_bytes(4 * MB)
+            .kernel(FixedCostKernel {
+                per_record: SimDuration::from_millis(5),
+                ..FixedCostKernel::default()
+            })
+            .map_tasks(16)
+            .build();
+        let r = run_one(&mut c, vec![preload], spec);
+        assert!(r.succeeded);
+        out.push((
+            "locality-file",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+        ));
+    }
+
+    // LocalityFirst + TaskTracker crash + shuffle: exercises the liveness
+    // re-queue path and reduce-task dispatch.
+    {
+        let mut c = cluster(23, 3, MrConfig::default(), false);
+        c.sim.enable_trace(16);
+        let victim_tt = c.mr.tasktracker_on(accelmr_net::NodeId(1)).unwrap();
+        c.sim.post_after(
+            victim_tt,
+            Box::new(CrashTaskTracker),
+            SimDuration::from_secs(20),
+        );
+        let preload = PreloadSpec {
+            path: "/sh".into(),
+            len: 24 * MB,
+            block_size: Some(4 * MB),
+            replication: Some(2),
+            seed: 4,
+        };
+        let spec = JobBuilder::new("crash-shuffle")
+            .input_file("/sh")
+            .record_bytes(4 * MB)
+            .kernel(FixedCostKernel {
+                per_record: SimDuration::from_secs(4),
+                output_ratio_percent: 100,
+                ..FixedCostKernel::default()
+            })
+            .map_tasks(6)
+            .shuffle(
+                3,
+                SumReducer {
+                    cycles_per_byte: 2.0,
+                },
+                true,
+            )
+            .build();
+        let r = run_one(&mut c, vec![preload], spec);
+        assert!(r.succeeded);
+        out.push((
+            "crash-shuffle",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+        ));
+    }
+
+    out
+}
+
+/// Trace-equivalence proof for the scheduler extraction: these
+/// fingerprints (full event streams: every message, timer and delivery
+/// time of the whole run) were recorded from the pre-refactor JobTracker,
+/// where scheduling was a two-arm `match` inlined at `pick_task`. The
+/// extracted `sched::Fifo` / `sched::LocalityFirst` must reproduce them
+/// bit for bit — any behavioral drift in dispatch, speculation, split
+/// arithmetic or recovery shows up here.
+#[test]
+fn ported_schedulers_are_trace_equivalent() {
+    let golden = [
+        ("fifo+speculative", 0xc55290eb28bae88a_u64, 238u64),
+        ("locality-file", 0xa79d359b4826c89a, 379),
+        ("crash-shuffle", 0x160b8069380a09d2, 545),
+    ];
+    let got = sched_trace_scenarios();
+    assert_eq!(got.len(), golden.len());
+    for ((name, fp, events), (gname, gfp, gevents)) in got.iter().zip(golden.iter()) {
+        assert_eq!(name, gname);
+        assert_eq!(
+            (fp, events),
+            (gfp, gevents),
+            "scenario '{name}' diverged from the pre-refactor event stream"
+        );
+    }
+}
+
 #[test]
 fn deterministic_runs_from_same_seed() {
     let run_fp = || {
@@ -407,6 +546,337 @@ fn missing_input_fails_gracefully() {
     let result = run_one(&mut c, vec![], spec);
     assert!(!result.succeeded);
     assert_eq!(result.map_tasks, 0);
+}
+
+/// FIFO regression: dispatch order equals submission order, and stays
+/// stable across a kill/re-queue. The pending queue is only ever popped at
+/// the scheduler's pick and *appended* on re-queue, so first dispatches
+/// come out in `TaskId` order and a re-executed task re-dispatches after
+/// everything that was already waiting — exactly what `Fifo::pick_task`'s
+/// unconditional index `0` relies on.
+#[test]
+fn fifo_dispatch_order_is_submission_order_across_requeue() {
+    let cfg = MrConfig {
+        scheduler: SchedulerPolicy::Fifo,
+        ..MrConfig::default()
+    };
+    let mut c = cluster(31, 3, cfg, false);
+    let preload = PreloadSpec {
+        path: "/fifo".into(),
+        len: 24 * MB,
+        block_size: Some(2 * MB),
+        replication: Some(2),
+        seed: 6,
+    };
+    let spec = JobBuilder::new("fifo-order")
+        .input_file("/fifo")
+        .record_bytes(2 * MB)
+        .kernel(FixedCostKernel {
+            per_record: SimDuration::from_secs(4),
+            ..FixedCostKernel::default()
+        })
+        .map_tasks(6)
+        .build();
+    // Crash a TaskTracker mid-map so its running tasks get re-queued.
+    let victim_tt = c.mr.tasktracker_on(accelmr_net::NodeId(1)).unwrap();
+    c.sim.post_after(
+        victim_tt,
+        Box::new(CrashTaskTracker),
+        SimDuration::from_secs(20),
+    );
+    let result = run_one(&mut c, vec![preload], spec);
+    assert!(result.succeeded);
+    assert_eq!(result.scheduler, "fifo");
+    // The crash actually forced re-execution…
+    assert!(result.attempts > result.map_tasks);
+    assert_eq!(result.dispatch_log.len() as u32, result.attempts);
+    // …yet first dispatches still came out in submission order.
+    let mut first_order = Vec::new();
+    for &(t, _) in &result.dispatch_log {
+        if !first_order.contains(&t) {
+            first_order.push(t);
+        }
+    }
+    let expected: Vec<crate::config::TaskId> =
+        (0..result.map_tasks).map(crate::config::TaskId).collect();
+    assert_eq!(
+        first_order, expected,
+        "FIFO must dispatch in submission order"
+    );
+    // And a re-queued task was re-dispatched strictly after its first try.
+    let reexecuted: Vec<_> = expected
+        .iter()
+        .filter(|t| {
+            result
+                .dispatch_log
+                .iter()
+                .filter(|&&(x, _)| x == **t)
+                .count()
+                > 1
+        })
+        .collect();
+    assert!(
+        !reexecuted.is_empty(),
+        "expected at least one re-queued task"
+    );
+}
+
+/// Fault tolerance during the *reduce* phase: a TaskTracker dying while
+/// its reduce attempt runs must lead to re-execution on a surviving node
+/// and a correct final aggregate (existing fault tests only killed during
+/// map).
+#[test]
+fn tasktracker_death_during_reduce_reexecutes_reduce() {
+    let mut c = cluster(32, 3, MrConfig::default(), false);
+    let preload = PreloadSpec {
+        path: "/rd".into(),
+        len: 16 * MB,
+        block_size: Some(4 * MB),
+        replication: Some(2),
+        seed: 8,
+    };
+    // Fast maps, long reduce merges (~66 s each): a crash at t=45 s lands
+    // squarely inside the reduce phase.
+    let spec = JobBuilder::new("reduce-death")
+        .input_file("/rd")
+        .record_bytes(4 * MB)
+        .kernel(FixedCostKernel {
+            per_record: SimDuration::from_millis(1),
+            output_ratio_percent: 100,
+            ..FixedCostKernel::default()
+        })
+        .map_tasks(4)
+        .shuffle(
+            3,
+            SumReducer {
+                cycles_per_byte: 4.0e4,
+            },
+            false,
+        )
+        .build();
+    let victim_tt = c.mr.tasktracker_on(accelmr_net::NodeId(1)).unwrap();
+    c.sim.post_after(
+        victim_tt,
+        Box::new(CrashTaskTracker),
+        SimDuration::from_secs(45),
+    );
+    let result = run_one(&mut c, vec![preload], spec);
+    assert!(result.succeeded);
+    assert_eq!(result.map_tasks, 4);
+    assert_eq!(result.reduce_tasks, 3);
+    assert_eq!(c.sim.stats().counter("mr.tasktrackers_declared_dead"), 1);
+    // A reduce task (ids after the maps) was dispatched more than once:
+    // the dead tracker's attempt vanished and was re-executed.
+    let reduce_redispatched = (result.map_tasks..result.map_tasks + result.reduce_tasks)
+        .map(crate::config::TaskId)
+        .any(|t| result.dispatch_log.iter().filter(|&&(x, _)| x == t).count() > 1);
+    assert!(
+        reduce_redispatched,
+        "expected a reduce re-execution; dispatch_log: {:?}",
+        result.dispatch_log
+    );
+    assert!(result.attempts > result.map_tasks + result.reduce_tasks);
+    // The aggregate is still exactly right: one pair per record mapped.
+    let total: u64 = result.kv.iter().map(|&(_, v)| v).sum();
+    assert_eq!(total, 4, "SumReducer must see each record exactly once");
+}
+
+/// A per-job scheduler override beats the cluster default, and the result
+/// reports which policy actually drove the job.
+#[test]
+fn per_job_scheduler_override_beats_cluster_default() {
+    let cfg = MrConfig {
+        scheduler: SchedulerPolicy::LocalityFirst,
+        ..MrConfig::default()
+    };
+    let mut c = cluster(33, 2, cfg, false);
+    let kernel = Arc::new(FixedCostKernel::default());
+    let mut session = c.session();
+    let with_default = session.submit(
+        JobBuilder::new("default")
+            .synthetic(10_000)
+            .kernel_arc(kernel.clone())
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            }),
+    );
+    let with_override = session.submit(
+        JobBuilder::new("override")
+            .synthetic(10_000)
+            .kernel_arc(kernel)
+            .scheduler(SchedulerPolicy::Fifo)
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            }),
+    );
+    session.run_until_complete();
+    assert_eq!(with_default.result().scheduler, "locality-first");
+    assert_eq!(with_override.result().scheduler, "fifo");
+    // Dispatch accounting: one log entry per attempt, counts add up.
+    let r = with_default.result();
+    assert_eq!(r.dispatch_log.len() as u32, r.attempts);
+    let counted: u32 = r.dispatch_counts().iter().map(|&(_, n)| n).sum();
+    assert_eq!(counted, r.attempts);
+    // Non-adaptive policies learn no throughput model.
+    assert!(r.node_throughput.is_empty());
+}
+
+/// Environment marker for the mapred-level heterogeneous tests: nodes
+/// carrying it are "accelerated".
+#[derive(Debug, Default)]
+struct TurboEnv;
+
+impl NodeEnv for TurboEnv {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Every other node gets a [`TurboEnv`] (node indices 0, 2, …).
+#[derive(Clone, Copy)]
+struct HalfTurboFactory;
+
+impl crate::kernel::NodeEnvFactory for HalfTurboFactory {
+    fn build(&self, node_index: usize) -> Box<dyn NodeEnv> {
+        if node_index.is_multiple_of(2) {
+            Box::new(TurboEnv)
+        } else {
+            Box::new(crate::kernel::NullEnv)
+        }
+    }
+}
+
+/// Synthetic kernel 10x faster on [`TurboEnv`] nodes — the mapred-level
+/// stand-in for the hybrid crate's adaptive Cell kernels.
+#[derive(Debug, Clone, Copy)]
+struct HeteroKernel;
+
+impl TaskKernel for HeteroKernel {
+    fn name(&self) -> &'static str {
+        "hetero-units"
+    }
+
+    fn map_record(
+        &self,
+        _env: &mut dyn NodeEnv,
+        _rec: &crate::kernel::RecordCtx<'_>,
+    ) -> crate::kernel::RecordOutcome {
+        unreachable!("synthetic-only kernel")
+    }
+
+    fn map_units(&self, env: &mut dyn NodeEnv, units: u64, stream: u64) -> UnitsOutcome {
+        let per_unit_ns = if env.as_any_mut().downcast_mut::<TurboEnv>().is_some() {
+            40
+        } else {
+            400
+        };
+        UnitsOutcome {
+            compute: SimDuration::from_nanos(per_unit_ns * units),
+            kv: vec![(stream, units)],
+        }
+    }
+}
+
+fn run_hetero_units(policy: SchedulerPolicy, seed: u64) -> JobResult {
+    let cfg = MrConfig {
+        scheduler: policy,
+        ..MrConfig::default()
+    };
+    let mut c = ClusterBuilder::new()
+        .seed(seed)
+        .workers(4)
+        .mr(cfg)
+        .env(HalfTurboFactory)
+        .deploy();
+    let mut session = c.session();
+    session.submit(
+        JobBuilder::new("hetero")
+            .synthetic(2_000_000_000)
+            .kernel(HeteroKernel)
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            }),
+    );
+    session.run()
+}
+
+/// The tentpole's end-to-end claim at the runtime level: on a cluster
+/// where half the nodes are 10x faster, [`AdaptiveHetero`]'s oversplit +
+/// throughput-weighted dispatch beats placement-blind scheduling, and the
+/// result exposes the learned per-node model.
+#[test]
+fn adaptive_beats_locality_on_heterogeneous_synthetic_cluster() {
+    let base = run_hetero_units(SchedulerPolicy::LocalityFirst, 34);
+    let adaptive = run_hetero_units(SchedulerPolicy::adaptive(), 34);
+    assert!(base.succeeded && adaptive.succeeded);
+    // Work conservation under oversplit/weighted plans.
+    let total = |r: &JobResult| r.kv.iter().map(|&(_, v)| v).sum::<u64>();
+    assert_eq!(total(&base), 2_000_000_000);
+    assert_eq!(total(&adaptive), 2_000_000_000);
+    assert_eq!(adaptive.scheduler, "adaptive-hetero");
+    // Strictly faster end to end.
+    assert!(
+        adaptive.elapsed < base.elapsed,
+        "adaptive {} vs locality {}",
+        adaptive.elapsed,
+        base.elapsed
+    );
+    // The learned model separates the two node classes.
+    let tp = &adaptive.node_throughput;
+    assert_eq!(tp.len(), 4, "{tp:?}");
+    let max = tp.iter().map(|e| e.throughput).fold(f64::MIN, f64::max);
+    let min = tp.iter().map(|e| e.throughput).fold(f64::MAX, f64::min);
+    assert!(max / min > 3.0, "learned spread {max}/{min}");
+    // Fast nodes were handed more attempts than slow ones.
+    let counts = adaptive.dispatch_counts();
+    let fast: u32 = counts
+        .iter()
+        .filter(|&&(n, _)| n.0 % 2 == 1) // node index 0,2 → NodeId 1,3
+        .map(|&(_, c)| c)
+        .sum();
+    let slow: u32 = counts
+        .iter()
+        .filter(|&&(n, _)| n.0 % 2 == 0)
+        .map(|&(_, c)| c)
+        .sum();
+    assert!(fast > slow, "fast {fast} vs slow {slow} ({counts:?})");
+}
+
+/// Cross-job learning through the cluster-wide adaptive scheduler: the
+/// first job of a session runs on the unlearned oversplit plan; the second
+/// job of the same kernel family gets throughput-weighted splits (one per
+/// slot) because the model already knows the cluster's speed spread.
+#[test]
+fn adaptive_learns_across_jobs_in_a_session() {
+    let cfg = MrConfig {
+        scheduler: SchedulerPolicy::adaptive(),
+        ..MrConfig::default()
+    };
+    let mut c = ClusterBuilder::new()
+        .seed(35)
+        .workers(4)
+        .mr(cfg)
+        .env(HalfTurboFactory)
+        .deploy();
+    let job = || {
+        JobBuilder::new("learn")
+            .synthetic(400_000_000)
+            .kernel(HeteroKernel)
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            })
+    };
+    let mut session = c.session();
+    let first = session.submit(job());
+    session.run();
+    let mut session = c.session();
+    let second = session.submit(job());
+    session.run();
+    // 4 workers × 2 slots = 8 slots; oversplit 3x → 24 tasks unlearned.
+    assert_eq!(first.result().map_tasks, 24);
+    // Learned: one split per slot, weighted by node speed.
+    assert_eq!(second.result().map_tasks, 8);
+    assert!(!second.result().node_throughput.is_empty());
 }
 
 #[test]
