@@ -1,0 +1,239 @@
+//! net_scale — **wall-clock** benchmark of the fabric's fluid engines.
+//!
+//! Every other BENCH file in this repo tracks *simulated* makespans; this
+//! one tracks how fast the simulator itself runs, so engine-speed
+//! regressions are visible. It drives a terasort-style shuffle — waves of
+//! all-at-once fetches, every reducer pulling from `k` mapper nodes with
+//! per-stream caps and per-reducer size skew — at 16/64/256/1024 nodes on
+//! both rate engines:
+//!
+//! * `reference` — the pre-optimization engine: one global
+//!   `max_min_rates` solve (with per-flow allocations) on every flow
+//!   start/finish.
+//! * `incremental` — the production engine: same-instant starts coalesced
+//!   into one solve, component-local re-solves on the allocation-free
+//!   `MaxMinSolver`, heap-driven completions.
+//!
+//! The reference engine is quadratic-with-allocations in the wave size, so
+//! it is only run up to 256 nodes; 1024 nodes is incremental-only. For
+//! every size run on both engines the simulated makespans must agree to
+//! 1e-6 s — the perf rewrite is not allowed to move a single completion.
+//!
+//! Writes `BENCH_perf.json` (or `BENCH_perf.quick.json` under `--quick`,
+//! which CI smoke-runs) and, in full mode, asserts the ≥10x speedup bar at
+//! 256 nodes.
+
+use std::time::Instant;
+
+use accelmr_des::prelude::*;
+use accelmr_net::{Fabric, FlowDone, FluidEngine, NetConfig, NetHandle, NodeId};
+
+/// Drives `waves` shuffle waves: each wave starts every fetch at one
+/// instant and the next wave begins when the last flow of the previous
+/// one completes.
+struct ShuffleDriver {
+    net: NetHandle,
+    nodes: u32,
+    fanin: u32,
+    bytes_base: u64,
+    waves: u32,
+    wave: u32,
+    inflight: u64,
+    completed: u64,
+    next_tag: u64,
+}
+
+impl ShuffleDriver {
+    fn start_wave(&mut self, ctx: &mut Ctx<'_>) {
+        self.wave += 1;
+        // Per-reducer size skew: flows into one reducer share a size (so
+        // its incast completes together) while reducers differ, giving
+        // ~nodes distinct completion instants per wave — the staggered
+        // completion pattern a real sorted-run shuffle produces.
+        for r in 0..self.nodes {
+            let bytes = self.bytes_base + u64::from(r % 16) * (self.bytes_base / 32);
+            for i in 0..self.fanin {
+                let s = (r + 1 + i * 3) % self.nodes;
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                self.net.start_flow(
+                    ctx,
+                    NodeId(s),
+                    NodeId(r),
+                    bytes,
+                    Some(20.0e6), // the runtime's per-stream shuffle cap
+                    tag,
+                );
+                self.inflight += 1;
+            }
+        }
+    }
+}
+
+impl Actor for ShuffleDriver {
+    fn name(&self) -> String {
+        "bench.shuffle_driver".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => self.start_wave(ctx),
+            Event::Msg { msg, .. } if msg.peek::<FlowDone>().is_some() => {
+                self.inflight -= 1;
+                self.completed += 1;
+                if self.inflight == 0 {
+                    if self.wave < self.waves {
+                        self.start_wave(ctx);
+                    } else {
+                        ctx.stop();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Sample {
+    engine: &'static str,
+    nodes: u32,
+    flows: u64,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    solver_calls: u64,
+    makespan_s: f64,
+}
+
+fn run_scenario(engine: FluidEngine, nodes: u32, waves: u32) -> Sample {
+    let fanin = nodes.saturating_sub(1).min(16);
+    let cfg = NetConfig {
+        fluid: engine,
+        ..NetConfig::default()
+    };
+    let mut sim = Sim::new(7);
+    let fabric = sim.spawn(Box::new(Fabric::new(cfg, nodes as usize)));
+    let driver = sim.spawn(Box::new(ShuffleDriver {
+        net: NetHandle { fabric },
+        nodes,
+        fanin,
+        bytes_base: 8 << 20,
+        waves,
+        wave: 0,
+        inflight: 0,
+        completed: 0,
+        next_tag: 0,
+    }));
+    let started = Instant::now();
+    let summary = sim.run();
+    let wall_s = started.elapsed().as_secs_f64();
+    let flows = sim
+        .actor_ref::<ShuffleDriver>(driver)
+        .expect("driver")
+        .completed;
+    assert_eq!(
+        flows,
+        u64::from(nodes) * u64::from(fanin) * u64::from(waves)
+    );
+    Sample {
+        engine: match engine {
+            FluidEngine::Incremental => "incremental",
+            FluidEngine::Reference => "reference",
+        },
+        nodes,
+        flows,
+        wall_s,
+        events: summary.events,
+        events_per_sec: summary.events as f64 / wall_s.max(1e-9),
+        solver_calls: sim.stats().counter("net.solver_calls"),
+        makespan_s: summary.end_time.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = accelmr_bench::quick_mode();
+    let (sizes, waves, ref_limit) = if quick {
+        (vec![16u32, 64], 2u32, 64u32)
+    } else {
+        (vec![16u32, 64, 256, 1024], 3u32, 256u32)
+    };
+
+    println!("# net_scale — terasort-style shuffle waves, wall-clock per engine");
+    println!(
+        "{:>6} {:>12} {:>8} {:>10} {:>9} {:>13} {:>12} {:>11}",
+        "nodes", "engine", "flows", "wall(s)", "events", "events/s", "solver calls", "makespan(s)"
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &n in &sizes {
+        let incr = run_scenario(FluidEngine::Incremental, n, waves);
+        let row = |s: &Sample| {
+            println!(
+                "{:>6} {:>12} {:>8} {:>10.3} {:>9} {:>13.0} {:>12} {:>11.3}",
+                s.nodes,
+                s.engine,
+                s.flows,
+                s.wall_s,
+                s.events,
+                s.events_per_sec,
+                s.solver_calls,
+                s.makespan_s
+            );
+        };
+        row(&incr);
+        if n <= ref_limit {
+            let reference = run_scenario(FluidEngine::Reference, n, waves);
+            row(&reference);
+            assert!(
+                (incr.makespan_s - reference.makespan_s).abs() < 1e-6,
+                "{n} nodes: incremental makespan {} != reference {}",
+                incr.makespan_s,
+                reference.makespan_s
+            );
+            samples.push(reference);
+        }
+        samples.push(incr);
+    }
+
+    let wall = |engine: &str, nodes: u32| {
+        samples
+            .iter()
+            .find(|s| s.engine == engine && s.nodes == nodes)
+            .map(|s| s.wall_s)
+    };
+    let headline = if quick { 64 } else { 256 };
+    let speedup = match (wall("reference", headline), wall("incremental", headline)) {
+        (Some(r), Some(i)) => r / i.max(1e-9),
+        _ => f64::NAN,
+    };
+    println!("\n{headline}-node shuffle: incremental is {speedup:.1}x faster wall-clock");
+    if !quick {
+        assert!(
+            speedup >= 10.0,
+            "acceptance bar: >=10x at 256 nodes, got {speedup:.1}x"
+        );
+    }
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"nodes\": {}, \"engine\": \"{}\", \"flows\": {}, \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"solver_calls\": {}, \"makespan_s\": {:.6} }}",
+                s.nodes, s.engine, s.flows, s.wall_s, s.events, s.events_per_sec, s.solver_calls, s.makespan_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"net_scale\",\n  \"scenario\": \"terasort-style shuffle, {waves} waves, fan-in min(nodes-1,16), 20 MB/s stream cap\",\n  \"quick\": {quick},\n  \"speedup_at_{headline}_nodes\": {speedup:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Quick runs write next to the baseline, never over it: the committed
+    // BENCH_perf.json always holds full-scale numbers.
+    let out = if quick {
+        "BENCH_perf.quick.json"
+    } else {
+        "BENCH_perf.json"
+    };
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("\nwrote {out}");
+}

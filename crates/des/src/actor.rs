@@ -138,7 +138,12 @@ impl Event {
 }
 
 /// A simulated component.
-pub trait Actor: Send {
+///
+/// The `Any` supertrait lets the harness recover an actor's concrete state
+/// after a run via [`crate::Sim::actor_mut`] / [`crate::Sim::actor_ref`] —
+/// the supported way for tests to inspect a driver actor without smuggling
+/// results out through shared cells.
+pub trait Actor: Send + Any {
     /// Reacts to one event. All side effects (sends, timers, spawning,
     /// stopping the run) go through [`Ctx`].
     fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event);

@@ -186,6 +186,24 @@ impl Sim {
         &self.actors[id.index()].name
     }
 
+    /// Borrows the concrete state of the actor registered under `id`.
+    ///
+    /// Returns `None` when the actor is dead (killed) or is not a `T`.
+    /// This is the supported way for harnesses and tests to read an
+    /// actor's fields after (or between) [`Sim::run`] calls — no shared
+    /// cells or wrapper actors needed.
+    pub fn actor_ref<T: Actor>(&self, id: ActorId) -> Option<&T> {
+        let actor = self.actors.get(id.index())?.actor.as_deref()?;
+        (actor as &dyn core::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the concrete state of the actor registered under
+    /// `id`; see [`Sim::actor_ref`].
+    pub fn actor_mut<T: Actor>(&mut self, id: ActorId) -> Option<&mut T> {
+        let actor = self.actors.get_mut(id.index())?.actor.as_deref_mut()?;
+        (actor as &mut dyn core::any::Any).downcast_mut::<T>()
+    }
+
     /// Whether the actor is still alive (not killed).
     pub fn is_alive(&self, id: ActorId) -> bool {
         self.actors
@@ -357,6 +375,28 @@ impl<'a> Ctx<'a> {
             Payload::Timer { id, tag },
         );
         TimerHandle(id)
+    }
+
+    /// Arms a one-shot timer that fires at the absolute instant `at`
+    /// (clamped to the current instant if `at` is in the past). Useful for
+    /// schedulers that track deadlines rather than delays — re-arming at an
+    /// unchanged deadline can then be skipped entirely (timer reuse) instead
+    /// of paying a cancel + re-insert per event.
+    pub fn after_at(&mut self, at: SimTime, tag: u64) -> TimerHandle {
+        let at = at.max(self.core.now);
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        self.core.push(at, self.self_id, Payload::Timer { id, tag });
+        TimerHandle(id)
+    }
+
+    /// Arms a zero-delay timer: the firing is queued *behind* every event
+    /// already scheduled for the current instant, so the actor wakes up
+    /// after its same-instant inbox has drained. This is the deferred-wakeup
+    /// primitive batch-processing actors (e.g. the network fabric) use to
+    /// coalesce a burst of same-instant requests into one unit of work.
+    pub fn defer(&mut self, tag: u64) -> TimerHandle {
+        self.after(SimDuration::ZERO, tag)
     }
 
     /// Cancels a timer armed with [`Ctx::after`]; harmless if already fired.
@@ -711,6 +751,101 @@ mod tests {
         sim.post_after(s, Box::new(Kick), SimDuration::from_millis(5));
         sim.run();
         assert_eq!(sim.stats().counter("delivered"), 1);
+    }
+
+    #[test]
+    fn actor_state_is_readable_after_run() {
+        struct Counter {
+            seen: u32,
+        }
+        impl Actor for Counter {
+            fn handle(&mut self, _: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Msg { .. }) {
+                    self.seen += 1;
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let c = sim.spawn(Box::new(Counter { seen: 0 }));
+        sim.post(c, Box::new(Kick));
+        sim.post(c, Box::new(Kick));
+        sim.run();
+        assert_eq!(sim.actor_ref::<Counter>(c).unwrap().seen, 2);
+        sim.actor_mut::<Counter>(c).unwrap().seen = 0;
+        assert_eq!(sim.actor_ref::<Counter>(c).unwrap().seen, 0);
+        // Wrong type and dead actors both come back None.
+        struct Other;
+        impl Actor for Other {
+            fn handle(&mut self, _: &mut Ctx<'_>, _: Event) {}
+        }
+        assert!(sim.actor_ref::<Other>(c).is_none());
+    }
+
+    #[test]
+    fn defer_fires_after_same_instant_inbox() {
+        /// Counts messages seen before the deferred wakeup fires.
+        struct Batcher {
+            batched: u32,
+            wakeups: u32,
+        }
+        impl Actor for Batcher {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Msg { .. } => {
+                        if self.batched == 0 {
+                            ctx.defer(0);
+                        }
+                        self.batched += 1;
+                    }
+                    Event::Timer { .. } => {
+                        self.wakeups += 1;
+                        assert_eq!(self.batched, 3, "wakeup fired mid-burst");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let b = sim.spawn(Box::new(Batcher {
+            batched: 0,
+            wakeups: 0,
+        }));
+        for _ in 0..3 {
+            sim.post(b, Box::new(Kick));
+        }
+        sim.run();
+        let state = sim.actor_ref::<Batcher>(b).unwrap();
+        assert_eq!((state.batched, state.wakeups), (3, 1));
+    }
+
+    #[test]
+    fn after_at_fires_at_absolute_instant_and_clamps_past() {
+        struct T;
+        impl Actor for T {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        ctx.after_at(SimTime::from_nanos(5_000), 1);
+                        // An instant in the past fires "now", not never.
+                        ctx.after_at(SimTime::ZERO, 2);
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        assert_eq!(ctx.now(), SimTime::from_nanos(5_000));
+                        ctx.stats().incr("late");
+                    }
+                    Event::Timer { tag: 2, .. } => {
+                        assert_eq!(ctx.now(), SimTime::ZERO);
+                        ctx.stats().incr("clamped");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.spawn(Box::new(T));
+        sim.run();
+        assert_eq!(sim.stats().counter("late"), 1);
+        assert_eq!(sim.stats().counter("clamped"), 1);
     }
 
     #[test]

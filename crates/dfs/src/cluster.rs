@@ -261,13 +261,13 @@ mod tests {
     }
 
     /// Test client actor driving a scripted interaction.
-    struct Client<F: FnMut(&mut Ctx<'_>, Event, &DfsHandle, &mut u32) + Send> {
+    struct Client<F: FnMut(&mut Ctx<'_>, Event, &DfsHandle, &mut u32) + Send + 'static> {
         dfs: DfsHandle,
         state: u32,
         script: F,
     }
 
-    impl<F: FnMut(&mut Ctx<'_>, Event, &DfsHandle, &mut u32) + Send> Actor for Client<F> {
+    impl<F: FnMut(&mut Ctx<'_>, Event, &DfsHandle, &mut u32) + Send + 'static> Actor for Client<F> {
         fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
             (self.script)(ctx, ev, &self.dfs, &mut self.state);
         }

@@ -153,6 +153,10 @@ impl Actor for DataNode {
                         len: req.len,
                         bytes,
                     };
+                    // Readers fan out their segment requests in one
+                    // instant and RPC latency is uniform, so the flows of
+                    // one read wave start at the same simulated instant —
+                    // the fabric coalesces them into a single re-solve.
                     let (net, node) = (self.net, self.node);
                     net.start_flow_with(
                         ctx,

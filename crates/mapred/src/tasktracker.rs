@@ -262,6 +262,9 @@ impl TaskTracker {
             run.inflight = Some((rec, segs.len(), None));
             (run.gen, rec, segs)
         };
+        // A record spanning several blocks fans out all its segment reads
+        // in one instant; the resulting DataNode flows start together and
+        // are coalesced into one fabric re-solve.
         for (i, seg) in segs.iter().enumerate() {
             self.issue_segment(ctx, slot, gen, rec, seg, i, 0);
         }
@@ -690,6 +693,10 @@ impl TaskTracker {
                     }
                     Slot::Idle => return,
                 };
+                // All fetches issue at this one instant: the fabric
+                // coalesces the whole shuffle wave into a single max-min
+                // re-solve (see `accelmr_net::fabric`), so keep this a
+                // straight burst — do not stagger or serialize starts.
                 let mut any = false;
                 for &(from, bytes) in &fetches {
                     if bytes == 0 {

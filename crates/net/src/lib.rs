@@ -3,8 +3,12 @@
 //! The network substrate under the distributed file system and MapReduce
 //! runtime: per-node full-duplex Gigabit NICs behind a non-blocking switch,
 //! per-node loopback devices, control RPCs with latency + serialization
-//! cost, and bulk transfers as **max-min fair fluid flows** re-solved on
-//! every arrival/departure ([`flow::max_min_rates`]).
+//! cost, and bulk transfers as **max-min fair fluid flows**. Rates are
+//! kept max-min fair incrementally: same-instant flow bursts coalesce into
+//! one solve and only the affected connected component of the link/flow
+//! sharing graph is re-priced ([`flow::MaxMinSolver`]; the per-event
+//! global reference solver survives as [`flow::max_min_rates`] and
+//! [`config::FluidEngine::Reference`]).
 //!
 //! Two modeling choices matter for reproducing the paper:
 //!
@@ -21,6 +25,6 @@ pub mod config;
 pub mod fabric;
 pub mod flow;
 
-pub use config::{NetConfig, NodeId};
+pub use config::{FluidEngine, NetConfig, NodeId};
 pub use fabric::{AbortNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast};
-pub use flow::{max_min_rates, FlowDemand, LinkId, LinkTable};
+pub use flow::{max_min_rates, FlowDemand, LinkId, LinkTable, MaxMinSolver, Route};
