@@ -1,0 +1,243 @@
+//! churn_scale — **wall-clock** benchmark of dynamic membership at
+//! 1000-node scale.
+//!
+//! The paper's headline deployment property is a "dynamically variable
+//! number of nodes"; this bin drives it three orders of magnitude past the
+//! paper's testbed: a terasort over a 1000-worker cluster with ≥ 10% of
+//! the nodes joining or leaving *mid-job*. Every layer's churn path is on
+//! the clock at once:
+//!
+//! * fabric — links grow for joins, a crash aborts flows via the
+//!   link→flows index (O(node degree), not O(all flows));
+//! * DFS — departures are detected by heartbeat silence, replicas are
+//!   pruned, and every under-replicated block is repaired by streaming a
+//!   surviving replica through a pipeline (joins add repair capacity and
+//!   enter the placement rotation);
+//! * MapReduce — joined TaskTrackers register and pull work on their
+//!   heartbeats, lost attempts *and lost map outputs* re-execute
+//!   (exactly-once accounting preserved by contribution subtraction), and
+//!   reduce fetch lists are rebuilt against the current output locations.
+//!
+//! Leaves are crash-shaped; detection takes a heartbeat-silence window, so
+//! transfers begun in that window may still complete against the departed
+//! node — the same approximation every heartbeat-based system lives with.
+//!
+//! The run must finish with a successful job, zero under-replicated
+//! blocks, and work dispatched onto joined nodes — in single-digit
+//! seconds of wall clock. Writes the `churn_scale` section of
+//! `BENCH_perf.json` (`BENCH_perf.quick.json` under `--quick`, the CI
+//! smoke path).
+
+use std::time::Instant;
+
+use accelmr_des::SimDuration;
+use accelmr_dfs::{DfsConfig, NameNode};
+use accelmr_hybrid::presets;
+use accelmr_mapred::{ChurnSchedule, ClusterBuilder, MrConfig};
+use accelmr_net::NodeId;
+
+struct Scenario {
+    workers: usize,
+    /// Input blocks (64 MB each, replication 3).
+    blocks: u64,
+    reducers: usize,
+    joins: usize,
+    /// Every `leave_stride`-th worker departs — strides > replica-set
+    /// width guarantee at most one of a block's initial replicas leaves.
+    leave_stride: usize,
+    churn_start_s: u64,
+    churn_window_s: u64,
+}
+
+struct Sample {
+    workers: usize,
+    joins: usize,
+    leaves: usize,
+    flows: u64,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    makespan_s: f64,
+    replications: u64,
+    abort_scanned: u64,
+    joined_dispatches: u64,
+    attempts: u32,
+}
+
+fn run(sc: &Scenario) -> Sample {
+    // Elastic-deployment tuning: a 12 s silence window keeps repair and
+    // re-execution latency proportionate to churn, and generous attempt
+    // budgets absorb fetch aborts from mid-shuffle departures.
+    let mr = MrConfig {
+        tt_dead_after: SimDuration::from_secs(12),
+        max_attempts: 30,
+        ..MrConfig::default()
+    };
+    let dfs = DfsConfig {
+        dead_after: SimDuration::from_secs(12),
+        ..DfsConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new()
+        .seed(2009)
+        .workers(sc.workers)
+        .mr(mr)
+        .dfs(dfs)
+        .deploy();
+
+    let leaves: Vec<NodeId> = (1..=sc.workers as u32)
+        .step_by(sc.leave_stride)
+        .map(NodeId)
+        .collect();
+    let n_leaves = leaves.len();
+
+    let started = Instant::now();
+    let mut session = cluster.session();
+    let joined = session.churn(ChurnSchedule::wave(
+        sc.joins,
+        &leaves,
+        SimDuration::from_secs(sc.churn_start_s),
+        SimDuration::from_secs(sc.churn_window_s),
+    ));
+    assert_eq!(joined.len(), sc.joins);
+    session.submit(
+        presets::terasort_replicated("/gray", sc.blocks * (64 << 20), sc.reducers, 3)
+            // One 64 MB record per map task: more dispatch waves than
+            // slots, so late joiners find a non-empty queue.
+            .map_tasks(sc.blocks as usize),
+    );
+    let result = session.run();
+
+    // Drain past the last death-detection window so replication repair
+    // finishes, then audit the NameNode. The returned summary carries the
+    // cumulative event count of the whole simulation.
+    let resume = cluster.sim.now();
+    let summary = cluster.sim.run_until(resume + SimDuration::from_secs(180));
+    let wall_s = started.elapsed().as_secs_f64();
+
+    assert!(result.succeeded, "churn terasort failed");
+    // One split per slot (the paper's NumMappers plan): the 3-waves-of-
+    // blocks input makes the pending queue outlive the churn window.
+    assert!(result.map_tasks as usize >= sc.workers);
+    let joined_dispatches = result
+        .dispatch_log
+        .iter()
+        .filter(|&&(_, n)| joined.contains(&n))
+        .count() as u64;
+    assert!(
+        joined_dispatches > 0,
+        "no work was dispatched onto joined nodes"
+    );
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("cluster.nodes_joined"), sc.joins as u64);
+    assert_eq!(stats.counter("cluster.nodes_left"), n_leaves as u64);
+    assert!(stats.counter("dfs.replications_started") > 0);
+    let nn = cluster
+        .sim
+        .actor_ref::<NameNode>(cluster.dfs.namenode)
+        .expect("namenode alive");
+    assert_eq!(
+        nn.under_replicated_blocks(),
+        0,
+        "blocks did not re-reach target replication"
+    );
+
+    Sample {
+        workers: sc.workers,
+        joins: sc.joins,
+        leaves: n_leaves,
+        flows: stats.counter("net.flows_done"),
+        events: summary.events,
+        wall_s,
+        events_per_sec: summary.events as f64 / wall_s.max(1e-9),
+        makespan_s: result.elapsed.as_secs_f64(),
+        replications: stats.counter("dfs.blocks_replicated"),
+        abort_scanned: stats.counter("net.abort_flows_scanned"),
+        joined_dispatches,
+        attempts: result.attempts,
+    }
+}
+
+fn main() {
+    let quick = accelmr_bench::quick_mode();
+    let sc = if quick {
+        Scenario {
+            workers: 128,
+            // ~3 map dispatch waves (one record per task, 2 slots per
+            // node): the pending queue outlives the churn window, so
+            // joined nodes demonstrably pull work.
+            blocks: 6 * 128,
+            reducers: 16,
+            joins: 12,
+            leave_stride: 13,
+            churn_start_s: 12,
+            churn_window_s: 30,
+        }
+    } else {
+        Scenario {
+            workers: 1000,
+            blocks: 6 * 1000,
+            reducers: 64,
+            joins: 60,
+            leave_stride: 19,
+            churn_start_s: 12,
+            churn_window_s: 40,
+        }
+    };
+
+    println!(
+        "# churn_scale — {}-node terasort under join/leave churn",
+        sc.workers
+    );
+    let s = run(&sc);
+    let churned = s.joins + s.leaves;
+    let pct = 100.0 * churned as f64 / sc.workers as f64;
+    println!(
+        "{:>6} workers  {:>3} joins  {:>3} leaves ({pct:.1}% churn)",
+        s.workers, s.joins, s.leaves
+    );
+    println!(
+        "  makespan {:>8.1} s sim   wall {:>6.2} s   {} events ({:.0}/s)   flows {}   attempts {}",
+        s.makespan_s, s.wall_s, s.events, s.events_per_sec, s.flows, s.attempts
+    );
+    println!(
+        "  re-replications {}   abort-scan visits {}   dispatches on joined nodes {}",
+        s.replications, s.abort_scanned, s.joined_dispatches
+    );
+    if !quick {
+        assert!(
+            s.wall_s < 10.0,
+            "acceptance bar: 1000-node churn terasort in single-digit seconds, got {:.2}s",
+            s.wall_s
+        );
+    }
+
+    let section = format!(
+        "{{\n    \"scenario\": \"terasort, 64 MB blocks x{}, replication 3, {} reducers, churn wave {}j+{}l over [{}s, {}s]\",\n    \"quick\": {quick},\n    \"runs\": [\n      {{ \"workers\": {}, \"joins\": {}, \"leaves\": {}, \"churn_pct\": {pct:.1}, \"flows\": {}, \"events\": {}, \"events_per_sec\": {:.0}, \"wall_s\": {:.4}, \"makespan_s\": {:.3}, \"attempts\": {}, \"rereplications\": {}, \"abort_flows_scanned\": {}, \"joined_node_dispatches\": {} }}\n    ]\n  }}",
+        sc.blocks,
+        sc.reducers,
+        sc.joins,
+        s.leaves,
+        sc.churn_start_s,
+        sc.churn_start_s + sc.churn_window_s,
+        s.workers,
+        s.joins,
+        s.leaves,
+        s.flows,
+        s.events,
+        s.events_per_sec,
+        s.wall_s,
+        s.makespan_s,
+        s.attempts,
+        s.replications,
+        s.abort_scanned,
+        s.joined_dispatches,
+    );
+    let out = if quick {
+        "BENCH_perf.quick.json"
+    } else {
+        "BENCH_perf.json"
+    };
+    accelmr_bench::update_bench_section(out, "churn_scale", &section)
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("\nwrote {out} (churn_scale section)");
+}

@@ -223,17 +223,19 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"net_scale\",\n  \"scenario\": \"terasort-style shuffle, {waves} waves, fan-in min(nodes-1,16), 20 MB/s stream cap\",\n  \"quick\": {quick},\n  \"speedup_at_{headline}_nodes\": {speedup:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+    let section = format!(
+        "{{\n    \"scenario\": \"terasort-style shuffle, {waves} waves, fan-in min(nodes-1,16), 20 MB/s stream cap\",\n    \"quick\": {quick},\n    \"speedup_at_{headline}_nodes\": {speedup:.2},\n    \"runs\": [\n{}\n    ]\n  }}",
         rows.join(",\n")
     );
     // Quick runs write next to the baseline, never over it: the committed
-    // BENCH_perf.json always holds full-scale numbers.
+    // BENCH_perf.json always holds full-scale numbers. Each bench bin owns
+    // one section of the file (churn_scale writes the other).
     let out = if quick {
         "BENCH_perf.quick.json"
     } else {
         "BENCH_perf.json"
     };
-    std::fs::write(out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
-    eprintln!("\nwrote {out}");
+    accelmr_bench::update_bench_section(out, "net_scale", &section)
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("\nwrote {out} (net_scale section)");
 }

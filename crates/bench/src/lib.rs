@@ -18,3 +18,131 @@ pub fn emit(fig: &accelmr_hybrid::experiments::Figure, started: std::time::Insta
         started.elapsed().as_secs_f64()
     );
 }
+
+/// Rewrites one named section of a multi-bench JSON file, preserving the
+/// others — `BENCH_perf.json` holds one top-level object per bench bin
+/// (`net_scale`, `churn_scale`), and each bin owns only its section.
+///
+/// `section_json` must be a JSON object (starts with `{`). The file format
+/// is exactly what this function writes: a top-level object whose values
+/// are objects; anything unparseable (including the pre-section flat
+/// format) is treated as empty and overwritten.
+pub fn update_bench_section(path: &str, name: &str, section_json: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut sections = parse_bench_sections(&existing);
+    match sections.iter_mut().find(|(k, _)| k == name) {
+        Some((_, body)) => *body = section_json.to_string(),
+        None => sections.push((name.to_string(), section_json.to_string())),
+    }
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (key, body)) in sections.iter().enumerate() {
+        let sep = if i + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("  \"{key}\": {body}{sep}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Extracts `(key, object-body)` pairs from a top-level JSON object whose
+/// values are objects. Returns empty on any shape it does not understand —
+/// the caller then rebuilds the file from scratch.
+fn parse_bench_sections(s: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = match s.find('{') {
+        Some(i) => i + 1,
+        None => return out,
+    };
+    loop {
+        // Next key.
+        let Some(q1) = s[i..].find('"').map(|p| i + p) else {
+            return out;
+        };
+        let Some(q2) = s[q1 + 1..].find('"').map(|p| q1 + 1 + p) else {
+            return Vec::new();
+        };
+        let key = s[q1 + 1..q2].to_string();
+        // Its value must be an object.
+        let Some(start) = s[q2 + 1..].find('{').map(|p| q2 + 1 + p) else {
+            return Vec::new();
+        };
+        if s[q2 + 1..start].trim() != ":" {
+            return Vec::new();
+        }
+        // Match braces, skipping string contents.
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut end = None;
+        for (j, &b) in bytes.iter().enumerate().skip(start) {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_str = true,
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else {
+            return Vec::new();
+        };
+        out.push((key, s[start..=end].to_string()));
+        i = end + 1;
+        // More sections, or the closing brace?
+        match s[i..].trim_start().chars().next() {
+            Some(',') => {
+                i += s[i..].find(',').expect("comma present") + 1;
+            }
+            _ => return out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_parse_roundtrip_and_merge() {
+        let dir = std::env::temp_dir().join("accelmr_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        update_bench_section(path, "net_scale", "{\n    \"a\": 1\n  }").unwrap();
+        update_bench_section(path, "churn_scale", "{\n    \"b\": \"x{y}\"\n  }").unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"net_scale\""), "{s}");
+        assert!(s.contains("\"churn_scale\""), "{s}");
+        // Updating one section preserves the other.
+        update_bench_section(path, "net_scale", "{ \"a\": 2 }").unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"a\": 2"), "{s}");
+        assert!(s.contains("x{y}"), "{s}");
+        let sections = parse_bench_sections(&s);
+        assert_eq!(sections.len(), 2);
+        // A flat legacy file is treated as empty and rebuilt.
+        std::fs::write(path, "{ \"bench\": \"net_scale\", \"runs\": [] }").unwrap();
+        update_bench_section(path, "net_scale", "{ \"a\": 3 }").unwrap();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert!(s.contains("\"a\": 3"), "{s}");
+        assert!(!s.contains("runs"), "{s}");
+    }
+}

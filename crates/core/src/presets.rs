@@ -200,6 +200,19 @@ impl ReduceKernel for MergeReduceKernel {
 /// preloads `total_bytes` at `input_path`, sorts it through `reducers`
 /// reduce tasks, and writes the merged partitions back to the DFS.
 pub fn terasort(input_path: &str, total_bytes: u64, reducers: usize) -> JobBuilder {
+    terasort_replicated(input_path, total_bytes, reducers, 1)
+}
+
+/// [`terasort`] with an explicit input replication factor. The paper ran
+/// replication 1; elastic clusters want ≥ 2 so departing nodes lose no
+/// input — surviving replicas serve reads immediately and the NameNode
+/// re-replicates the shortfall in the background.
+pub fn terasort_replicated(
+    input_path: &str,
+    total_bytes: u64,
+    reducers: usize,
+    replication: usize,
+) -> JobBuilder {
     JobBuilder::new("terasort")
         .input_file(input_path)
         .record_bytes(RECORD_BYTES)
@@ -209,7 +222,7 @@ pub fn terasort(input_path: &str, total_bytes: u64, reducers: usize) -> JobBuild
         .preload(
             PreloadSpec::new(input_path, total_bytes, 13)
                 .block_size(RECORD_BYTES)
-                .replication(1),
+                .replication(replication),
         )
 }
 
@@ -260,5 +273,12 @@ mod tests {
                 ..
             }
         ));
+        assert_eq!(req.preloads[0].replication, Some(1));
+    }
+
+    #[test]
+    fn terasort_replicated_sets_input_replication() {
+        let req = terasort_replicated("/tera-in", 1 << 30, 4, 3).request();
+        assert_eq!(req.preloads[0].replication, Some(3));
     }
 }

@@ -1,10 +1,8 @@
 //! Cluster assembly and the client-side handle.
 
-use std::sync::Arc;
-
 use accelmr_des::prelude::*;
 use accelmr_des::FxHashMap;
-use accelmr_net::{NetHandle, NodeId};
+use accelmr_net::{NetHandle, NodeId, NodeRegistry};
 
 use crate::config::{BlockId, DfsConfig};
 use crate::datanode::DataNode;
@@ -18,8 +16,10 @@ pub struct DfsHandle {
     pub namenode: ActorId,
     /// The head node the NameNode runs on.
     pub head_node: NodeId,
-    /// `(node, actor)` of every DataNode.
-    pub datanodes: Arc<Vec<(NodeId, ActorId)>>,
+    /// Live `node → DataNode actor` registry. Shared (not a snapshot):
+    /// joins and departures are visible to every handle clone immediately,
+    /// so reads fail fast off departed nodes instead of hanging.
+    pub datanodes: NodeRegistry,
     /// The network fabric.
     pub net: NetHandle,
 }
@@ -27,10 +27,7 @@ pub struct DfsHandle {
 impl DfsHandle {
     /// DataNode actor serving `node`, if one exists.
     pub fn datanode_on(&self, node: NodeId) -> Option<ActorId> {
-        self.datanodes
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, a)| a)
+        self.datanodes.get(node)
     }
 
     /// Sends a [`GetLocations`] request from `my_node`; the reply arrives
@@ -188,7 +185,7 @@ pub fn deploy_dfs(
     DfsHandle {
         namenode,
         head_node,
-        datanodes: Arc::new(dns),
+        datanodes: NodeRegistry::new(dns),
         net,
     }
 }
@@ -498,6 +495,155 @@ mod tests {
         }));
         sim.run();
         assert_eq!(sim.stats().counter("verified"), 1);
+    }
+
+    /// Killing a replica holder must repair every affected block back to
+    /// its target replication, sourced from surviving replicas.
+    #[test]
+    fn dead_datanode_triggers_rereplication_to_target() {
+        let mut sim = Sim::new(9);
+        let (dfs, _) = deploy(&mut sim, 3, false);
+        let dn1 = dfs.datanode_on(NodeId(1)).unwrap();
+        let namenode = dfs.namenode;
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: move |ctx, ev, dfs, _state| match ev {
+                Event::Start => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        dfs.namenode,
+                        PreloadFile {
+                            path: "/r2".into(),
+                            len: 4 * (64 << 20),
+                            block_size: None,
+                            replication: Some(2),
+                            seed: 1,
+                            reply: me,
+                        },
+                    );
+                }
+                Event::Msg { msg, .. } => {
+                    if msg.peek::<PreloadDone>().is_some() {
+                        ctx.send(dn1, crate::datanode::Shutdown);
+                        // Past dead_after (30 s) + time for the repair
+                        // pipelines to stream.
+                        ctx.after(SimDuration::from_secs(60), 1);
+                    } else if let Some(rep) = msg.peek::<LocationsReply>() {
+                        let view = rep.view.as_ref().unwrap();
+                        for b in &view.blocks {
+                            assert_eq!(b.replicas.len(), 2, "block {} under target", b.id);
+                            assert!(!b.replicas.contains(&NodeId(1)));
+                        }
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                Event::Timer { .. } => {
+                    dfs.get_locations(ctx, NodeId(2), "/r2", 3);
+                }
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+        assert!(sim.stats().counter("dfs.replications_started") >= 1);
+        assert!(sim.stats().counter("dfs.blocks_replicated") >= 1);
+        let nn = sim
+            .actor_ref::<crate::namenode::NameNode>(namenode)
+            .expect("namenode alive");
+        assert_eq!(nn.under_replicated_blocks(), 0);
+        assert_eq!(nn.replica_counts("/r2"), Some(vec![2, 2, 2, 2]));
+    }
+
+    /// A joined DataNode enters the placement rotation and can absorb
+    /// repairs that previously had nowhere to go.
+    #[test]
+    fn joined_datanode_hosts_repairs_without_prior_capacity() {
+        let mut sim = Sim::new(10);
+        // Two nodes, replication 2: after one dies there is no third node
+        // to repair onto — until one joins.
+        let (dfs, _) = deploy(&mut sim, 2, false);
+        let dn1 = dfs.datanode_on(NodeId(1)).unwrap();
+        let namenode = dfs.namenode;
+        let net = dfs.net;
+        let dfs_reg = dfs.datanodes.clone();
+        sim.spawn(Box::new(Client {
+            dfs,
+            state: 0,
+            script: move |ctx, ev, dfs, state| match ev {
+                Event::Start => {
+                    let me = ctx.self_id();
+                    ctx.send(
+                        dfs.namenode,
+                        PreloadFile {
+                            path: "/f".into(),
+                            len: 2 * (64 << 20),
+                            block_size: None,
+                            replication: Some(2),
+                            seed: 2,
+                            reply: me,
+                        },
+                    );
+                }
+                Event::Msg { msg, .. } => {
+                    if msg.peek::<PreloadDone>().is_some() {
+                        ctx.send(dn1, crate::datanode::Shutdown);
+                        ctx.after(SimDuration::from_secs(45), 1);
+                    } else if let Some(rep) = msg.peek::<LocationsReply>() {
+                        let view = rep.view.as_ref().unwrap();
+                        for b in &view.blocks {
+                            assert_eq!(b.replicas.len(), 2);
+                            assert!(b.replicas.contains(&NodeId(3)), "join not used: {b:?}");
+                        }
+                        ctx.stats().incr("verified");
+                        ctx.stop();
+                    }
+                }
+                Event::Timer { tag: 1, .. } => {
+                    // Node 1 is dead and every block sits at 1/2 replicas
+                    // with no capacity. Join node 3 the way the runtime
+                    // does: grow the fabric, spawn + wire a DataNode,
+                    // admit it at the NameNode.
+                    *state = 1;
+                    net.ensure_node(ctx, NodeId(3));
+                    let cfg = DfsConfig::default();
+                    let mut dn = DataNode::new(cfg, net, NodeId(3), NodeId::HEAD, false);
+                    let peers: FxHashMap<NodeId, ActorId> =
+                        dfs_reg.snapshot().into_iter().collect();
+                    dn.rewire(dfs.namenode, peers);
+                    let dn_id = ctx.spawn(Box::new(dn));
+                    for (_, peer) in dfs_reg.snapshot() {
+                        ctx.send(
+                            peer,
+                            AddPeer {
+                                node: NodeId(3),
+                                actor: dn_id,
+                            },
+                        );
+                    }
+                    dfs_reg.insert(NodeId(3), dn_id);
+                    ctx.send(
+                        dfs.namenode,
+                        AddDataNode {
+                            node: NodeId(3),
+                            actor: dn_id,
+                        },
+                    );
+                    ctx.after(SimDuration::from_secs(30), 2);
+                }
+                Event::Timer { .. } => {
+                    dfs.get_locations(ctx, NodeId(2), "/f", 7);
+                }
+            },
+        }));
+        sim.run();
+        assert_eq!(sim.stats().counter("verified"), 1);
+        assert_eq!(sim.stats().counter("dfs.datanodes_joined"), 1);
+        let nn = sim
+            .actor_ref::<crate::namenode::NameNode>(namenode)
+            .expect("namenode alive");
+        assert_eq!(nn.under_replicated_blocks(), 0);
+        assert_eq!(nn.live_datanode_count(), 2);
     }
 
     #[test]

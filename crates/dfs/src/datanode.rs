@@ -118,7 +118,55 @@ impl Actor for DataNode {
             }
             Event::Timer { .. } => {}
             Event::Msg { msg, .. } => {
-                if let Some(add) = msg.peek::<AddBlockMeta>() {
+                if let Some(peer) = msg.peek::<AddPeer>() {
+                    // A node joined: learn its DataNode so write and
+                    // re-replication pipelines can forward through it.
+                    self.peers.insert(peer.node, peer.actor);
+                } else if msg.is::<ReplicateBlock>() {
+                    let req = msg.downcast::<ReplicateBlock>().expect("checked");
+                    let meta = self.blocks.get(&req.block).copied();
+                    let first = req
+                        .pipeline
+                        .split_first()
+                        .and_then(|(&f, rest)| self.peers.get(&f).map(|&a| (f, a, rest.to_vec())));
+                    let (net, node) = (self.net, self.node);
+                    match (meta, first) {
+                        (Some(meta), Some((first_node, first_actor, rest))) => {
+                            ctx.stats().incr("dfs.replications_forwarded");
+                            net.unicast(
+                                ctx,
+                                node,
+                                first_node,
+                                first_actor,
+                                128,
+                                WriteBlock {
+                                    block: req.block,
+                                    len: meta.len,
+                                    seed: meta.seed,
+                                    base_offset: meta.base_offset,
+                                    from_node: node,
+                                    rest,
+                                    ack_to: req.ack_to,
+                                    ack_node: req.ack_node,
+                                    tag: req.tag,
+                                },
+                            );
+                        }
+                        _ => {
+                            // Unknown block or unreachable first hop: tell
+                            // the NameNode so it can repair elsewhere.
+                            ctx.stats().incr("dfs.replication_rejects");
+                            net.unicast(
+                                ctx,
+                                node,
+                                req.ack_node,
+                                req.ack_to,
+                                64,
+                                ReplicationFailed { tag: req.tag },
+                            );
+                        }
+                    }
+                } else if let Some(add) = msg.peek::<AddBlockMeta>() {
                     self.blocks.insert(
                         add.block,
                         BlockMeta {

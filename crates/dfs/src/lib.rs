@@ -14,6 +14,26 @@
 //! Content is synthetic and deterministic (`(seed, offset)` pure function),
 //! so DataNodes can *materialize* any range for functional runs, and
 //! readers can independently verify every byte.
+//!
+//! ## Invariants callers rely on
+//!
+//! * **Dynamic membership.** The DataNode set is no longer fixed at
+//!   deploy: [`msgs::AddDataNode`] admits a joined node into the placement
+//!   rotation mid-run (existing DataNodes learn the peer via
+//!   [`msgs::AddPeer`]), and [`DfsHandle::datanodes`] is a live
+//!   [`accelmr_net::NodeRegistry`], not a snapshot — a read routed to a
+//!   departed node fails fast instead of hanging.
+//! * **Replication repair.** When a DataNode dies (heartbeat silence) or
+//!   capacity joins, the NameNode re-replicates every block below its
+//!   target by streaming a surviving replica through a
+//!   [`msgs::ReplicateBlock`] pipeline; blocks converge back to target
+//!   replication as long as one live replica survives. Replication-1
+//!   files (the paper's configuration) have nothing to repair from — data
+//!   on a dead node is simply gone, as in the paper's deployment.
+//! * **Burst-friendly reads.** A reader fans all segment requests of a
+//!   record out in one simulated instant; the resulting DataNode flows
+//!   start together and are priced by a single fabric re-solve. Keep new
+//!   call sites burst-shaped (see `accelmr_net`).
 
 #![warn(missing_docs)]
 

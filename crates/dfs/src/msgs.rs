@@ -157,6 +157,55 @@ pub struct LiveNodesReply {
     pub nodes: Vec<NodeId>,
 }
 
+/// Admits a freshly-spawned DataNode into the cluster (dynamic
+/// membership, control plane — sent directly, not over the fabric). The
+/// NameNode adds the node to the placement rotation, starts tracking its
+/// liveness, and immediately scans for under-replicated blocks the new
+/// capacity could host.
+#[derive(Debug, Clone, Copy)]
+pub struct AddDataNode {
+    /// Joining node.
+    pub node: NodeId,
+    /// Its DataNode actor.
+    pub actor: ActorId,
+}
+
+/// Teaches an existing DataNode about a joined peer (control plane), so
+/// replication pipelines can forward through it.
+#[derive(Debug, Clone, Copy)]
+pub struct AddPeer {
+    /// The peer's node.
+    pub node: NodeId,
+    /// The peer's DataNode actor.
+    pub actor: ActorId,
+}
+
+/// NameNode → source DataNode: stream a locally-held block through
+/// `pipeline` (re-replication of an under-replicated block). Each hop
+/// installs the block; the final hop acks `ack_to` with [`WriteAck`]
+/// carrying `tag`.
+#[derive(Debug, Clone)]
+pub struct ReplicateBlock {
+    /// Block to copy (the source must hold a replica).
+    pub block: BlockId,
+    /// Target nodes, in streaming order (never includes the source).
+    pub pipeline: Vec<NodeId>,
+    /// Who receives the final [`WriteAck`] (the NameNode).
+    pub ack_to: ActorId,
+    /// Node the ack RPC travels to.
+    pub ack_node: NodeId,
+    /// Correlation tag (the NameNode's pending-replication key).
+    pub tag: u64,
+}
+
+/// Source DataNode → NameNode: a [`ReplicateBlock`] could not start (the
+/// block is unknown locally, or the first hop is unreachable).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationFailed {
+    /// Correlation tag from the [`ReplicateBlock`].
+    pub tag: u64,
+}
+
 /// Installs block metadata on a DataNode (preload control plane).
 #[derive(Debug, Clone, Copy)]
 pub struct AddBlockMeta {

@@ -1,7 +1,14 @@
-//! The NameNode: namespace, block map, placement, liveness.
+//! The NameNode: namespace, block map, placement, liveness, replication
+//! repair, dynamic membership.
+//!
+//! Membership is no longer fixed at deploy: [`AddDataNode`] admits a
+//! joined node into the placement rotation mid-run, and a DataNode falling
+//! silent is declared dead, its replicas dropped from the block map, and
+//! every block left under its target replication is repaired by streaming
+//! a surviving replica through a [`ReplicateBlock`] pipeline.
 
 use accelmr_des::prelude::*;
-use accelmr_des::FxHashMap;
+use accelmr_des::{FxHashMap, FxHashSet};
 use accelmr_net::{NetHandle, NodeId};
 
 use crate::config::{BlockId, DfsConfig};
@@ -16,30 +23,58 @@ struct FileMeta {
     blocks: Vec<(BlockId, u64, u64)>,
 }
 
+/// One block's placement state.
+struct BlockInfo {
+    /// Nodes believed to hold a replica (dead nodes are pruned on death).
+    replicas: Vec<NodeId>,
+    /// Replication target (the owning file's replication factor).
+    target: usize,
+}
+
+/// An in-flight re-replication: `source` streaming `block` to `targets`.
+struct PendingRepl {
+    block: BlockId,
+    source: NodeId,
+    targets: Vec<NodeId>,
+}
+
 /// The metadata master. Runs on the head node (node 0 in the paper's
 /// deployment, a Power6 JS22 blade).
 pub struct NameNode {
     cfg: DfsConfig,
     net: NetHandle,
     my_node: NodeId,
-    /// Registered DataNodes: `(node, actor)`.
+    /// Registered DataNodes: `(node, actor)`, ascending by node.
     datanodes: Vec<(NodeId, ActorId)>,
     files: FxHashMap<String, FileMeta>,
-    block_map: FxHashMap<BlockId, Vec<NodeId>>,
+    block_map: FxHashMap<BlockId, BlockInfo>,
     next_block: u64,
     placement_cursor: usize,
     last_heartbeat: FxHashMap<NodeId, SimTime>,
     dead: Vec<NodeId>,
+    /// In-flight re-replications by tag.
+    pending_repl: FxHashMap<u64, PendingRepl>,
+    /// Blocks with a re-replication in flight (no duplicate repairs).
+    repl_in_flight: FxHashSet<BlockId>,
+    next_repl_tag: u64,
+    /// Repairs may be needed (a loss, failure, or capacity change since
+    /// the last scan left blocks under target). Lets the periodic
+    /// liveness tick skip the full block-map scan at steady state.
+    repair_pending: bool,
 }
 
 impl NameNode {
-    /// Builds a NameNode for a fixed DataNode registry.
+    /// Builds a NameNode for an initial DataNode registry (more may join
+    /// later via [`AddDataNode`]).
     pub fn new(
         cfg: DfsConfig,
         net: NetHandle,
         my_node: NodeId,
-        datanodes: Vec<(NodeId, ActorId)>,
+        mut datanodes: Vec<(NodeId, ActorId)>,
     ) -> Self {
+        // Membership updates binary-search this list; callers may pass
+        // workers in any order.
+        datanodes.sort_unstable_by_key(|&(n, _)| n);
         NameNode {
             cfg,
             net,
@@ -51,6 +86,10 @@ impl NameNode {
             placement_cursor: 0,
             last_heartbeat: FxHashMap::default(),
             dead: Vec::new(),
+            pending_repl: FxHashMap::default(),
+            repl_in_flight: FxHashSet::default(),
+            next_repl_tag: 1,
+            repair_pending: false,
         }
     }
 
@@ -58,27 +97,46 @@ impl NameNode {
         !self.dead.contains(&node)
     }
 
-    /// Chooses `replication` distinct live nodes, preferring `prefer` first
-    /// (HDFS writes the first replica locally when possible), then
-    /// round-robin for balance.
-    fn place(&mut self, replication: usize, prefer: Option<NodeId>) -> Vec<NodeId> {
+    fn datanode_actor(&self, node: NodeId) -> Option<ActorId> {
+        self.datanodes
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, a)| a)
+    }
+
+    /// Chooses `replication` distinct live nodes outside `exclude`,
+    /// preferring `prefer` first (HDFS writes the first replica locally
+    /// when possible), then round-robin for balance.
+    fn place_excluding(
+        &mut self,
+        replication: usize,
+        prefer: Option<NodeId>,
+        exclude: &[NodeId],
+    ) -> Vec<NodeId> {
         let mut chosen = Vec::with_capacity(replication);
         if let Some(p) = prefer {
-            if self.is_live(p) && self.datanodes.iter().any(|&(n, _)| n == p) {
+            if self.is_live(p) && !exclude.contains(&p) && self.datanode_actor(p).is_some() {
                 chosen.push(p);
             }
         }
         let n = self.datanodes.len();
+        if n == 0 {
+            return chosen;
+        }
         let mut scanned = 0;
         while chosen.len() < replication && scanned < 2 * n {
             let (node, _) = self.datanodes[self.placement_cursor % n];
             self.placement_cursor += 1;
             scanned += 1;
-            if self.is_live(node) && !chosen.contains(&node) {
+            if self.is_live(node) && !chosen.contains(&node) && !exclude.contains(&node) {
                 chosen.push(node);
             }
         }
         chosen
+    }
+
+    fn place(&mut self, replication: usize, prefer: Option<NodeId>) -> Vec<NodeId> {
+        self.place_excluding(replication, prefer, &[])
     }
 
     fn view_of(&self, path: &str) -> Option<FileView> {
@@ -93,7 +151,13 @@ impl NameNode {
                 replicas: self
                     .block_map
                     .get(&id)
-                    .map(|nodes| nodes.iter().copied().filter(|&n| self.is_live(n)).collect())
+                    .map(|info| {
+                        info.replicas
+                            .iter()
+                            .copied()
+                            .filter(|&n| self.is_live(n))
+                            .collect()
+                    })
                     .unwrap_or_default(),
             })
             .collect();
@@ -110,6 +174,171 @@ impl NameNode {
         let id = BlockId(self.next_block);
         self.next_block += 1;
         id
+    }
+
+    // ---------------- replication repair ----------------
+
+    /// Number of blocks currently below their replication target
+    /// (introspection for tests, benches, and examples).
+    pub fn under_replicated_blocks(&self) -> usize {
+        self.block_map
+            .values()
+            .filter(|info| info.replicas.len() < info.target)
+            .count()
+    }
+
+    /// Live replica count per block of `path`, in file order
+    /// (introspection; `None` when the path does not exist).
+    pub fn replica_counts(&self, path: &str) -> Option<Vec<usize>> {
+        let meta = self.files.get(path)?;
+        Some(
+            meta.blocks
+                .iter()
+                .map(|(id, _, _)| {
+                    self.block_map
+                        .get(id)
+                        .map(|info| info.replicas.iter().filter(|&&n| self.is_live(n)).count())
+                        .unwrap_or(0)
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of DataNodes currently considered live (introspection).
+    pub fn live_datanode_count(&self) -> usize {
+        self.datanodes.len() - self.dead.len()
+    }
+
+    /// A node left (declared dead): prune its replicas and cancel repairs
+    /// it participated in, so the scan re-issues them off live nodes.
+    fn on_node_lost(&mut self, node: NodeId) {
+        self.repair_pending = true;
+        for info in self.block_map.values_mut() {
+            info.replicas.retain(|&n| n != node);
+        }
+        let cancelled: Vec<u64> = self
+            .pending_repl
+            .iter()
+            .filter(|(_, p)| p.source == node || p.targets.contains(&node))
+            .map(|(&tag, _)| tag)
+            .collect();
+        for tag in cancelled {
+            let p = self.pending_repl.remove(&tag).expect("pending present");
+            self.repl_in_flight.remove(&p.block);
+        }
+    }
+
+    /// Scans for under-replicated blocks and starts one pipeline per block
+    /// that has a live source, capacity to host a new replica, and no
+    /// repair already in flight. Leaves `repair_pending` set iff some
+    /// repairable block could not start (no capacity / rejected source),
+    /// so the periodic tick keeps retrying it — and skips the scan
+    /// entirely once everything startable is in flight or at target.
+    fn replication_scan(&mut self, ctx: &mut Ctx<'_>) {
+        let mut under: Vec<BlockId> = self
+            .block_map
+            .iter()
+            .filter(|(id, info)| {
+                info.replicas.len() < info.target
+                    && !info.replicas.is_empty()
+                    && !self.repl_in_flight.contains(id)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        // FxHashMap iteration order is seed-stable but insertion-history
+        // dependent; sort so repair order is obviously deterministic.
+        under.sort_unstable();
+        let mut unstarted = 0usize;
+        for block in under {
+            if !self.start_replication(ctx, block) {
+                unstarted += 1;
+            }
+        }
+        self.repair_pending = unstarted > 0;
+    }
+
+    /// Returns whether a repair pipeline was actually issued.
+    fn start_replication(&mut self, ctx: &mut Ctx<'_>, block: BlockId) -> bool {
+        let (needed, source, exclude) = {
+            let Some(info) = self.block_map.get(&block) else {
+                return true; // gone: nothing left to retry
+            };
+            let Some(&source) = info.replicas.first() else {
+                return true; // no surviving replica: unrepairable
+            };
+            (
+                info.target - info.replicas.len(),
+                source,
+                info.replicas.clone(),
+            )
+        };
+        let Some(src_actor) = self.datanode_actor(source) else {
+            return false;
+        };
+        let targets = self.place_excluding(needed, None, &exclude);
+        if targets.is_empty() {
+            // No live node can host another replica yet; the next join or
+            // periodic tick retries.
+            return false;
+        }
+        let tag = self.next_repl_tag;
+        self.next_repl_tag += 1;
+        self.repl_in_flight.insert(block);
+        self.pending_repl.insert(
+            tag,
+            PendingRepl {
+                block,
+                source,
+                targets: targets.clone(),
+            },
+        );
+        ctx.stats().incr("dfs.replications_started");
+        let me = ctx.self_id();
+        let (net, my) = (self.net, self.my_node);
+        net.unicast(
+            ctx,
+            my,
+            source,
+            src_actor,
+            128,
+            ReplicateBlock {
+                block,
+                pipeline: targets,
+                ack_to: me,
+                ack_node: my,
+                tag,
+            },
+        );
+        true
+    }
+
+    /// A re-replication pipeline finished: commit the new replicas (those
+    /// still live) and re-check the block.
+    fn replication_done(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        let Some(p) = self.pending_repl.remove(&tag) else {
+            return; // cancelled (participant died) — a fresh repair owns the block
+        };
+        self.repl_in_flight.remove(&p.block);
+        if let Some(info) = self.block_map.get_mut(&p.block) {
+            for t in p.targets {
+                if !self.dead.contains(&t) && !info.replicas.contains(&t) {
+                    info.replicas.push(t);
+                }
+            }
+        }
+        ctx.stats().incr("dfs.blocks_replicated");
+        // Re-check only this block (a target may have died mid-copy, or
+        // several replicas were lost at once): O(1) per ack instead of a
+        // full-map rescan during mass repair. Damage elsewhere re-arms
+        // the periodic scan through its own loss/failure events.
+        let still_under = self
+            .block_map
+            .get(&p.block)
+            .map(|info| info.replicas.len() < info.target && !info.replicas.is_empty())
+            .unwrap_or(false);
+        if still_under && !self.start_replication(ctx, p.block) {
+            self.repair_pending = true;
+        }
     }
 }
 
@@ -132,6 +361,7 @@ impl Actor for NameNode {
                 ..
             } => {
                 let now = ctx.now();
+                let mut newly_dead: Vec<NodeId> = Vec::new();
                 for &(node, _) in &self.datanodes {
                     let last = self
                         .last_heartbeat
@@ -141,8 +371,20 @@ impl Actor for NameNode {
                     let stale = now.since(last) > self.cfg.dead_after;
                     if stale && !self.dead.contains(&node) {
                         self.dead.push(node);
+                        newly_dead.push(node);
                         ctx.stats().incr("dfs.datanodes_declared_dead");
                     }
+                }
+                for node in newly_dead {
+                    self.on_node_lost(node);
+                }
+                // Periodic repair scan (not just on deaths): re-issues
+                // repairs whose source rejected them or whose pipeline was
+                // cancelled by a follow-on death. The dirty flag keeps the
+                // steady-state tick O(1) — no block-map walk when nothing
+                // has been lost, failed, or starved since the last scan.
+                if self.repair_pending {
+                    self.replication_scan(ctx);
                 }
                 ctx.stats().set_gauge(
                     "dfs.live_datanodes",
@@ -164,8 +406,7 @@ impl Actor for NameNode {
                         let nodes = self.place(replication, None);
                         // Install metadata on every replica holder.
                         for &node in &nodes {
-                            if let Some(&(_, dn)) = self.datanodes.iter().find(|&&(n, _)| n == node)
-                            {
+                            if let Some(dn) = self.datanode_actor(node) {
                                 ctx.send(
                                     dn,
                                     AddBlockMeta {
@@ -177,7 +418,13 @@ impl Actor for NameNode {
                                 );
                             }
                         }
-                        self.block_map.insert(id, nodes);
+                        self.block_map.insert(
+                            id,
+                            BlockInfo {
+                                replicas: nodes,
+                                target: replication,
+                            },
+                        );
                         blocks.push((id, offset, len));
                         offset += len;
                     }
@@ -234,7 +481,13 @@ impl Actor for NameNode {
                         meta.blocks.push((id, offset, len));
                         meta.len += len;
                     }
-                    self.block_map.insert(id, pipeline.clone());
+                    self.block_map.insert(
+                        id,
+                        BlockInfo {
+                            replicas: pipeline.clone(),
+                            target: replication,
+                        },
+                    );
                     ctx.stats().incr("dfs.blocks_allocated");
                     let (net, my) = (self.net, self.my_node);
                     net.unicast(
@@ -252,6 +505,42 @@ impl Actor for NameNode {
                 } else if let Some(hb) = msg.peek::<DnHeartbeat>() {
                     self.last_heartbeat.insert(hb.node, ctx.now());
                     ctx.stats().incr("dfs.heartbeats");
+                } else if let Some(add) = msg.peek::<AddDataNode>() {
+                    let (node, actor) = (add.node, add.actor);
+                    match self.datanodes.binary_search_by_key(&node, |&(n, _)| n) {
+                        Ok(i) => self.datanodes[i].1 = actor,
+                        Err(i) => self.datanodes.insert(i, (node, actor)),
+                    }
+                    // A join (or re-join under a recycled id) starts with a
+                    // clean bill of health.
+                    self.dead.retain(|&n| n != node);
+                    self.last_heartbeat.insert(node, ctx.now());
+                    ctx.stats().incr("dfs.datanodes_joined");
+                    // The new capacity may unblock repairs that had nowhere
+                    // to place a replica.
+                    self.replication_scan(ctx);
+                } else if let Some(ack) = msg.peek::<WriteAck>() {
+                    // Final hop of a re-replication pipeline.
+                    let tag = ack.tag;
+                    self.replication_done(ctx, tag);
+                } else if let Some(fail) = msg.peek::<ReplicationFailed>() {
+                    let tag = fail.tag;
+                    if let Some(p) = self.pending_repl.remove(&tag) {
+                        self.repl_in_flight.remove(&p.block);
+                        ctx.stats().incr("dfs.replications_failed");
+                        // The source may hold only allocation-time
+                        // metadata (its client write still in flight):
+                        // rotate it to the back so the next attempt
+                        // streams from a different replica, and let the
+                        // liveness tick's periodic scan re-issue rather
+                        // than retrying in a tight RPC loop.
+                        if let Some(info) = self.block_map.get_mut(&p.block) {
+                            if info.replicas.first() == Some(&p.source) && info.replicas.len() > 1 {
+                                info.replicas.rotate_left(1);
+                            }
+                        }
+                        self.repair_pending = true;
+                    }
                 } else if let Some(req) = msg.peek::<GetLiveNodes>() {
                     let mut nodes: Vec<NodeId> = self
                         .datanodes

@@ -41,7 +41,9 @@ pub struct ClusterBuilder {
     net: NetConfig,
     dfs: DfsConfig,
     mr: MrConfig,
-    env: Box<dyn NodeEnvFactory>,
+    /// Arc (not Box) so the deployed cluster can retain the factory and
+    /// build environments for nodes joining mid-session.
+    env: Arc<dyn NodeEnvFactory>,
     materialized: bool,
 }
 
@@ -61,7 +63,7 @@ impl ClusterBuilder {
             net: NetConfig::default(),
             dfs: DfsConfig::default(),
             mr: MrConfig::default(),
-            env: Box::new(NullEnvFactory),
+            env: Arc::new(NullEnvFactory),
             materialized: false,
         }
     }
@@ -105,15 +107,17 @@ impl ClusterBuilder {
     }
 
     /// Per-node accelerator environment factory (the hybrid crate's
-    /// `CellEnvFactory` plugs in here).
+    /// `CellEnvFactory` plugs in here). Nodes joining mid-session via
+    /// [`Session::add_node_at`](crate::Session::add_node_at) get their
+    /// environments from the same factory.
     pub fn env(mut self, env: impl NodeEnvFactory + 'static) -> Self {
-        self.env = Box::new(env);
+        self.env = Arc::new(env);
         self
     }
 
     /// Pre-boxed environment factory (when the concrete type is erased).
     pub fn env_boxed(mut self, env: Box<dyn NodeEnvFactory>) -> Self {
-        self.env = env;
+        self.env = Arc::from(env);
         self
     }
 
@@ -125,7 +129,11 @@ impl ClusterBuilder {
     }
 
     /// Deploys the cluster: spawns the fabric, NameNode/DataNodes, and
-    /// JobTracker/TaskTrackers into a fresh simulation.
+    /// JobTracker/TaskTrackers into a fresh simulation. The deployed
+    /// cluster retains the configs and environment factory, so sessions
+    /// over it support dynamic membership
+    /// ([`Session::add_node_at`](crate::Session::add_node_at) /
+    /// [`Session::remove_node_at`](crate::Session::remove_node_at)).
     pub fn deploy(self) -> MrCluster {
         deploy_cluster_impl(
             self.seed,
@@ -134,6 +142,7 @@ impl ClusterBuilder {
             self.dfs,
             self.mr,
             self.env.as_ref(),
+            Some(self.env.clone()),
             self.materialized,
         )
     }

@@ -5,18 +5,18 @@
 //! positional [`deploy_cluster`] / blocking [`run_job`] helpers remain as
 //! deprecated wrappers over them.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use accelmr_des::prelude::*;
 use accelmr_dfs::DfsHandle;
-use accelmr_net::{NetHandle, NodeId};
+use accelmr_net::{NetHandle, NodeId, NodeRegistry};
 
 use crate::config::MrConfig;
 use crate::job::{JobResult, JobSpec};
 use crate::jobtracker::{JobTracker, RegisterTaskTracker};
 use crate::kernel::NodeEnvFactory;
 use crate::msgs::SubmitJob;
-use crate::session::{JobRequest, Session};
+use crate::session::{ElasticCtx, JobRequest, Session};
 use crate::tasktracker::TaskTracker;
 
 /// Handle to a deployed MapReduce runtime.
@@ -26,8 +26,9 @@ pub struct MrHandle {
     pub jobtracker: ActorId,
     /// Node the JobTracker runs on.
     pub head_node: NodeId,
-    /// `(node, actor)` of every TaskTracker.
-    pub tasktrackers: Arc<Vec<(NodeId, ActorId)>>,
+    /// Live `node → TaskTracker actor` registry. Shared (not a snapshot):
+    /// joins and departures are visible to every handle clone immediately.
+    pub tasktrackers: NodeRegistry,
     /// The network fabric.
     pub net: NetHandle,
 }
@@ -35,10 +36,7 @@ pub struct MrHandle {
 impl MrHandle {
     /// TaskTracker actor on `node`, if any.
     pub fn tasktracker_on(&self, node: NodeId) -> Option<ActorId> {
-        self.tasktrackers
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, a)| a)
+        self.tasktrackers.get(node)
     }
 
     /// Submits a job; the calling actor receives
@@ -98,7 +96,7 @@ pub fn deploy_mr(
     MrHandle {
         jobtracker,
         head_node,
-        tasktrackers: Arc::new(tts),
+        tasktrackers: NodeRegistry::new(tts),
         net,
     }
 }
@@ -146,8 +144,14 @@ pub struct MrCluster {
     pub dfs: DfsHandle,
     /// MapReduce handle.
     pub mr: MrHandle,
-    /// Worker node ids.
+    /// Worker node ids present at deploy (joins are not appended here;
+    /// consult `mr.tasktrackers` / `dfs.datanodes` for the live set).
     pub workers: Vec<NodeId>,
+    /// Elasticity context retained for mid-session joins: the configs and
+    /// environment factory new nodes are built from. `None` on the
+    /// deprecated positional deployment path, where `Session::add_node_at`
+    /// is unavailable.
+    pub(crate) elastic: Option<ElasticCtx>,
 }
 
 /// One-call positional deployment: fabric + DFS + MapReduce over
@@ -172,13 +176,17 @@ pub fn deploy_cluster(
         dfs_cfg,
         mr_cfg,
         env_factory,
+        None,
         materialized,
     )
 }
 
 /// Deployment shared by [`ClusterBuilder`](crate::ClusterBuilder) and the
 /// deprecated [`deploy_cluster`]: both paths spawn the same actors in the
-/// same order, so they are event-for-event identical.
+/// same order, so they are event-for-event identical. `retained_env` is
+/// the same factory as `env_factory`, kept (builder path only) so joined
+/// nodes can build their environments mid-session.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn deploy_cluster_impl(
     seed: u64,
     n_workers: usize,
@@ -186,6 +194,7 @@ pub(crate) fn deploy_cluster_impl(
     dfs_cfg: accelmr_dfs::DfsConfig,
     mr_cfg: MrConfig,
     env_factory: &dyn NodeEnvFactory,
+    retained_env: Option<Arc<dyn NodeEnvFactory>>,
     materialized: bool,
 ) -> MrCluster {
     // A workerless cluster can never complete a job: the JobTracker would
@@ -218,11 +227,20 @@ pub(crate) fn deploy_cluster_impl(
         &workers,
         env_factory,
     );
+    let elastic = retained_env.map(|env| ElasticCtx {
+        dfs_cfg,
+        mr_cfg,
+        materialized,
+        env,
+        // Worker ids are 1..=n_workers; the next join gets the next id.
+        next_node: Arc::new(Mutex::new(n_workers as u32 + 1)),
+    });
     MrCluster {
         sim,
         net,
         dfs,
         mr,
         workers,
+        elastic,
     }
 }

@@ -75,6 +75,26 @@ struct TaskState {
     is_reduce: bool,
 }
 
+/// One completed map attempt's output and the aggregate contributions it
+/// folded into the job. Keeping the contributions lets the tracker
+/// *subtract* them when the output's node dies and the map must re-execute
+/// (otherwise re-execution would double-count kv pairs, digests, and byte
+/// totals — exactly-once accounting under churn depends on this).
+struct MapOutput {
+    node: NodeId,
+    pairs: u64,
+    /// The attempt's kv pairs as a multiset (pair → count): subtraction-
+    /// ready, and never larger than the pair list it summarizes.
+    kv_counts: FxHashMap<(u64, u64), u64>,
+    digest: (u64, u64),
+    bytes_read: u64,
+    /// Output size: shuffle partitioning input *and* the amount to
+    /// subtract from `JobState::bytes_output` on loss.
+    bytes_output: u64,
+    local_reads: u64,
+    remote_reads: u64,
+}
+
 struct JobState {
     spec: JobSpec,
     client: (ActorId, NodeId),
@@ -100,8 +120,8 @@ struct JobState {
     task_times: Vec<SimDuration>,
     /// Every dispatch, in order: `(task, node)`.
     dispatch_log: Vec<(TaskId, NodeId)>,
-    /// Map output metadata for the shuffle: task → `(node, bytes, pairs)`.
-    map_outputs: FxHashMap<TaskId, (NodeId, u64, u64)>,
+    /// Map outputs (and their folded contributions) for the shuffle.
+    map_outputs: FxHashMap<TaskId, MapOutput>,
     succeeded: bool,
 }
 
@@ -110,6 +130,20 @@ impl JobState {
         match &self.spec.input {
             JobInput::File { record_bytes, .. } => record_bytes.unwrap_or(64 << 20),
             JobInput::Synthetic { .. } => 0,
+        }
+    }
+
+    /// Whether every map output a shuffle needs is currently available.
+    /// Reduce dispatch is held while this is false (a map output was lost
+    /// to a node death and its task is re-executing); rebuilt fetches are
+    /// only correct against a complete output set. Trivially true for
+    /// non-shuffle jobs.
+    fn shuffle_ready(&self) -> bool {
+        match &self.spec.reduce {
+            ReduceSpec::Shuffle { .. } => {
+                self.map_count > 0 && self.map_outputs.len() as u32 == self.map_count
+            }
+            _ => true,
         }
     }
 }
@@ -145,6 +179,30 @@ fn sched_mut<'a>(
     } else {
         default.as_mut()
     }
+}
+
+/// Sorted `(node, bytes, pairs)` map-output list plus total pairs — the
+/// shuffle partitioning input, shared by initial reduce-task construction
+/// and the fetch rebuild at (re-)dispatch.
+fn shuffle_outputs(map_outputs: &FxHashMap<TaskId, MapOutput>) -> (Vec<(NodeId, u64, u64)>, u64) {
+    let mut outputs: Vec<(NodeId, u64, u64)> = map_outputs
+        .values()
+        .map(|mo| (mo.node, mo.bytes_output, mo.pairs))
+        .collect();
+    outputs.sort_unstable_by_key(|&(n, b, p)| (n, b, p));
+    let total_pairs: u64 = outputs.iter().map(|&(_, _, p)| p).sum();
+    (outputs, total_pairs)
+}
+
+/// Reducer `r`'s fetch list: an even share of every map output.
+fn reduce_fetches(outputs: &[(NodeId, u64, u64)], reducers: usize, r: usize) -> Vec<(NodeId, u64)> {
+    outputs
+        .iter()
+        .map(|&(node, bytes, _)| {
+            let share = bytes / reducers as u64 + u64::from((bytes % reducers as u64) > r as u64);
+            (node, share)
+        })
+        .collect()
 }
 
 /// Snapshot of one task for scheduler decisions.
@@ -303,6 +361,12 @@ impl JobTracker {
     /// Picks the next pending task for `node` by asking the job's
     /// scheduler. `None` when the queue is dry — or when the scheduler
     /// holds the node back (adaptive admission control).
+    ///
+    /// While a shuffle's map outputs are incomplete (a node death forced
+    /// map re-execution), reduce tasks are withheld from the scheduler's
+    /// view: their fetch lists can only be rebuilt against a complete
+    /// output set. In static runs every pending entry is always eligible,
+    /// so the scheduler sees exactly the historical view.
     fn pick_task(&mut self, job_id: u32, node: NodeId) -> Option<TaskId> {
         let slots_per_node = self.cfg.map_slots_per_node;
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
@@ -310,19 +374,49 @@ impl JobTracker {
         if job.pending.is_empty() {
             return None;
         }
+        // Fast path whenever every pending entry is eligible: the output
+        // set is complete, or no reduce task even exists yet (the whole
+        // map phase) — only the churn-transient "shuffle with lost
+        // outputs" state pays for filtering.
+        if job.shuffle_ready() || job.tasks.len() == job.map_count as usize {
+            let idx = {
+                let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
+                let view = SchedView {
+                    job: JobId(job_id),
+                    kernel: job.spec.kernel.name(),
+                    pending: job.pending.make_contiguous(),
+                    tasks: &tasks,
+                    completed_task_times: &job.task_times,
+                    slots_per_node,
+                };
+                sched.pick_task(&view, node)?
+            };
+            return job.pending.remove(idx);
+        }
+        let eligible: Vec<usize> = job
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|&(_, tid)| !job.tasks[tid.0 as usize].is_reduce)
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let pending_view: Vec<TaskId> = eligible.iter().map(|&i| job.pending[i]).collect();
         let idx = {
             let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
             let view = SchedView {
                 job: JobId(job_id),
                 kernel: job.spec.kernel.name(),
-                pending: job.pending.make_contiguous(),
+                pending: &pending_view,
                 tasks: &tasks,
                 completed_task_times: &job.task_times,
                 slots_per_node,
             };
             sched.pick_task(&view, node)?
         };
-        job.pending.remove(idx)
+        job.pending.remove(eligible[idx])
     }
 
     fn assign(&mut self, ctx: &mut Ctx<'_>, job_id: u32, task: TaskId, node: NodeId) {
@@ -333,6 +427,19 @@ impl JobTracker {
         let Some(job) = self.jobs.get_mut(&job_id) else {
             return;
         };
+        // Reduce fetch lists are rebuilt from the *current* map outputs at
+        // every dispatch: after churn, a re-executed map's output lives on
+        // a different node than when the reduce task was first planned.
+        // Dispatch is gated on `shuffle_ready`, so the set is complete.
+        if job.tasks[task.0 as usize].is_reduce && job.shuffle_ready() {
+            let reducers = job.reduce_count as usize;
+            let r = (task.0 - job.map_count) as usize;
+            let (outputs, total_pairs) = shuffle_outputs(&job.map_outputs);
+            if let TaskWork::Reduce { fetches, pairs, .. } = &mut job.tasks[task.0 as usize].work {
+                *fetches = reduce_fetches(&outputs, reducers, r);
+                *pairs = total_pairs / reducers as u64;
+            }
+        }
         let ts = &mut job.tasks[task.0 as usize];
         ts.attempts += 1;
         job.attempts_total += 1;
@@ -437,7 +544,14 @@ impl JobTracker {
             completed_task_times: &job.task_times,
             slots_per_node,
         };
-        sched.pick_straggler(&view, node, now)
+        let pick = sched.pick_straggler(&view, node, now)?;
+        // No speculative reduce copies while the shuffle's map outputs are
+        // incomplete: a duplicate dispatched now would be rebuilt against
+        // a partial output set (see `assign`).
+        if job.tasks[pick.0 as usize].is_reduce && !job.shuffle_ready() {
+            return None;
+        }
+        Some(pick)
     }
 
     fn handle_report(&mut self, ctx: &mut Ctx<'_>, report: TaskReport) {
@@ -493,16 +607,30 @@ impl JobTracker {
         job.task_times.push(report.metrics.elapsed);
         if is_reduce {
             job.reduces_completed += 1;
-        } else {
+        } else if matches!(job.spec.reduce, ReduceSpec::Shuffle { .. }) {
+            // Only shuffles consume map outputs — and only shuffles can
+            // lose one to a node death and need the folded contributions
+            // back out; other reduce shapes skip the retention entirely.
             job.maps_completed += 1;
+            let mut kv_counts: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+            for &pair in &report.kv {
+                *kv_counts.entry(pair).or_default() += 1;
+            }
             job.map_outputs.insert(
                 report.task,
-                (
-                    report.node,
-                    report.metrics.bytes_output,
-                    report.kv.len() as u64,
-                ),
+                MapOutput {
+                    node: report.node,
+                    pairs: report.kv.len() as u64,
+                    kv_counts,
+                    digest: report.digest,
+                    bytes_read: report.metrics.bytes_read,
+                    bytes_output: report.metrics.bytes_output,
+                    local_reads: report.metrics.local_reads,
+                    remote_reads: report.metrics.remote_reads,
+                },
             );
+        } else {
+            job.maps_completed += 1;
         }
 
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
@@ -567,7 +695,13 @@ impl JobTracker {
                     Some(_) => self.start_shuffle(ctx, job_id),
                 }
             }
-            Phase::ReduceRunning if reduces_done => {
+            // `maps_done` too: a node death during the reduce phase may
+            // have invalidated a completed map (contributions subtracted,
+            // re-execution pending). Finalizing on reduce completion alone
+            // would ship a "succeeded" result missing that map's kv and
+            // digest; the re-executed map's own report re-triggers this
+            // check.
+            Phase::ReduceRunning if reduces_done && maps_done => {
                 self.finalize(ctx, job_id);
             }
             _ => {}
@@ -593,21 +727,11 @@ impl JobTracker {
             _ => format!("/{}-reduced", job.spec.name),
         };
         // Partition every map output evenly across reducers.
-        let mut outputs: Vec<(NodeId, u64, u64)> = job.map_outputs.values().copied().collect();
-        outputs.sort_unstable_by_key(|&(n, b, p)| (n, b, p));
-        let total_pairs: u64 = outputs.iter().map(|&(_, _, p)| p).sum();
+        let (outputs, total_pairs) = shuffle_outputs(&job.map_outputs);
         for r in 0..reducers {
-            let fetches: Vec<(NodeId, u64)> = outputs
-                .iter()
-                .map(|&(node, bytes, _)| {
-                    let share =
-                        bytes / reducers as u64 + u64::from((bytes % reducers as u64) > r as u64);
-                    (node, share)
-                })
-                .collect();
             job.tasks.push(TaskState {
                 work: TaskWork::Reduce {
-                    fetches,
+                    fetches: reduce_fetches(&outputs, reducers, r),
                     pairs: total_pairs / reducers as u64,
                     write_output,
                     output_path: output_path.clone(),
@@ -688,6 +812,59 @@ impl JobTracker {
         net.unicast(ctx, my, client.1, client.0, 2048, JobComplete { result });
     }
 
+    /// A node joined (registration of a previously-unknown TaskTracker):
+    /// feed the schedulers and re-plan any job whose splits were computed
+    /// against the old worker set but has not dispatched anything yet.
+    fn handle_node_join(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
+        ctx.stats().incr("mr.node_joins");
+        self.scheduler.on_node_join(node);
+        for sched in self.job_scheds.values_mut() {
+            sched.on_node_join(node);
+        }
+        self.replan_unassigned(ctx);
+    }
+
+    /// Re-plans the splits of every job that is running its map phase but
+    /// has dispatched nothing — its plan predates the current worker set,
+    /// so rebuilding it lets the join participate from the first wave.
+    /// Jobs with attempts in flight are left alone: their pending queue is
+    /// simply drained onto the new node by heartbeat dispatch.
+    fn replan_unassigned(&mut self, ctx: &mut Ctx<'_>) {
+        let mut job_ids: Vec<u32> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.phase == Phase::MapRunning && j.attempts_total == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        job_ids.sort_unstable();
+        for job_id in job_ids {
+            let input = {
+                let Some(job) = self.jobs.get_mut(&job_id) else {
+                    continue;
+                };
+                job.tasks.clear();
+                job.pending.clear();
+                job.map_count = 0;
+                job.spec.input.clone()
+            };
+            ctx.stats().incr("mr.jobs_replanned");
+            match input {
+                JobInput::Synthetic { total_units } => {
+                    self.build_synthetic_tasks(JobId(job_id), total_units);
+                }
+                JobInput::File { path, .. } => {
+                    // Re-fetch locations: the fresh view also reflects any
+                    // re-replication since the original plan.
+                    if let Some(job) = self.jobs.get_mut(&job_id) {
+                        job.phase = Phase::WaitingLocations;
+                    }
+                    let (dfs, node) = (self.dfs.clone(), self.node);
+                    dfs.get_locations(ctx, node, &path, job_id as u64);
+                }
+            }
+        }
+    }
+
     /// Declares silent TaskTrackers dead and re-queues their work.
     fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
@@ -727,9 +904,14 @@ impl JobTracker {
                         job.pending.push_back(tid);
                     }
                     // Completed map outputs on the dead node are lost for
-                    // unfinished shuffles: re-execute those maps.
+                    // unfinished shuffles: re-execute those maps — during
+                    // the reduce phase too (reduce dispatch is then held
+                    // until the re-executed outputs land; in-flight
+                    // fetches off the dead node abort and requeue). The
+                    // lost attempt's folded contributions are subtracted
+                    // so re-execution keeps exactly-once accounting.
                     if needs_shuffle
-                        && job.phase == Phase::MapRunning
+                        && matches!(job.phase, Phase::MapRunning | Phase::ReduceRunning)
                         && ts.completed
                         && ts.ran_on == Some(node)
                         && !ts.is_reduce
@@ -737,7 +919,25 @@ impl JobTracker {
                         ts.completed = false;
                         ts.ran_on = None;
                         job.maps_completed -= 1;
-                        job.map_outputs.remove(&tid);
+                        if let Some(mo) = job.map_outputs.remove(&tid) {
+                            job.bytes_read -= mo.bytes_read;
+                            job.bytes_output -= mo.bytes_output;
+                            job.local_reads -= mo.local_reads;
+                            job.remote_reads -= mo.remote_reads;
+                            job.digest_acc = job.digest_acc.wrapping_sub(mo.digest.0);
+                            job.digest_count -= mo.digest.1;
+                            // Multiset subtraction in one pass (shuffle
+                            // aggregates are order-independent, so retain
+                            // is safe; per-pair scans would be quadratic).
+                            let mut drop = mo.kv_counts;
+                            job.kv.retain(|p| match drop.get_mut(p) {
+                                Some(c) if *c > 0 => {
+                                    *c -= 1;
+                                    false
+                                }
+                                _ => true,
+                            });
+                        }
                         job.pending.push_back(tid);
                     }
                 }
@@ -854,12 +1054,18 @@ impl Actor for JobTracker {
                     // A heartbeat resurrects nothing: dead stays dead (the
                     // paper-era JobTracker required re-registration; our
                     // crashed TaskTrackers never come back).
+                    let is_new = !self.tts.contains_key(&hb.node);
                     let entry = self.tts.entry(hb.node).or_insert(TtInfo {
                         actor: ActorId::ENGINE,
                         last_heartbeat: now,
                         dead: false,
                     });
                     entry.last_heartbeat = now;
+                    if is_new {
+                        // Discovery by heartbeat alone (no registration
+                        // observed): still a join for the schedulers.
+                        self.handle_node_join(ctx, hb.node);
+                    }
                     self.scheduler.on_heartbeat(hb.node, hb.free_slots, now);
                     for sched in self.job_scheds.values_mut() {
                         sched.on_heartbeat(hb.node, hb.free_slots, now);
@@ -873,7 +1079,12 @@ impl Actor for JobTracker {
                         }
                     }
                 } else if let Some(reg) = msg.peek::<RegisterTaskTracker>() {
-                    self.register_tt(reg.node, reg.actor);
+                    let (node, actor) = (reg.node, reg.actor);
+                    let is_new = !self.tts.contains_key(&node);
+                    self.register_tt_at(node, actor, ctx.now());
+                    if is_new {
+                        self.handle_node_join(ctx, node);
+                    }
                 } else if msg.is::<PreloadDone>() {
                     // Ignored: preloads are driven by clients.
                 }
@@ -894,13 +1105,17 @@ pub struct RegisterTaskTracker {
 }
 
 impl JobTracker {
-    pub(crate) fn register_tt(&mut self, node: NodeId, actor: ActorId) {
+    /// Installs the TaskTracker actor for `node`. `now` seeds the liveness
+    /// clock: a node registering mid-session must not be declared dead
+    /// before its first heartbeat (at deploy `now` is zero, matching the
+    /// historical behavior exactly).
+    pub(crate) fn register_tt_at(&mut self, node: NodeId, actor: ActorId, now: SimTime) {
         self.tts
             .entry(node)
             .and_modify(|t| t.actor = actor)
             .or_insert(TtInfo {
                 actor,
-                last_heartbeat: SimTime::ZERO,
+                last_heartbeat: now,
                 dead: false,
             });
     }

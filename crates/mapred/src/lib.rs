@@ -26,6 +26,27 @@
 //! jobs with staggered arrivals, driven to completion deterministically).
 //! The positional `deploy_cluster` / blocking `run_job` helpers are
 //! deprecated wrappers over the same machinery.
+//!
+//! ## Invariants callers rely on
+//!
+//! * **Dynamic membership.** The fixed-worker-set assumption is lifted:
+//!   [`Session::add_node_at`] / [`Session::remove_node_at`] (and the
+//!   [`ChurnSchedule`] helper) change membership mid-run. Joins register
+//!   end to end — fabric links, DataNode placement admission, TaskTracker
+//!   heartbeat dispatch — and the JobTracker re-plans jobs that have not
+//!   dispatched yet; departures recover through heartbeat-silence
+//!   detection, task re-execution, replica-retrying reads, and DFS
+//!   re-replication. Schedulers observe both via
+//!   [`sched::Scheduler::on_node_join`] / `on_node_dead`.
+//! * **Burst-friendly I/O.** TaskTrackers fan a record's segment reads
+//!   and a reducer's whole fetch wave out in one simulated instant; the
+//!   fabric coalesces each wave into one rate solve. Keep new I/O call
+//!   sites burst-shaped.
+//! * **Trace pinning.** Golden event-stream fingerprints (scheduler
+//!   port equivalence, determinism suites) run on
+//!   `FluidEngine::Reference`, which is event-for-event stable; the
+//!   default incremental engine may legitimately reorder events within an
+//!   instant while producing identical timings.
 
 #![warn(missing_docs)]
 
@@ -58,7 +79,7 @@ pub use sched::{
     build_scheduler, AdaptiveHetero, Fifo, LocalityFirst, NodeThroughput, SchedView, Scheduler,
     SplitPlan, SplitRequest, TaskCompletion, TaskView,
 };
-pub use session::{JobHandle, JobRequest, Session};
+pub use session::{ChurnOp, ChurnSchedule, JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;
 
 #[cfg(test)]

@@ -282,6 +282,16 @@ impl Scheduler for AdaptiveHetero {
         }
     }
 
+    fn on_node_join(&mut self, node: NodeId) {
+        // A (re)joining node is seeded as unlearned: it takes queue-front
+        // work as a probe (see `pick_task`), and split planning keeps it
+        // out of weighted sizing until it has estimates. Stale rates from
+        // a previous incarnation of the same id must not steer dispatch.
+        for family in self.rates.values_mut() {
+            family.remove(&node);
+        }
+    }
+
     fn throughput_estimates(&self, kernel: &str) -> Vec<NodeThroughput> {
         let mut out: Vec<NodeThroughput> = self
             .family(kernel)
@@ -483,5 +493,23 @@ mod tests {
         s.on_node_dead(NodeId(1));
         assert_eq!(s.rate_of("k", NodeId(1)), None);
         assert_eq!(s.throughput_estimates("k").len(), 1);
+    }
+
+    #[test]
+    fn rejoining_node_is_seeded_unlearned() {
+        let mut s = sched();
+        complete(&mut s, NodeId(1), 1000, 1.0);
+        complete(&mut s, NodeId(2), 100, 1.0);
+        // Node 2 leaves and a new machine joins under the recycled id: its
+        // old (slow) estimate must not survive the join.
+        s.on_node_dead(NodeId(2));
+        s.on_node_join(NodeId(2));
+        assert_eq!(s.rate_of("k", NodeId(2)), None);
+        // Unlearned: takes the queue front as a probe instead of being
+        // tail-guarded off the work.
+        let tasks = [map_task(10), map_task(50)];
+        let pending = [TaskId(0), TaskId(1)];
+        let v = view(&pending, &tasks, &[]);
+        assert_eq!(s.pick_task(&v, NodeId(2)), Some(0));
     }
 }

@@ -246,6 +246,14 @@ pub trait Scheduler: Send {
         let _ = node;
     }
 
+    /// A node joined the cluster (first registration, including at deploy,
+    /// and mid-session joins under dynamic membership). Policies that
+    /// learn per-node state must treat the node as fresh: a recycled node
+    /// id must not inherit estimates from a previous incarnation.
+    fn on_node_join(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
     /// Per-node throughput estimates for `kernel`, if this policy learns
     /// them (sorted by node; empty otherwise). Reported in
     /// [`JobResult::node_throughput`](crate::JobResult::node_throughput).

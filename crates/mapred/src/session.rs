@@ -29,13 +29,19 @@
 use std::sync::{Arc, Mutex};
 
 use accelmr_des::prelude::*;
-use accelmr_dfs::msgs::{PreloadDone, PreloadFile};
-use accelmr_dfs::DfsHandle;
+use accelmr_des::FxHashMap;
+use accelmr_dfs::msgs::{AddDataNode, AddPeer, PreloadDone, PreloadFile};
+use accelmr_dfs::{DataNode, DfsConfig, DfsHandle};
+use accelmr_net::NodeId;
 
 use crate::builder::JobBuilder;
 use crate::cluster::{MrCluster, MrHandle, PreloadSpec};
+use crate::config::MrConfig;
 use crate::job::{JobResult, JobSpec};
-use crate::msgs::JobComplete;
+use crate::jobtracker::RegisterTaskTracker;
+use crate::kernel::NodeEnvFactory;
+use crate::msgs::{CrashTaskTracker, JobComplete};
+use crate::tasktracker::TaskTracker;
 
 /// A job plus the driver-side work it needs before submission (DFS
 /// preloads). What [`Session::submit`] accepts; [`JobSpec`] and
@@ -114,6 +120,107 @@ struct PendingJob {
     slot: ResultSlot,
 }
 
+/// Everything a mid-session join needs to build a node: the configs and
+/// environment factory the cluster was deployed with, plus the shared
+/// fresh-node-id counter. Retained by `ClusterBuilder::deploy`.
+#[derive(Clone)]
+pub(crate) struct ElasticCtx {
+    pub(crate) dfs_cfg: DfsConfig,
+    pub(crate) mr_cfg: MrConfig,
+    pub(crate) materialized: bool,
+    pub(crate) env: Arc<dyn NodeEnvFactory>,
+    /// Next fresh `NodeId` — shared across sessions over one cluster so
+    /// ids are never recycled.
+    pub(crate) next_node: Arc<Mutex<u32>>,
+}
+
+/// One scheduled membership change.
+#[derive(Clone, Copy, Debug)]
+enum ChurnChange {
+    Join(NodeId),
+    Leave(NodeId),
+}
+
+/// A membership operation inside a [`ChurnSchedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A fresh node joins (the session assigns its id).
+    Join,
+    /// The given worker leaves (crash semantics: TaskTracker and DataNode
+    /// die, in-flight transfers abort).
+    Leave(NodeId),
+}
+
+/// A declarative churn plan: membership operations at simulated offsets,
+/// applied with [`Session::churn`]. Offsets are relative to the start of
+/// the next [`Session::run_until_complete`] call, like
+/// [`Session::submit_after`] delays.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<(SimDuration, ChurnOp)>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a join at `at`.
+    pub fn join_at(mut self, at: SimDuration) -> Self {
+        self.events.push((at, ChurnOp::Join));
+        self
+    }
+
+    /// Adds a departure of `node` at `at`.
+    pub fn leave_at(mut self, at: SimDuration, node: NodeId) -> Self {
+        self.events.push((at, ChurnOp::Leave(node)));
+        self
+    }
+
+    /// A churn wave: `joins` fresh nodes and the listed `leaves`,
+    /// interleaved (join, leave, join, …) and spread evenly across
+    /// `[start, start + window]` — the "≥ N% of the cluster in motion
+    /// mid-job" shape the elasticity benchmarks drive.
+    pub fn wave(joins: usize, leaves: &[NodeId], start: SimDuration, window: SimDuration) -> Self {
+        let mut ops = Vec::with_capacity(joins + leaves.len());
+        let mut j = 0;
+        let mut l = 0;
+        while j < joins || l < leaves.len() {
+            if j < joins {
+                ops.push(ChurnOp::Join);
+                j += 1;
+            }
+            if l < leaves.len() {
+                ops.push(ChurnOp::Leave(leaves[l]));
+                l += 1;
+            }
+        }
+        let n = ops.len();
+        let events = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let frac = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                (
+                    start + SimDuration::from_secs_f64(window.as_secs_f64() * frac),
+                    op,
+                )
+            })
+            .collect();
+        ChurnSchedule { events }
+    }
+
+    /// The scheduled operations, in insertion order.
+    pub fn events(&self) -> &[(SimDuration, ChurnOp)] {
+        &self.events
+    }
+}
+
 /// Drives N jobs through one deployed cluster. Jobs queued with
 /// [`submit`](Session::submit) /
 /// [`submit_after`](Session::submit_after) all run concurrently (subject to
@@ -126,17 +233,32 @@ pub struct Session<'a> {
     mr: MrHandle,
     dfs: DfsHandle,
     pending: Vec<PendingJob>,
+    /// Membership changes queued for the next run (requires `elastic`).
+    churn: Vec<(SimDuration, ChurnChange)>,
+    elastic: Option<ElasticCtx>,
 }
 
 impl<'a> Session<'a> {
-    /// Opens a session over an already-deployed runtime.
+    /// Opens a session over an already-deployed runtime. Sessions opened
+    /// this way drive jobs only; dynamic membership
+    /// ([`add_node_at`](Session::add_node_at) /
+    /// [`remove_node_at`](Session::remove_node_at)) needs the deployment
+    /// context a [`ClusterBuilder`](crate::ClusterBuilder)-deployed
+    /// [`MrCluster::session`] carries.
     pub fn new(sim: &'a mut Sim, mr: MrHandle, dfs: DfsHandle) -> Self {
         Session {
             sim,
             mr,
             dfs,
             pending: Vec::new(),
+            churn: Vec::new(),
+            elastic: None,
         }
+    }
+
+    pub(crate) fn with_elastic(mut self, elastic: Option<ElasticCtx>) -> Self {
+        self.elastic = elastic;
+        self
     }
 
     /// The underlying simulation (e.g. to inject faults before running).
@@ -172,13 +294,93 @@ impl<'a> Session<'a> {
         handle
     }
 
+    /// Schedules a fresh worker node to join the cluster `at` after the
+    /// start of the next [`run_until_complete`](Session::run_until_complete)
+    /// call, returning the id it will join under. The join is end-to-end:
+    /// the fabric grows links, a DataNode spawns and enters the NameNode's
+    /// placement rotation (absorbing pending replication repairs), and a
+    /// TaskTracker spawns, registers, and starts pulling work on its
+    /// heartbeats — schedulers observe the join via
+    /// [`Scheduler::on_node_join`](crate::sched::Scheduler::on_node_join).
+    ///
+    /// Panics when the cluster was deployed through the deprecated
+    /// positional path, which retains no deployment context to build new
+    /// nodes from.
+    pub fn add_node_at(&mut self, at: SimDuration) -> NodeId {
+        let elastic = self
+            .elastic
+            .as_ref()
+            .expect("dynamic membership requires a ClusterBuilder-deployed cluster");
+        let mut next = elastic.next_node.lock().unwrap();
+        let node = NodeId(*next);
+        *next += 1;
+        drop(next);
+        self.churn.push((at, ChurnChange::Join(node)));
+        node
+    }
+
+    /// Schedules `node` to leave the cluster `at` after the start of the
+    /// next [`run_until_complete`](Session::run_until_complete) call, with
+    /// crash semantics: its TaskTracker and DataNode die, in-flight
+    /// transfers abort, and the runtime recovers through its existing
+    /// fault paths (replica-retrying reads, task re-execution, DFS
+    /// re-replication once heartbeat silence is detected).
+    pub fn remove_node_at(&mut self, at: SimDuration, node: NodeId) {
+        assert_ne!(node, NodeId::HEAD, "cannot remove the head node");
+        assert!(
+            self.elastic.is_some(),
+            "dynamic membership requires a ClusterBuilder-deployed cluster"
+        );
+        self.churn.push((at, ChurnChange::Leave(node)));
+    }
+
+    /// Applies a whole [`ChurnSchedule`], returning the ids assigned to
+    /// its joins in schedule order.
+    pub fn churn(&mut self, schedule: ChurnSchedule) -> Vec<NodeId> {
+        let mut joined = Vec::new();
+        for &(at, op) in schedule.events() {
+            match op {
+                ChurnOp::Join => joined.push(self.add_node_at(at)),
+                ChurnOp::Leave(node) => self.remove_node_at(at, node),
+            }
+        }
+        joined
+    }
+
     /// Runs the simulation until every queued job has completed, and
-    /// returns their results in submission order. Returns an empty vector
-    /// when nothing is queued. Panics if the simulation drains without
+    /// returns their results in submission order. Queued membership
+    /// changes ([`add_node_at`](Session::add_node_at) /
+    /// [`remove_node_at`](Session::remove_node_at)) are applied while the
+    /// batch runs; changes scheduled past the last job completion carry
+    /// over into the next batch. With no jobs queued, an empty vector is
+    /// returned — after driving the simulation just far enough to apply
+    /// any queued membership changes. Panics if the simulation drains without
     /// completing every job (a runtime bug, not a job failure — failed jobs
     /// complete with `succeeded == false`).
     pub fn run_until_complete(&mut self) -> Vec<JobResult> {
+        let churn = std::mem::take(&mut self.churn);
+        let last_churn_at = churn.iter().map(|&(at, _)| at).max();
+        if !churn.is_empty() {
+            let elastic = self
+                .elastic
+                .clone()
+                .expect("churn queued without elastic context");
+            self.sim.spawn(Box::new(ChurnDriver::new(
+                elastic,
+                self.mr.clone(),
+                self.dfs.clone(),
+                churn,
+            )));
+        }
         if self.pending.is_empty() {
+            // A job-less batch still applies queued membership changes:
+            // drive the simulation just past the last scheduled change
+            // (it would otherwise be silently deferred — and re-anchored —
+            // to the next batch's start).
+            if let Some(at) = last_churn_at {
+                let deadline = self.sim.now() + at;
+                self.sim.run_until(deadline);
+            }
             return Vec::new();
         }
         let outstanding = Arc::new(Mutex::new(self.pending.len()));
@@ -225,13 +427,151 @@ impl<'a> Session<'a> {
 }
 
 impl MrCluster {
-    /// Opens a [`Session`] over this cluster.
+    /// Opens a [`Session`] over this cluster. Clusters deployed through
+    /// [`ClusterBuilder`](crate::ClusterBuilder) get dynamic-membership
+    /// support ([`Session::add_node_at`] / [`Session::remove_node_at`]).
     pub fn session(&mut self) -> Session<'_> {
-        Session::new(&mut self.sim, self.mr.clone(), self.dfs.clone())
+        let elastic = self.elastic.clone();
+        Session::new(&mut self.sim, self.mr.clone(), self.dfs.clone()).with_elastic(elastic)
     }
 }
 
 const SUBMIT_TIMER_TAG: u64 = 1;
+
+/// Applies scheduled membership changes from inside the simulation: at
+/// each event's instant it either assembles and wires a whole new node
+/// (fabric links, DataNode, TaskTracker, registries, NameNode/JobTracker
+/// admission) or crashes a departing one. Spawned by
+/// [`Session::run_until_complete`] only when churn is queued, so static
+/// deployments keep their historical actor layout and event traces.
+struct ChurnDriver {
+    elastic: ElasticCtx,
+    mr: MrHandle,
+    dfs: DfsHandle,
+    /// Events sorted by time (stable: same-instant events keep schedule
+    /// order), drained front to back.
+    events: Vec<(SimDuration, ChurnChange)>,
+    next: usize,
+    start: SimTime,
+}
+
+impl ChurnDriver {
+    fn new(
+        elastic: ElasticCtx,
+        mr: MrHandle,
+        dfs: DfsHandle,
+        mut events: Vec<(SimDuration, ChurnChange)>,
+    ) -> Self {
+        events.sort_by_key(|&(at, _)| at);
+        ChurnDriver {
+            elastic,
+            mr,
+            dfs,
+            events,
+            next: 0,
+            start: SimTime::ZERO,
+        }
+    }
+
+    fn arm_next(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(&(at, _)) = self.events.get(self.next) {
+            ctx.after_at(self.start + at, 0);
+        }
+    }
+
+    fn run_due(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        while let Some(&(at, change)) = self.events.get(self.next) {
+            if self.start + at > now {
+                break;
+            }
+            self.next += 1;
+            match change {
+                ChurnChange::Join(node) => self.join(ctx, node),
+                ChurnChange::Leave(node) => self.leave(ctx, node),
+            }
+        }
+        self.arm_next(ctx);
+    }
+
+    /// Assembles one joining node. Ordering within the instant matters:
+    /// the fabric grows first (same-instant FIFO guarantees links exist
+    /// before any traffic), then the DataNode spawns fully wired, peers
+    /// learn it, registries expose it, and finally the NameNode and
+    /// JobTracker admit it.
+    fn join(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
+        self.mr.net.ensure_node(ctx, node);
+
+        // DataNode, wired before spawn (namenode + current peer set).
+        let mut dn = DataNode::new(
+            self.elastic.dfs_cfg.clone(),
+            self.mr.net,
+            node,
+            self.dfs.head_node,
+            self.elastic.materialized,
+        );
+        let peers: FxHashMap<NodeId, ActorId> = self.dfs.datanodes.snapshot().into_iter().collect();
+        dn.rewire(self.dfs.namenode, peers);
+        let dn_id = ctx.spawn(Box::new(dn));
+        for (_, peer) in self.dfs.datanodes.snapshot() {
+            ctx.send(peer, AddPeer { node, actor: dn_id });
+        }
+        self.dfs.datanodes.insert(node, dn_id);
+        ctx.send(self.dfs.namenode, AddDataNode { node, actor: dn_id });
+
+        // TaskTracker with an environment from the deployment's factory
+        // (worker indices are node ids shifted past the head node).
+        let env = self.elastic.env.build(node.index() - 1);
+        let tt = TaskTracker::new(
+            self.elastic.mr_cfg.clone(),
+            self.mr.net,
+            self.dfs.clone(),
+            node,
+            self.mr.head_node,
+            self.mr.jobtracker,
+            env,
+        );
+        let tt_id = ctx.spawn(Box::new(tt));
+        self.mr.tasktrackers.insert(node, tt_id);
+        ctx.send(
+            self.mr.jobtracker,
+            RegisterTaskTracker { node, actor: tt_id },
+        );
+        ctx.stats().incr("cluster.nodes_joined");
+    }
+
+    /// Crashes one departing node: both daemons die, the registries stop
+    /// routing to it (reads fail fast onto other replicas), and its
+    /// in-flight transfers abort. Heartbeat silence then drives task
+    /// re-execution and DFS re-replication.
+    fn leave(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
+        if let Some(tt) = self.mr.tasktrackers.remove(node) {
+            ctx.send(tt, CrashTaskTracker);
+        }
+        if let Some(dn) = self.dfs.datanodes.remove(node) {
+            ctx.send(dn, accelmr_dfs::Shutdown);
+        }
+        self.mr.net.abort_node(ctx, node);
+        ctx.stats().incr("cluster.nodes_left");
+    }
+}
+
+impl Actor for ChurnDriver {
+    fn name(&self) -> String {
+        "mr.session.churn".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                self.start = ctx.now();
+                self.run_due(ctx);
+            }
+            Event::Timer { .. } => self.run_due(ctx),
+            _ => {}
+        }
+    }
+}
 
 /// Per-job driver actor: waits out the submission delay, preloads input
 /// files, submits the job, captures the result, and stops the world once

@@ -300,13 +300,6 @@ impl TaskTracker {
             return;
         }
         let dn_node = order[replica_tried];
-        if let Slot::Busy(run) = &mut self.slots[slot] {
-            if dn_node == self.node {
-                run.metrics.local_reads += 1;
-            } else {
-                run.metrics.remote_reads += 1;
-            }
-        }
         let tag = self.tag();
         self.reads.insert(
             tag,
@@ -330,8 +323,20 @@ impl TaskTracker {
             tag,
         );
         if !ok {
+            // The replica's DataNode has left the cluster (dynamic
+            // membership removes it from the registry): fall through to
+            // the next replica instead of failing the attempt outright.
             self.reads.remove(&tag);
-            self.fail_task(ctx, slot, gen);
+            ctx.stats().incr("mr.read_reroutes");
+            self.issue_segment(ctx, slot, gen, record, seg, seg_idx, replica_tried + 1);
+            return;
+        }
+        if let Slot::Busy(run) = &mut self.slots[slot] {
+            if dn_node == self.node {
+                run.metrics.local_reads += 1;
+            } else {
+                run.metrics.remote_reads += 1;
+            }
         }
     }
 

@@ -109,6 +109,17 @@ pub struct AbortNode {
     pub node: NodeId,
 }
 
+/// Grows the fabric so `node` has links (dynamic membership). Idempotent:
+/// nodes the fabric already serves are untouched, and growth never
+/// perturbs existing flows or rates. Send *before* any traffic involving
+/// the new node — same-instant FIFO ordering guarantees the links exist by
+/// the time a later-queued [`StartFlow`] references them.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsureNode {
+    /// Node that must be routable after this message is processed.
+    pub node: NodeId,
+}
+
 /// A flow completed; delivered to the flow's `notify` actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowDone {
@@ -233,6 +244,25 @@ impl Fabric {
         self.tx.len()
     }
 
+    /// Adds nodes (each with fresh tx/rx/loopback links) until `node` is
+    /// routable, returning how many were added. New links carry no flows,
+    /// so no re-solve is needed.
+    fn ensure_node(&mut self, node: NodeId) -> usize {
+        let before = self.tx.len();
+        while self.tx.len() <= node.index() {
+            self.tx.push(self.links.add(self.cfg.link_bytes_per_sec));
+            self.rx.push(self.links.add(self.cfg.link_bytes_per_sec));
+            self.loopback
+                .push(self.links.add(self.cfg.loopback_bytes_per_sec));
+        }
+        let n_links = self.links.len();
+        self.link_flows.resize_with(n_links, Vec::new);
+        self.link_dirty.resize(n_links, false);
+        self.link_mark.resize(n_links, 0);
+        self.link_slot.resize(n_links, 0);
+        self.tx.len() - before
+    }
+
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
         if src == dst {
             Route::single(self.loopback[src.index()])
@@ -349,6 +379,11 @@ impl Fabric {
         } else if let Some(abort) = msg.peek::<AbortNode>() {
             let node = abort.node;
             self.ref_elapse(ctx, now);
+            // The reference engine scans every active flow per crash —
+            // O(F). The counter exists so the incremental engine's
+            // link-indexed abort can be asserted against it.
+            ctx.stats()
+                .add("net.abort_flows_scanned", self.flows.len() as u64);
             let dead: Vec<u64> = self
                 .flows
                 .iter()
@@ -600,12 +635,28 @@ impl Fabric {
             // Flows finishing exactly now still complete (parity with the
             // reference engine, which elapses before aborting).
             self.settle_due(ctx, now);
-            let dead: Vec<u64> = self
-                .flows
-                .iter()
-                .filter(|(_, f)| f.src == node || f.dst == node)
-                .map(|(id, _)| *id)
-                .collect();
+            // A flow touches `node` iff it is indexed on one of the node's
+            // three links (loopback for src == dst, otherwise tx at the
+            // source and rx at the destination — so each victim appears on
+            // exactly one of them). Consulting the persistent link→flows
+            // index makes a crash O(degree of the node), not O(all flows):
+            // under 1000-node churn a crash must not scan the whole wire.
+            let mut dead: Vec<u64> = Vec::new();
+            if node.index() < self.tx.len() {
+                for l in [
+                    self.tx[node.index()],
+                    self.rx[node.index()],
+                    self.loopback[node.index()],
+                ] {
+                    dead.extend_from_slice(&self.link_flows[l.0]);
+                }
+            }
+            ctx.stats()
+                .add("net.abort_flows_scanned", dead.len() as u64);
+            // Link lists are insertion/swap_remove ordered; sort so the
+            // abort notifications fire in flow-id order (determinism, and
+            // parity with the reference engine's BTreeMap sweep).
+            dead.sort_unstable();
             for id in dead {
                 let mut f = self.flows.remove(&id).expect("flow present");
                 self.detach(f.route, id);
@@ -673,6 +724,11 @@ impl Actor for Fabric {
                     ctx.stats().add("net.rpc_bytes", u.bytes);
                     let delay = self.cfg.rpc_delay(u.bytes);
                     ctx.send_boxed(u.to, u.payload, delay);
+                } else if let Some(grow) = msg.peek::<EnsureNode>() {
+                    // Membership growth is engine-independent: links are
+                    // appended, nothing is re-priced.
+                    let added = self.ensure_node(grow.node);
+                    ctx.stats().add("net.nodes_added", added as u64);
                 } else {
                     match self.cfg.fluid {
                         FluidEngine::Reference => self.ref_handle_msg(ctx, now, msg),
@@ -772,6 +828,12 @@ impl NetHandle {
     /// Aborts every flow touching `node`.
     pub fn abort_node(self, ctx: &mut Ctx<'_>, node: NodeId) {
         ctx.send(self.fabric, AbortNode { node });
+    }
+
+    /// Grows the fabric so `node` is routable (dynamic membership); a
+    /// no-op for nodes already served.
+    pub fn ensure_node(self, ctx: &mut Ctx<'_>, node: NodeId) {
+        ctx.send(self.fabric, EnsureNode { node });
     }
 }
 
@@ -1057,6 +1119,143 @@ mod tests {
             sim.run();
             assert_eq!(sim.stats().counter("aborted"), 2, "{engine:?}");
             assert_eq!(sim.stats().counter("survived"), 1, "{engine:?}");
+        }
+    }
+
+    /// Satellite regression: a node crash consults the link→flows index,
+    /// not the whole flow table. 256-node shuffle-style burst, one crash:
+    /// the incremental engine scans only the victim's flows while the
+    /// reference engine scans all of them — and both abort the same set.
+    #[test]
+    fn abort_scan_is_link_indexed() {
+        const NODES: u32 = 256;
+        const FANIN: u32 = 16;
+        struct CrashDriver {
+            net: NetHandle,
+            aborted: u64,
+            done: u64,
+        }
+        impl Actor for CrashDriver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        // Every reducer pulls from FANIN mapper nodes at
+                        // one instant — the shuffle-wave shape.
+                        let mut tag = 0;
+                        for r in 0..NODES {
+                            for i in 0..FANIN {
+                                let s = (r + 1 + i * 3) % NODES;
+                                self.net.start_flow(
+                                    ctx,
+                                    NodeId(s),
+                                    NodeId(r),
+                                    64 << 20,
+                                    Some(20.0e6),
+                                    tag,
+                                );
+                                tag += 1;
+                            }
+                        }
+                        ctx.after(SimDuration::from_millis(50), 9);
+                    }
+                    Event::Timer { tag: 9, .. } => self.net.abort_node(ctx, NodeId(1)),
+                    Event::Msg { msg, .. } => {
+                        if msg.peek::<FlowAborted>().is_some() {
+                            self.aborted += 1;
+                        } else if msg.peek::<FlowDone>().is_some() {
+                            self.done += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let run = |engine| {
+            let mut sim = Sim::new(11);
+            let fabric = sim.spawn(Box::new(Fabric::new(cfg_with(engine), NODES as usize)));
+            let d = sim.spawn(Box::new(CrashDriver {
+                net: NetHandle { fabric },
+                aborted: 0,
+                done: 0,
+            }));
+            sim.run();
+            let driver = sim.actor_ref::<CrashDriver>(d).expect("driver");
+            (
+                driver.aborted,
+                driver.done,
+                sim.stats().counter("net.abort_flows_scanned"),
+            )
+        };
+        let (incr_aborted, incr_done, incr_scanned) = run(FluidEngine::Incremental);
+        let (ref_aborted, ref_done, ref_scanned) = run(FluidEngine::Reference);
+        let total = u64::from(NODES * FANIN);
+        // Same victims on both engines; everything else completes.
+        assert_eq!(incr_aborted, ref_aborted);
+        assert_eq!(incr_done, ref_done);
+        assert_eq!(incr_aborted + incr_done, total);
+        // Node 1 touches FANIN inbound flows plus its outbound fan — far
+        // fewer than the 4096-flow wave.
+        assert_eq!(incr_scanned, incr_aborted, "index walk visits victims only");
+        assert_eq!(ref_scanned, total, "reference scans every active flow");
+        assert!(
+            incr_scanned * 10 < ref_scanned,
+            "abort not index-driven: scanned {incr_scanned} of {ref_scanned}"
+        );
+    }
+
+    /// Dynamic membership at the fabric level: a node added mid-run is
+    /// routable, shares links fairly, and both engines agree on timings.
+    #[test]
+    fn grown_node_carries_flows() {
+        struct GrowDriver {
+            net: NetHandle,
+            done: Vec<(u64, f64)>,
+        }
+        impl Actor for GrowDriver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        self.net
+                            .start_flow(ctx, NodeId(0), NodeId(1), 125_000_000, None, 0);
+                        ctx.after(SimDuration::from_millis(500), 1);
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        // Join node 4 (fabric was built for 2), then pull
+                        // from it into the busy receiver: the two flows
+                        // share node 1's downlink from t=0.5 s.
+                        self.net.ensure_node(ctx, NodeId(4));
+                        self.net
+                            .start_flow(ctx, NodeId(4), NodeId(1), 125_000_000, None, 1);
+                    }
+                    Event::Msg { msg, .. } => {
+                        if let Some(done) = msg.peek::<FlowDone>() {
+                            self.done.push((done.tag, ctx.now().as_secs_f64()));
+                            if self.done.len() == 2 {
+                                ctx.stop();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for engine in engines() {
+            let mut sim = Sim::new(5);
+            let fabric = sim.spawn(Box::new(Fabric::new(cfg_with(engine), 2)));
+            let d = sim.spawn(Box::new(GrowDriver {
+                net: NetHandle { fabric },
+                done: Vec::new(),
+            }));
+            sim.run();
+            assert_eq!(sim.stats().counter("net.nodes_added"), 3, "{engine:?}");
+            let done = &sim.actor_ref::<GrowDriver>(d).expect("driver").done;
+            // Flow 0: 0.5 s alone + 1 s shared (62.5 MB left at half rate)
+            // → finishes at 1.5 s; flow 1 then runs alone, finishing its
+            // remaining 62.5 MB at full rate: 1.5 + 0.5 = 2.0 s.
+            let t0 = done.iter().find(|(t, _)| *t == 0).unwrap().1;
+            let t1 = done.iter().find(|(t, _)| *t == 1).unwrap().1;
+            assert!((t0 - 1.5).abs() < 1e-6, "{engine:?} t0={t0}");
+            assert!((t1 - 2.0).abs() < 1e-6, "{engine:?} t1={t1}");
         }
     }
 

@@ -18,13 +18,36 @@
 //! 2. Node failures abort in-flight flows with an explicit notification, so
 //!    the MapReduce fault-tolerance machinery above can be exercised end to
 //!    end.
+//!
+//! ## Invariants callers rely on
+//!
+//! * **Burst-friendly flow starts.** All [`fabric::StartFlow`]s issued
+//!   within one simulated instant are priced by a *single* max-min solve
+//!   (deferred-wakeup coalescing). Protocol layers deliberately fan whole
+//!   request waves out in one instant — do not stagger or serialize starts
+//!   "to be gentle"; that defeats the coalescing and multiplies solver
+//!   work.
+//! * **Engine equivalence.** Both [`FluidEngine`]s produce flow completion
+//!   times equal within float epsilon; they may differ in the event order
+//!   *within* an instant, which is why golden event-stream fingerprints
+//!   are pinned on [`FluidEngine::Reference`].
+//! * **Dynamic membership.** The node set is no longer fixed at
+//!   construction: [`fabric::EnsureNode`] grows the link tables mid-run
+//!   (never re-pricing existing flows), [`fabric::AbortNode`] tears a
+//!   departing node's flows down by consulting the persistent link→flows
+//!   index (O(node degree), not O(all flows)), and [`NodeRegistry`] gives
+//!   every handle clone a live view of who serves each node.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod fabric;
 pub mod flow;
+pub mod registry;
 
 pub use config::{FluidEngine, NetConfig, NodeId};
-pub use fabric::{AbortNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast};
+pub use fabric::{
+    AbortNode, EnsureNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast,
+};
 pub use flow::{max_min_rates, FlowDemand, LinkId, LinkTable, MaxMinSolver, Route};
+pub use registry::NodeRegistry;

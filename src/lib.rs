@@ -94,8 +94,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use accelmr_mapred::{deploy_cluster, run_job};
     pub use accelmr_mapred::{
-        ClusterBuilder, JobBuilder, JobHandle, JobInput, JobRequest, JobResult, JobSpec, MrConfig,
-        OutputSink, PreloadSpec, ReduceSpec, Session, SumReducer,
+        ChurnOp, ChurnSchedule, ClusterBuilder, JobBuilder, JobHandle, JobInput, JobRequest,
+        JobResult, JobSpec, MrConfig, OutputSink, PreloadSpec, ReduceSpec, Session, SumReducer,
     };
     pub use accelmr_net::{NetConfig, NodeId};
 }
