@@ -9,10 +9,19 @@
 //!   path bounds everything and policies should be near-equal (the
 //!   control: adaptivity must not *hurt* feed-bound jobs).
 //!
+//! The **fairness** section drives an N-tenant mixed pi/terasort batch
+//! through the *job-level* policies: a batch tenant's two big terasorts
+//! against an interactive tenant's stream of small deadline-carrying pi
+//! jobs. FIFO head-of-line blocking shows up as the light tenant's p99
+//! job latency and missed deadlines; `FairShare` collapses the p99 and
+//! `DeadlineSlack` restores the deadline hit-rate.
+//!
 //! Writes the `BENCH_sched.json` baseline next to the working directory;
 //! CI smoke-runs `--quick` to keep the path green.
 
+use accelmr_des::{SimDuration, SimTime};
 use accelmr_hybrid::hetero::{AdaptiveAesKernel, AdaptivePiKernel, MixedEnvFactory};
+use accelmr_hybrid::presets;
 use accelmr_mapred::{
     ClusterBuilder, JobBuilder, JobResult, PreloadSpec, SchedulerPolicy, SumReducer,
 };
@@ -160,6 +169,92 @@ fn json_workload(name: &str, rows: &[Row]) -> String {
     format!("  \"{}\": {{\n{}\n  }}", name, fields.join(",\n"))
 }
 
+/// Per-policy outcome of the fairness batch.
+struct FairnessRow {
+    policy: &'static str,
+    light_p50_s: f64,
+    light_p99_s: f64,
+    heavy_makespan_s: f64,
+    deadline_hits: usize,
+    deadline_total: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// The N-tenant mixed batch: tenant "batch" submits two terasorts at t=0;
+/// tenant "interactive" submits `n_light` small pi jobs staggered
+/// `stagger` apart, each with a deadline `deadline_after` past its
+/// submission. Same workload under every policy; only job-level dispatch
+/// differs.
+fn run_fairness(
+    policy: SchedulerPolicy,
+    name: &'static str,
+    heavy_bytes: u64,
+    light_samples: u64,
+    n_light: usize,
+    stagger: SimDuration,
+    deadline_after: SimDuration,
+) -> FairnessRow {
+    let mut c = ClusterBuilder::new()
+        .seed(17)
+        .workers(4)
+        .env(MixedEnvFactory::half())
+        .scheduler(policy)
+        .deploy();
+    let mut session = c.session();
+    let heavy: Vec<_> = (0..2)
+        .map(|i| {
+            session.submit(
+                presets::terasort(&format!("/sort-{i}"), heavy_bytes, 4)
+                    .name(format!("terasort-{i}"))
+                    .tenant("batch"),
+            )
+        })
+        .collect();
+    let light: Vec<_> = (0..n_light)
+        .map(|i| {
+            let at = stagger.saturating_mul(i as u64);
+            session.submit_after(
+                at,
+                JobBuilder::new(format!("pi-{i}"))
+                    .synthetic(light_samples)
+                    .kernel(AdaptivePiKernel::new(i as u64))
+                    .rpc_aggregate(SumReducer {
+                        cycles_per_byte: 1.0,
+                    })
+                    .tenant("interactive")
+                    .deadline_at(SimTime::ZERO + at + deadline_after),
+            )
+        })
+        .collect();
+    let results = session.run_until_complete();
+    assert!(results.iter().all(|r| r.succeeded), "{name}: job failed");
+    let mut latencies: Vec<f64> = light
+        .iter()
+        .map(|h| h.result().elapsed.as_secs_f64())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let hits = light
+        .iter()
+        .filter(|h| h.result().deadline_met == Some(true))
+        .count();
+    let heavy_makespan_s = heavy
+        .iter()
+        .map(|h| h.result().elapsed.as_secs_f64())
+        .fold(0.0, f64::max);
+    FairnessRow {
+        policy: name,
+        light_p50_s: percentile(&latencies, 0.50),
+        light_p99_s: percentile(&latencies, 0.99),
+        heavy_makespan_s,
+        deadline_hits: hits,
+        deadline_total: n_light,
+    }
+}
+
 fn main() {
     let quick = accelmr_bench::quick_mode();
     let (samples, bytes) = if quick {
@@ -204,10 +299,86 @@ fn main() {
         "adaptive regressed on the CPU-bound mixed cluster"
     );
 
+    // Fairness: the 2-tenant mixed pi/terasort batch under the job-level
+    // policies.
+    let (heavy_bytes, light_samples, n_light, stagger_s, deadline_s) = if quick {
+        (2u64 << 30, 20_000_000u64, 4usize, 20u64, 50u64)
+    } else {
+        (8u64 << 30, 200_000_000u64, 8usize, 30, 100)
+    };
+    let fairness: Vec<FairnessRow> = [
+        ("fifo", SchedulerPolicy::Fifo),
+        ("fair-share", SchedulerPolicy::FairShare),
+        ("deadline-slack", SchedulerPolicy::DeadlineSlack),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        run_fairness(
+            policy,
+            name,
+            heavy_bytes,
+            light_samples,
+            n_light,
+            SimDuration::from_secs(stagger_s),
+            SimDuration::from_secs(deadline_s),
+        )
+    })
+    .collect();
+    println!("\n# fairness — 2 tenants: 2x terasort (batch) vs {n_light} staggered pi (interactive, deadlined)");
+    println!(
+        "{:>16} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "light p50(s)", "light p99(s)", "heavy mk(s)", "deadlines"
+    );
+    for r in &fairness {
+        println!(
+            "{:>16} {:>12.1} {:>12.1} {:>12.1} {:>7}/{}",
+            r.policy,
+            r.light_p50_s,
+            r.light_p99_s,
+            r.heavy_makespan_s,
+            r.deadline_hits,
+            r.deadline_total
+        );
+    }
+    let frow = |p: &str| fairness.iter().find(|r| r.policy == p).unwrap();
+    // Acceptance bars: fair-share beats FIFO's head-of-line p99 for the
+    // light tenant, and deadline-slack hits deadlines FIFO misses.
+    assert!(
+        frow("fair-share").light_p99_s < frow("fifo").light_p99_s,
+        "fair-share lost the light-tenant p99 to FIFO"
+    );
+    assert!(
+        frow("deadline-slack").deadline_hits > frow("fifo").deadline_hits,
+        "deadline-slack hit no deadline FIFO missed"
+    );
+    let fairness_json = {
+        let rows: Vec<String> = fairness
+            .iter()
+            .map(|r| {
+                format!(
+                    "    \"{}\": {{ \"light_p50_s\": {:.3}, \"light_p99_s\": {:.3}, \
+                     \"heavy_makespan_s\": {:.3}, \"deadline_hits\": {}, \"deadline_total\": {} }}",
+                    r.policy,
+                    r.light_p50_s,
+                    r.light_p99_s,
+                    r.heavy_makespan_s,
+                    r.deadline_hits,
+                    r.deadline_total
+                )
+            })
+            .collect();
+        format!(
+            "  \"fairness\": {{\n{},\n    \"fair_share_light_p99_speedup_vs_fifo\": {:.3}\n  }}",
+            rows.join(",\n"),
+            frow("fifo").light_p99_s / frow("fair-share").light_p99_s
+        )
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"sched_ablation\",\n  \"cluster\": \"4 workers, half Cell-accelerated\",\n  \"quick\": {quick},\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"sched_ablation\",\n  \"cluster\": \"4 workers, half Cell-accelerated\",\n  \"quick\": {quick},\n{},\n{},\n{}\n}}\n",
         json_workload("pi_mixed", &pi_rows),
         json_workload("aes_mixed", &aes_rows),
+        fairness_json,
     );
     // Quick runs write next to the baseline, never over it: the committed
     // BENCH_sched.json always holds full-scale numbers.

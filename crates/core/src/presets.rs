@@ -22,6 +22,23 @@
 //! let pi = presets::pi_estimate(&job.result()).unwrap();
 //! assert!((pi - std::f64::consts::PI).abs() < 0.01);
 //! ```
+//!
+//! Because presets return open builders, multi-tenant batches compose by
+//! chaining the fairness setters — tenant, weight, deadline — before
+//! submission (consumed by the job-level `FairShare` / `DeadlineSlack`
+//! policies):
+//!
+//! ```
+//! use accelmr_des::{SimDuration, SimTime};
+//! use accelmr_hybrid::presets::{self, PiMapper};
+//!
+//! let urgent = presets::pi(PiMapper::Cell, 7, 10_000_000)
+//!     .tenant("interactive")
+//!     .weight(2.0)
+//!     .deadline_at(SimTime::ZERO + SimDuration::from_secs(90));
+//! let bulk = presets::terasort("/gray", 1 << 30, 8).tenant("batch");
+//! # let _ = (urgent, bulk);
+//! ```
 
 use std::sync::Arc;
 

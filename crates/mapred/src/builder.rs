@@ -166,6 +166,9 @@ pub struct JobBuilder {
     output: OutputSink,
     reduce: ReduceSpec,
     scheduler: Option<SchedulerPolicy>,
+    tenant: String,
+    weight: f64,
+    deadline: Option<accelmr_des::SimTime>,
     preloads: Vec<PreloadSpec>,
 }
 
@@ -180,6 +183,9 @@ impl JobBuilder {
             output: OutputSink::Discard,
             reduce: ReduceSpec::None,
             scheduler: None,
+            tenant: "default".into(),
+            weight: 1.0,
+            deadline: None,
             preloads: Vec::new(),
         }
     }
@@ -316,6 +322,37 @@ impl JobBuilder {
         self
     }
 
+    /// The tenant this job bills its slot usage to. Tenants are the unit
+    /// of fair sharing: under
+    /// [`SchedulerPolicy::FairShare`](crate::SchedulerPolicy)
+    /// every free slot goes to the tenant with the smallest weighted
+    /// running-slot share. Default: `"default"` (all jobs one tenant —
+    /// fair-share then degenerates to FIFO between them).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Fair-share weight (> 0, default 1.0): the tenant's entitled slot
+    /// share is proportional to its weight. Zero, negative, or non-finite
+    /// weights are rejected at build time
+    /// ([`JobSpecError::NonPositiveWeight`](crate::JobSpecError)).
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Completion deadline, as an absolute simulated instant. Consumed by
+    /// [`SchedulerPolicy::DeadlineSlack`](crate::SchedulerPolicy)
+    /// (earliest-slack-first dispatch) and reported back through
+    /// [`JobResult::deadline_met`](crate::JobResult::deadline_met). A
+    /// deadline at or before the submission instant is rejected
+    /// ([`JobSpecError::DeadlineInPast`](crate::JobSpecError)).
+    pub fn deadline_at(mut self, deadline: accelmr_des::SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Attaches a DFS preload this job's input depends on; the session
     /// driver runs all preloads before submitting the job.
     pub fn preload(mut self, preload: PreloadSpec) -> Self {
@@ -341,16 +378,26 @@ impl JobBuilder {
         let kernel = self
             .kernel
             .unwrap_or_else(|| panic!("JobBuilder: no kernel set (kernel/kernel_arc)"));
+        let spec = JobSpec {
+            name: self.name,
+            input,
+            kernel,
+            num_map_tasks: self.num_map_tasks,
+            output: self.output,
+            reduce: self.reduce,
+            scheduler: self.scheduler,
+            tenant: self.tenant,
+            weight: self.weight,
+            deadline: self.deadline,
+        };
+        // Build-time validation catches what needs no submission instant
+        // (non-positive weights, a deadline at t=0); `Session::submit`
+        // re-validates deadlines against the real submission time.
+        if let Err(e) = spec.validate(accelmr_des::SimTime::ZERO) {
+            panic!("JobBuilder '{}': invalid JobSpec: {e}", spec.name);
+        }
         JobRequest {
-            spec: JobSpec {
-                name: self.name,
-                input,
-                kernel,
-                num_map_tasks: self.num_map_tasks,
-                output: self.output,
-                reduce: self.reduce,
-                scheduler: self.scheduler,
-            },
+            spec,
             preloads: self.preloads,
         }
     }

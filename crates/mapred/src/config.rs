@@ -39,6 +39,19 @@ pub enum SchedulerPolicy {
     /// faster nodes — the remedy for the mixed-cluster straggler effect
     /// the paper anticipated in §V.
     Adaptive(AdaptiveTuning),
+    /// Multi-tenant weighted fair sharing at the *job* level: every free
+    /// slot goes to the tenant with the smallest weighted running-slot
+    /// share (weighted max-min, starvation-free by construction), FIFO
+    /// within a tenant, locality-preferring within a job. See
+    /// [`FairShare`](crate::sched::FairShare).
+    FairShare,
+    /// Deadline-aware dispatch: jobs carrying a deadline
+    /// ([`JobBuilder::deadline_at`](crate::JobBuilder::deadline_at)) are
+    /// served earliest-slack-first (EDF refined by remaining-work
+    /// estimates from learned task durations); deadline-less jobs share
+    /// the remaining slots fair-share. See
+    /// [`DeadlineSlack`](crate::sched::DeadlineSlack).
+    DeadlineSlack,
 }
 
 impl SchedulerPolicy {

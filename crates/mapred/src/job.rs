@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use accelmr_des::SimDuration;
+use accelmr_des::{SimDuration, SimTime};
 use accelmr_dfs::msgs::BlockLoc;
 use accelmr_net::NodeId;
 
@@ -110,8 +110,85 @@ pub struct JobSpec {
     /// Per-job scheduling policy. `None` = the cluster default
     /// ([`MrConfig::scheduler`](crate::MrConfig)); `Some` instantiates a
     /// fresh scheduler for this job alone (an adaptive override therefore
-    /// learns only from this job's own attempts).
+    /// learns only from this job's own attempts). Job-*level* decisions
+    /// ([`Scheduler::pick_job`](crate::sched::Scheduler::pick_job)) always
+    /// go to the cluster scheduler — an override only governs decisions
+    /// within its own job.
     pub scheduler: Option<SchedulerPolicy>,
+    /// The tenant this job bills its slot usage to (multi-tenant fairness
+    /// accounting; `"default"` when unset).
+    pub tenant: String,
+    /// Fair-share weight (> 0, default 1.0): a tenant's entitled share is
+    /// proportional to its weight under
+    /// [`FairShare`](crate::sched::FairShare) scheduling.
+    pub weight: f64,
+    /// Completion deadline (absolute simulated instant). Consumed by
+    /// deadline-aware policies ([`DeadlineSlack`](crate::sched::DeadlineSlack))
+    /// and reported back via [`JobResult::deadline_met`].
+    pub deadline: Option<SimTime>,
+}
+
+/// A rejected [`JobSpec`], detected at build/submit time
+/// ([`JobSpec::validate`]). Same deploy-time-typed-error style as
+/// [`MrConfigError`](crate::MrConfigError).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum JobSpecError {
+    /// `weight` is zero, negative, or not finite: the job's tenant would be
+    /// entitled to no share under weighted fair scheduling and could
+    /// starve forever.
+    NonPositiveWeight {
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// `deadline_at` is not after the submission instant: the deadline is
+    /// already missed when the job enters the queue.
+    DeadlineInPast {
+        /// The rejected deadline.
+        deadline: SimTime,
+        /// The instant the job would be submitted.
+        submit: SimTime,
+    },
+}
+
+impl std::fmt::Display for JobSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobSpecError::NonPositiveWeight { weight } => {
+                write!(f, "weight must be positive and finite, got {weight}")
+            }
+            JobSpecError::DeadlineInPast { deadline, submit } => write!(
+                f,
+                "deadline_at ({deadline}) must lie after the submission \
+                 instant ({submit}); the job would be born overdue"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobSpecError {}
+
+impl JobSpec {
+    /// Validates fairness/deadline invariants against the instant the job
+    /// will be submitted. Called by
+    /// [`Session::submit`](crate::Session::submit) (and, with
+    /// `submit_at = 0`, by [`JobBuilder::build`](crate::JobBuilder::build));
+    /// call it directly to surface the typed error instead of a panic.
+    pub fn validate(&self, submit_at: SimTime) -> Result<(), JobSpecError> {
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(JobSpecError::NonPositiveWeight {
+                weight: self.weight,
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if deadline <= submit_at {
+                return Err(JobSpecError::DeadlineInPast {
+                    deadline,
+                    submit: submit_at,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -258,6 +335,24 @@ pub struct JobResult {
     pub digest: (u64, u64),
     /// Completed map task durations (speculation / distribution analysis).
     pub task_times: Vec<SimDuration>,
+    /// The tenant the job billed its slot usage to.
+    pub tenant: String,
+    /// The job's fair-share weight.
+    pub weight: f64,
+    /// The job's deadline, if one was set.
+    pub deadline: Option<SimTime>,
+    /// Whether the job completed by its deadline (`None` when no deadline
+    /// was set).
+    pub deadline_met: Option<bool>,
+    /// Total slot-time the job occupied: the integral of its concurrently
+    /// running attempts over time, in slot-seconds (fairness accounting —
+    /// tenants' `slot_seconds` ratios approach their weight ratios under
+    /// fair-share scheduling while both stay busy).
+    pub slot_seconds: f64,
+    /// The job's share timeline: `(instant, running attempts)` at every
+    /// change of its occupied-slot count, from first dispatch to
+    /// completion.
+    pub share_timeline: Vec<(SimTime, u32)>,
     /// Name of the scheduling policy that drove this job.
     pub scheduler: &'static str,
     /// Every dispatch the scheduler made, in order: `(task, node)`.
@@ -304,10 +399,78 @@ mod tests {
                 }),
             },
             scheduler: None,
+            tenant: "default".into(),
+            weight: 1.0,
+            deadline: None,
         };
         let s = format!("{spec:?}");
         assert!(s.contains("fixed-cost"));
         let r = format!("{:?}", spec.reduce);
         assert!(r.contains("RpcAggregate"));
+    }
+
+    #[test]
+    fn validate_rejects_non_positive_weight() {
+        let mut spec = JobSpec {
+            name: "w".into(),
+            input: JobInput::Synthetic { total_units: 1 },
+            kernel: Arc::new(FixedCostKernel::default()),
+            num_map_tasks: None,
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::None,
+            scheduler: None,
+            tenant: "t".into(),
+            weight: 0.0,
+            deadline: None,
+        };
+        assert_eq!(
+            spec.validate(SimTime::ZERO),
+            Err(JobSpecError::NonPositiveWeight { weight: 0.0 })
+        );
+        spec.weight = -1.0;
+        assert!(matches!(
+            spec.validate(SimTime::ZERO),
+            Err(JobSpecError::NonPositiveWeight { .. })
+        ));
+        spec.weight = f64::NAN;
+        assert!(matches!(
+            spec.validate(SimTime::ZERO),
+            Err(JobSpecError::NonPositiveWeight { .. })
+        ));
+        spec.weight = 2.5;
+        assert_eq!(spec.validate(SimTime::ZERO), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_deadline_at_or_before_submission() {
+        let spec = |deadline| JobSpec {
+            name: "d".into(),
+            input: JobInput::Synthetic { total_units: 1 },
+            kernel: Arc::new(FixedCostKernel::default()),
+            num_map_tasks: None,
+            output: OutputSink::Discard,
+            reduce: ReduceSpec::None,
+            scheduler: None,
+            tenant: "t".into(),
+            weight: 1.0,
+            deadline: Some(deadline),
+        };
+        let submit = SimTime::from_nanos(5_000_000_000);
+        // Strictly before, and exactly at, the submission instant: both
+        // born overdue.
+        for late in [SimTime::from_nanos(1_000_000_000), submit] {
+            assert_eq!(
+                spec(late).validate(submit),
+                Err(JobSpecError::DeadlineInPast {
+                    deadline: late,
+                    submit,
+                })
+            );
+        }
+        let future = SimTime::from_nanos(6_000_000_000);
+        assert_eq!(spec(future).validate(submit), Ok(()));
+        // The error message names both instants.
+        let msg = spec(submit).validate(submit).unwrap_err().to_string();
+        assert!(msg.contains("deadline_at"), "{msg}");
     }
 }

@@ -10,10 +10,15 @@
 //! Scheduling *decisions* live behind the [`Scheduler`] trait
 //! ([`crate::sched`]): the tracker feeds it observations (heartbeats, task
 //! starts/completions with durations and work sizes, node deaths) and asks
-//! it for split plans, dispatch picks and speculative placements. The
+//! it for split plans, dispatch picks and speculative placements. Dispatch
+//! is *two-level*: every free heartbeat slot first asks the cluster
+//! scheduler which job deserves it ([`Scheduler::pick_job`] — multi-tenant
+//! fair-share and deadline policies decide here), then the picked job's
+//! scheduler which of its tasks to run ([`Scheduler::pick_task`]). The
 //! cluster-wide policy comes from [`MrConfig::scheduler`]; a job may carry
 //! its own ([`JobSpec::scheduler`]), which gets a private scheduler
-//! instance for that job's lifetime.
+//! instance for that job's lifetime governing its within-job decisions
+//! (job-level picks stay with the cluster scheduler).
 
 use std::collections::VecDeque;
 
@@ -123,6 +128,13 @@ struct JobState {
     /// Map outputs (and their folded contributions) for the shuffle.
     map_outputs: FxHashMap<TaskId, MapOutput>,
     succeeded: bool,
+    // Fairness accounting: the integral of concurrently running attempts
+    // over time (slot-seconds) and its step timeline. Maintained by
+    // `note_share` at every change of the job's occupied-slot count.
+    running_now: u32,
+    share_last_change: SimTime,
+    slot_seconds: f64,
+    share_timeline: Vec<(SimTime, u32)>,
 }
 
 impl JobState {
@@ -130,6 +142,25 @@ impl JobState {
         match &self.spec.input {
             JobInput::File { record_bytes, .. } => record_bytes.unwrap_or(64 << 20),
             JobInput::Synthetic { .. } => 0,
+        }
+    }
+
+    /// Records a change of `delta` attempts in the job's occupied-slot
+    /// count at `now`: integrates the previous level into `slot_seconds`
+    /// and appends to the share timeline (coalescing same-instant steps).
+    /// Negative deltas saturate at zero defensively — the call sites only
+    /// subtract attempts they actually removed from `running`.
+    fn note_share(&mut self, now: SimTime, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.slot_seconds +=
+            self.running_now as f64 * now.since(self.share_last_change).as_secs_f64();
+        self.share_last_change = now;
+        self.running_now = (self.running_now as i64 + delta).max(0) as u32;
+        match self.share_timeline.last_mut() {
+            Some((t, level)) if *t == now => *level = self.running_now,
+            _ => self.share_timeline.push((now, self.running_now)),
         }
     }
 
@@ -145,6 +176,16 @@ impl JobState {
             }
             _ => true,
         }
+    }
+
+    /// Whether pending reduce entries are currently withheld from dispatch
+    /// (the churn-transient "shuffle with lost outputs" state: a reduce
+    /// task exists but the output set it would fetch from is incomplete).
+    /// The one condition shared by `pick_task`'s eligibility filter and
+    /// `pick_job_for`'s view construction — they must never diverge, or a
+    /// job the job-level policies see as runnable would decline dispatch.
+    fn withholds_reduces(&self) -> bool {
+        !self.shuffle_ready() && self.tasks.len() != self.map_count as usize
     }
 }
 
@@ -369,6 +410,7 @@ impl JobTracker {
     /// so the scheduler sees exactly the historical view.
     fn pick_task(&mut self, job_id: u32, node: NodeId) -> Option<TaskId> {
         let slots_per_node = self.cfg.map_slots_per_node;
+        let cluster_slots = self.total_slots();
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
         let job = self.jobs.get_mut(&job_id)?;
         if job.pending.is_empty() {
@@ -378,12 +420,18 @@ impl JobTracker {
         // set is complete, or no reduce task even exists yet (the whole
         // map phase) — only the churn-transient "shuffle with lost
         // outputs" state pays for filtering.
-        if job.shuffle_ready() || job.tasks.len() == job.map_count as usize {
+        if !job.withholds_reduces() {
             let idx = {
                 let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
                 let view = SchedView {
                     job: JobId(job_id),
                     kernel: job.spec.kernel.name(),
+                    tenant: &job.spec.tenant,
+                    weight: job.spec.weight,
+                    deadline: job.spec.deadline,
+                    submitted: job.submitted,
+                    eligible: true,
+                    cluster_slots,
                     pending: job.pending.make_contiguous(),
                     tasks: &tasks,
                     completed_task_times: &job.task_times,
@@ -409,6 +457,12 @@ impl JobTracker {
             let view = SchedView {
                 job: JobId(job_id),
                 kernel: job.spec.kernel.name(),
+                tenant: &job.spec.tenant,
+                weight: job.spec.weight,
+                deadline: job.spec.deadline,
+                submitted: job.submitted,
+                eligible: true,
+                cluster_slots,
                 pending: &pending_view,
                 tasks: &tasks,
                 completed_task_times: &job.task_times,
@@ -481,64 +535,186 @@ impl JobTracker {
             output,
             reduce_merge_time,
         };
+        job.note_share(ctx.now(), 1);
         ctx.stats().incr("mr.assignments");
         let now = ctx.now();
+        let has_override = self.job_scheds.contains_key(&job_id);
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
         sched.on_task_started(JobId(job_id), task, node, now);
+        if has_override {
+            // The cluster scheduler owns job-level decisions for *every*
+            // job, so it observes starts/completions even when a per-job
+            // override handles the job's task-level decisions.
+            self.scheduler
+                .on_task_started(JobId(job_id), task, node, now);
+        }
         let (net, my) = (self.net, self.node);
         net.unicast(ctx, my, node, tt_actor, 1024, AssignTask { descriptor });
     }
 
-    /// Heartbeat-driven scheduling for one TaskTracker.
+    /// Heartbeat-driven scheduling for one TaskTracker: every free slot
+    /// first asks the cluster scheduler *which job* deserves it
+    /// ([`Scheduler::pick_job`] — the job-level half of the two-level
+    /// decision), then the picked job's scheduler which task. A job that
+    /// declines a regular dispatch (queue dry, or adaptive admission
+    /// control) is offered a speculative straggler copy before being
+    /// retired from this heartbeat's candidates. Under the default
+    /// lowest-id job picker this reproduces the historical "drain each job
+    /// regular-then-speculative in ascending id order" loop event for
+    /// event — proven by the golden multi-job traces
+    /// (`job_level_dispatch_is_trace_equivalent`).
     fn schedule_on(&mut self, ctx: &mut Ctx<'_>, node: NodeId, mut free: usize) {
-        let job_ids: Vec<u32> = {
-            let mut ids: Vec<u32> = self
-                .jobs
-                .iter()
-                .filter(|(_, j)| matches!(j.phase, Phase::MapRunning | Phase::ReduceRunning))
-                .map(|(&id, _)| id)
-                .collect();
-            ids.sort_unstable();
-            ids
-        };
-        for job_id in job_ids {
-            while free > 0 {
-                let Some(task) = self.pick_task(job_id, node) else {
-                    break;
-                };
-                self.assign(ctx, job_id, task, node);
-                free -= 1;
-            }
-            if free == 0 {
+        // Jobs retired for this heartbeat (nothing left to offer), and
+        // jobs whose regular queue declined (skip straight to speculation
+        // on their next pick — `pick_task` cannot start returning `Some`
+        // again within one heartbeat, since dispatch only shrinks queues).
+        let mut exhausted: Vec<u32> = Vec::new();
+        let mut regular_declined: Vec<u32> = Vec::new();
+        while free > 0 {
+            let Some(job_id) = self.pick_job_for(node, &exhausted) else {
                 break;
+            };
+            if !regular_declined.contains(&job_id) {
+                if let Some(task) = self.pick_task(job_id, node) {
+                    self.assign(ctx, job_id, task, node);
+                    free -= 1;
+                    continue;
+                }
+                regular_declined.push(job_id);
             }
-            // Speculative duplicates once the queue is dry.
+            // Speculative duplicates once the job's queue is dry (or held
+            // back).
             if self.cfg.speculative {
-                while free > 0 {
-                    let Some(task) = self.pick_straggler(ctx.now(), job_id, node) else {
-                        break;
-                    };
+                if let Some(task) = self.pick_straggler(ctx.now(), job_id, node) {
                     if let Some(job) = self.jobs.get_mut(&job_id) {
                         job.speculative_attempts += 1;
                     }
                     ctx.stats().incr("mr.speculative_launches");
                     self.assign(ctx, job_id, task, node);
                     free -= 1;
+                    continue;
                 }
             }
+            exhausted.push(job_id);
         }
+    }
+
+    /// Asks the cluster scheduler which active job the next free slot on
+    /// `node` should serve. Builds one view per active job — ineligible
+    /// entries (retired this heartbeat, or with nothing dispatchable) stay
+    /// in the slice so tenant shares account every running attempt — and
+    /// validates the pick against the eligibility the views advertise.
+    /// Job-level decisions always go to the cluster scheduler; per-job
+    /// overrides only govern decisions within their own job.
+    fn pick_job_for(&mut self, node: NodeId, exhausted: &[u32]) -> Option<u32> {
+        let cluster_slots = self.total_slots();
+        let slots_per_node = self.cfg.map_slots_per_node;
+        let speculative = self.cfg.speculative;
+        let mut ids: Vec<u32> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.phase, Phase::MapRunning | Phase::ReduceRunning))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        if ids.is_empty() {
+            return None;
+        }
+        // Make every pending queue contiguous first (needs `&mut`); the
+        // immutable view pass below can then slice it.
+        for id in &ids {
+            if let Some(job) = self.jobs.get_mut(id) {
+                job.pending.make_contiguous();
+            }
+        }
+        // Owned pending snapshots for jobs in the churn-transient "shuffle
+        // with lost outputs" state, where reduce entries are withheld from
+        // dispatch (`JobState::withholds_reduces`, the same condition
+        // `pick_task` applies); `None` = borrow the queue as-is. Computed
+        // together with per-job dispatchability so heartbeats with nothing
+        // to hand out (the common idle case, and every `schedule_on`'s
+        // terminating call) return before any task views are built.
+        let filtered: Vec<(Option<Vec<TaskId>>, bool)> = ids
+            .iter()
+            .map(|id| {
+                let job = &self.jobs[id];
+                let filt: Option<Vec<TaskId>> = job.withholds_reduces().then(|| {
+                    job.pending
+                        .iter()
+                        .copied()
+                        .filter(|tid| !job.tasks[tid.0 as usize].is_reduce)
+                        .collect()
+                });
+                let pending_len = filt.as_ref().map_or(job.pending.len(), Vec::len);
+                let dispatchable = pending_len > 0
+                    || (speculative
+                        && job
+                            .tasks
+                            .iter()
+                            .any(|t| !t.completed && !t.running.is_empty()));
+                (filt, dispatchable)
+            })
+            .collect();
+        if !ids
+            .iter()
+            .zip(&filtered)
+            .any(|(id, (_, dispatchable))| *dispatchable && !exhausted.contains(id))
+        {
+            return None;
+        }
+        let task_views: Vec<Vec<TaskView<'_>>> = ids
+            .iter()
+            .map(|id| self.jobs[id].tasks.iter().map(task_view).collect())
+            .collect();
+        let views: Vec<SchedView<'_>> = ids
+            .iter()
+            .zip(&task_views)
+            .zip(&filtered)
+            .map(|((id, tasks), (filt, dispatchable))| {
+                let job = &self.jobs[id];
+                let pending: &[TaskId] = match filt {
+                    Some(p) => p,
+                    None => job.pending.as_slices().0,
+                };
+                SchedView {
+                    job: JobId(*id),
+                    kernel: job.spec.kernel.name(),
+                    tenant: &job.spec.tenant,
+                    weight: job.spec.weight,
+                    deadline: job.spec.deadline,
+                    submitted: job.submitted,
+                    eligible: *dispatchable && !exhausted.contains(id),
+                    cluster_slots,
+                    pending,
+                    tasks,
+                    completed_task_times: &job.task_times,
+                    slots_per_node,
+                }
+            })
+            .collect();
+        let pick = self.scheduler.pick_job(&views, node)?;
+        let valid = views.iter().any(|v| v.job == pick && v.eligible);
+        debug_assert!(valid, "scheduler picked ineligible job {pick}");
+        valid.then_some(pick.0)
     }
 
     /// Asks the job's scheduler for a straggler to speculatively
     /// duplicate on `node`.
     fn pick_straggler(&mut self, now: SimTime, job_id: u32, node: NodeId) -> Option<TaskId> {
         let slots_per_node = self.cfg.map_slots_per_node;
+        let cluster_slots = self.total_slots();
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
         let job = self.jobs.get_mut(&job_id)?;
         let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
         let view = SchedView {
             job: JobId(job_id),
             kernel: job.spec.kernel.name(),
+            tenant: &job.spec.tenant,
+            weight: job.spec.weight,
+            deadline: job.spec.deadline,
+            submitted: job.submitted,
+            eligible: true,
+            cluster_slots,
             pending: job.pending.make_contiguous(),
             tasks: &tasks,
             completed_task_times: &job.task_times,
@@ -559,11 +735,17 @@ impl JobTracker {
         let Some(job) = self.jobs.get_mut(&job_id) else {
             return;
         };
-        let Some(ts) = job.tasks.get_mut(report.task.0 as usize) else {
-            return;
+        let removed = {
+            let Some(ts) = job.tasks.get_mut(report.task.0 as usize) else {
+                return;
+            };
+            let before = ts.running.len();
+            ts.running
+                .retain(|&(a, n, _)| !(a == report.attempt && n == report.node));
+            (before - ts.running.len()) as i64
         };
-        ts.running
-            .retain(|&(a, n, _)| !(a == report.attempt && n == report.node));
+        job.note_share(ctx.now(), -removed);
+        let ts = &mut job.tasks[report.task.0 as usize];
 
         if !report.ok {
             job.failed_attempts += 1;
@@ -586,8 +768,13 @@ impl JobTracker {
         }
         ts.completed = true;
         ts.ran_on = Some(report.node);
-        // Kill other in-flight attempts of the same task.
+        // Kill other in-flight attempts of the same task — and stop
+        // billing their slots to the job: the kill frees the slot, and a
+        // killed attempt never reports back (a natural-completion race
+        // arrives as a stale report and must not double-subtract, which is
+        // why the entries leave `running` here, at kill time).
         let others: Vec<(u32, NodeId)> = ts.running.iter().map(|&(a, n, _)| (a, n)).collect();
+        ts.running.clear();
         let is_reduce = ts.is_reduce;
         let kernel = job.spec.kernel.name();
         // The work the attempt performed, for throughput learning: samples
@@ -597,6 +784,7 @@ impl JobTracker {
             _ => report.metrics.bytes_read,
         };
 
+        job.note_share(ctx.now(), -(others.len() as i64));
         job.bytes_read += report.metrics.bytes_read;
         job.bytes_output += report.metrics.bytes_output;
         job.local_reads += report.metrics.local_reads;
@@ -633,8 +821,7 @@ impl JobTracker {
             job.maps_completed += 1;
         }
 
-        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
-        sched.on_task_completed(&TaskCompletion {
+        let completion = TaskCompletion {
             job: report.job,
             task: report.task,
             node: report.node,
@@ -642,7 +829,16 @@ impl JobTracker {
             is_reduce,
             elapsed: report.metrics.elapsed,
             work,
-        });
+        };
+        let has_override = self.job_scheds.contains_key(&job_id);
+        let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
+        sched.on_task_completed(&completion);
+        if has_override {
+            // Job-level policies (deadline duration models, fair-share)
+            // must not go blind on jobs carrying a task-level override:
+            // the cluster scheduler observes every job's completions.
+            self.scheduler.on_task_completed(&completion);
+        }
 
         for (attempt, node) in others {
             if let Some(tt) = self.tts.get(&node) {
@@ -776,6 +972,10 @@ impl JobTracker {
             return;
         };
         job.phase = Phase::Done;
+        let now = ctx.now();
+        // Flush the slot-seconds integral to the completion instant.
+        job.slot_seconds += job.running_now as f64 * now.since(job.share_last_change).as_secs_f64();
+        job.share_last_change = now;
         // Final aggregate for RpcAggregate jobs.
         let kv = match &job.spec.reduce {
             ReduceSpec::RpcAggregate { reducer } | ReduceSpec::Shuffle { reducer, .. } => {
@@ -787,7 +987,13 @@ impl JobTracker {
             job: job_id,
             name: job.spec.name.clone(),
             succeeded: job.succeeded,
-            elapsed: ctx.now() - job.submitted,
+            elapsed: now - job.submitted,
+            tenant: job.spec.tenant.clone(),
+            weight: job.spec.weight,
+            deadline: job.spec.deadline,
+            deadline_met: job.spec.deadline.map(|d| now <= d),
+            slot_seconds: job.slot_seconds,
+            share_timeline: job.share_timeline.clone(),
             map_tasks: job.map_count,
             reduce_tasks: job.reduce_count,
             attempts: job.attempts_total,
@@ -895,11 +1101,13 @@ impl JobTracker {
                 }
                 let needs_shuffle = matches!(job.spec.reduce, ReduceSpec::Shuffle { .. })
                     && job.phase != Phase::Done;
+                let mut vanished = 0i64;
                 for (i, ts) in job.tasks.iter_mut().enumerate() {
                     let tid = TaskId(i as u32);
                     // Running attempts on the dead node vanish.
                     let before = ts.running.len();
                     ts.running.retain(|&(_, n, _)| n != node);
+                    vanished += (before - ts.running.len()) as i64;
                     if before != ts.running.len() && !ts.completed && ts.running.is_empty() {
                         job.pending.push_back(tid);
                     }
@@ -941,6 +1149,7 @@ impl JobTracker {
                         job.pending.push_back(tid);
                     }
                 }
+                job.note_share(now, -vanished);
             }
         }
     }
@@ -1031,6 +1240,10 @@ impl Actor for JobTracker {
                             dispatch_log: Vec::new(),
                             map_outputs: FxHashMap::default(),
                             succeeded: true,
+                            running_now: 0,
+                            share_last_change: ctx.now(),
+                            slot_seconds: 0.0,
+                            share_timeline: Vec::new(),
                         },
                     );
                     ctx.stats().incr("mr.jobs_submitted");

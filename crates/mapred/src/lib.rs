@@ -67,7 +67,8 @@ pub use cluster::{deploy_cluster, run_job};
 pub use cluster::{deploy_mr, MrCluster, MrHandle, PreloadSpec};
 pub use config::{AdaptiveTuning, JobId, MrConfig, MrConfigError, SchedulerPolicy, TaskId};
 pub use job::{
-    JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskMetrics, TaskWork,
+    JobInput, JobResult, JobSpec, JobSpecError, OutputSink, ReduceSpec, TaskDescriptor,
+    TaskMetrics, TaskWork,
 };
 pub use jobtracker::JobTracker;
 pub use kernel::{
@@ -76,8 +77,8 @@ pub use kernel::{
 };
 pub use msgs::{CrashTaskTracker, JobComplete, SubmitJob};
 pub use sched::{
-    build_scheduler, AdaptiveHetero, Fifo, LocalityFirst, NodeThroughput, SchedView, Scheduler,
-    SplitPlan, SplitRequest, TaskCompletion, TaskView,
+    build_scheduler, AdaptiveHetero, DeadlineSlack, FairShare, Fifo, LocalityFirst, NodeThroughput,
+    SchedView, Scheduler, SplitPlan, SplitRequest, TaskCompletion, TaskView,
 };
 pub use session::{ChurnOp, ChurnSchedule, JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;

@@ -367,6 +367,12 @@ mod tests {
         SchedView {
             job: JobId(0),
             kernel: "k",
+            tenant: "default",
+            weight: 1.0,
+            deadline: None,
+            submitted: SimTime::ZERO,
+            eligible: true,
+            cluster_slots: 4,
             pending,
             tasks,
             completed_task_times: times,

@@ -1,0 +1,139 @@
+//! Deadline-aware job-level scheduling (earliest slack first).
+//!
+//! [`DeadlineSlack`] orders deadline-carrying jobs by *slack*: the time
+//! left until the deadline minus an estimate of the time still needed to
+//! finish. The estimate comes from the observation feed the scheduler
+//! already receives — the running mean of completed map-attempt durations
+//! per kernel family — multiplied by the number of dispatch waves the
+//! remaining tasks represent (`ceil(remaining / cluster slots)`). Before
+//! anything is learned the estimate is zero and the order degrades to
+//! plain EDF (earliest deadline first), which is the right cold-start
+//! behavior: with no duration model, deadline order is the best available
+//! urgency signal.
+//!
+//! Deadline-less jobs never block a deadline job: whenever any eligible
+//! job carries a deadline it wins the slot; deadline-less jobs share the
+//! remaining slots through the weighted fair-share pick
+//! ([`FairShare`](super::FairShare)'s rule). A saturated stream of
+//! deadline jobs can therefore hold deadline-less work off the cluster —
+//! the non-preemptive trade-off; see the ROADMAP's preemption follow-on.
+
+use accelmr_des::{FxHashMap, SimTime};
+use accelmr_net::NodeId;
+
+use crate::config::{JobId, MrConfig, TaskId};
+
+use super::fair::fair_share_pick;
+use super::{default_straggler, locality_pick, SchedView, Scheduler};
+
+/// Mean completed-attempt duration for one kernel family, folded online.
+#[derive(Clone, Copy, Debug, Default)]
+struct DurStat {
+    sum_secs: f64,
+    samples: u64,
+}
+
+/// Earliest-slack-first dispatch for deadline jobs, fair-share for the
+/// rest. Construct via
+/// [`SchedulerPolicy::DeadlineSlack`](crate::SchedulerPolicy::DeadlineSlack).
+#[derive(Debug)]
+pub struct DeadlineSlack {
+    slowdown: f64,
+    /// The latest instant observed from the heartbeat feed — `pick_job`
+    /// has no clock parameter, so slack is computed against the last
+    /// heartbeat (dispatch only ever happens on heartbeats, so this is the
+    /// current instant whenever the decision runs).
+    now: SimTime,
+    /// kernel family → mean completed map-attempt duration.
+    durs: FxHashMap<String, DurStat>,
+}
+
+impl DeadlineSlack {
+    /// Builds the policy from the runtime config (straggler threshold).
+    pub fn new(cfg: &MrConfig) -> Self {
+        DeadlineSlack {
+            slowdown: cfg.speculative_slowdown,
+            now: SimTime::ZERO,
+            durs: FxHashMap::default(),
+        }
+    }
+
+    /// Learned mean task duration for `kernel`, seconds; 0 when unlearned
+    /// (slack then reduces to time-to-deadline — plain EDF).
+    fn mean_dur_secs(&self, kernel: &str) -> f64 {
+        self.durs
+            .get(kernel)
+            .filter(|s| s.samples > 0)
+            .map(|s| s.sum_secs / s.samples as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Slack of a deadline-carrying job, in seconds (negative = projected
+    /// late). Remaining work = pending tasks plus in-flight incomplete
+    /// tasks, executed in waves of `cluster_slots`.
+    fn slack_secs(&self, view: &SchedView<'_>) -> f64 {
+        let deadline = view
+            .deadline
+            .expect("slack is only computed for deadline jobs");
+        let remaining = view.pending.len() + view.running_incomplete();
+        let waves = remaining.div_ceil(view.cluster_slots.max(1));
+        let left = deadline.as_secs_f64() - self.now.as_secs_f64();
+        left - waves as f64 * self.mean_dur_secs(view.kernel)
+    }
+}
+
+impl Scheduler for DeadlineSlack {
+    fn name(&self) -> &'static str {
+        "deadline-slack"
+    }
+
+    fn pick_job(&mut self, views: &[SchedView<'_>], _node: NodeId) -> Option<JobId> {
+        let mut best: Option<(f64, JobId)> = None;
+        for v in views {
+            if !v.eligible || v.deadline.is_none() {
+                continue;
+            }
+            let s = self.slack_secs(v);
+            let better = match best {
+                None => true,
+                Some((bs, bj)) => s < bs || (s == bs && v.job < bj),
+            };
+            if better {
+                best = Some((s, v.job));
+            }
+        }
+        match best {
+            Some((_, job)) => Some(job),
+            // No deadline job runnable: the rest share fair.
+            None => fair_share_pick(views),
+        }
+    }
+
+    fn pick_task(&mut self, view: &SchedView<'_>, node: NodeId) -> Option<usize> {
+        locality_pick(view, node)
+    }
+
+    fn pick_straggler(
+        &mut self,
+        view: &SchedView<'_>,
+        node: NodeId,
+        now: SimTime,
+    ) -> Option<TaskId> {
+        default_straggler(view, node, now, self.slowdown)
+    }
+
+    fn on_heartbeat(&mut self, _node: NodeId, _free_slots: usize, now: SimTime) {
+        self.now = now;
+    }
+
+    fn on_task_completed(&mut self, completion: &super::TaskCompletion<'_>) {
+        // Reduce attempts are fetch-bound and sized differently; the map
+        // duration model stays map-only, like adaptive throughput learning.
+        if completion.is_reduce {
+            return;
+        }
+        let stat = self.durs.entry(completion.kernel.to_string()).or_default();
+        stat.sum_secs += completion.elapsed.as_secs_f64();
+        stat.samples += 1;
+    }
+}

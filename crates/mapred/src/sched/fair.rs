@@ -1,0 +1,111 @@
+//! Multi-tenant weighted fair-share job-level scheduling.
+//!
+//! Hadoop FIFO drains concurrent jobs in job-id order, so one tenant's
+//! early heavy job head-of-line-blocks everyone else's slots for its whole
+//! map phase. [`FairShare`] fixes this at the *job* level: every free slot
+//! goes to the tenant with the smallest *weighted running-slot share*
+//! (weighted max-min over the slots each tenant currently occupies), FIFO
+//! within a tenant, locality-preferring within a job.
+//!
+//! Starvation-freedom is by construction: a tenant with runnable work and
+//! zero running slots has the minimum possible share (0), so it wins the
+//! next slot against any tenant that is already running — no history,
+//! priorities, or aging involved. Weighted shares converge because every
+//! dispatch raises exactly the winning tenant's share: tenants' occupied
+//! slots approach the weight proportions whenever all of them stay busy
+//! (pinned by the convergence property tests).
+
+use accelmr_des::SimTime;
+use accelmr_net::NodeId;
+
+use crate::config::{JobId, MrConfig, TaskId};
+
+use super::{default_straggler, locality_pick, SchedView, Scheduler};
+
+/// Weighted max-min fair sharing across tenants (job-level), locality
+/// within jobs. Construct via
+/// [`SchedulerPolicy::FairShare`](crate::SchedulerPolicy::FairShare).
+#[derive(Debug)]
+pub struct FairShare {
+    slowdown: f64,
+}
+
+impl FairShare {
+    /// Builds the policy from the runtime config (straggler threshold).
+    pub fn new(cfg: &MrConfig) -> Self {
+        FairShare {
+            slowdown: cfg.speculative_slowdown,
+        }
+    }
+}
+
+/// The weighted max-min pick over `views`, shared by [`FairShare`] and
+/// [`DeadlineSlack`](super::DeadlineSlack)'s deadline-less fallback.
+///
+/// Tenant usage sums running slots over *all* views (ineligible jobs still
+/// occupy slots that count against their tenant); the tenant weight is the
+/// maximum weight among its jobs (tenants normally share one weight — the
+/// max makes a mixed-weight tenant err toward the larger entitlement
+/// rather than silently splitting into two accounting buckets). Among
+/// eligible jobs, the smallest `usage / weight` tenant wins; ties break to
+/// the lowest job id, so equal-share tenants degrade to plain FIFO.
+pub(crate) fn fair_share_pick(views: &[SchedView<'_>]) -> Option<JobId> {
+    // Tenant → (usage, weight). A linear scan keyed by name: tenant counts
+    // per decision are small, and determinism matters more than big-O.
+    let mut tenants: Vec<(&str, f64, f64)> = Vec::new();
+    for v in views {
+        let slots = v.running_slots() as f64;
+        match tenants.iter_mut().find(|(t, _, _)| *t == v.tenant) {
+            Some((_, usage, weight)) => {
+                *usage += slots;
+                *weight = weight.max(v.weight);
+            }
+            None => tenants.push((v.tenant, slots, v.weight)),
+        }
+    }
+    let share = |tenant: &str| -> f64 {
+        tenants
+            .iter()
+            .find(|(t, _, _)| *t == tenant)
+            .map(|&(_, usage, weight)| usage / weight.max(f64::MIN_POSITIVE))
+            .unwrap_or(0.0)
+    };
+    let mut best: Option<(f64, JobId)> = None;
+    for v in views {
+        if !v.eligible {
+            continue;
+        }
+        let s = share(v.tenant);
+        let better = match best {
+            None => true,
+            Some((bs, bj)) => s < bs || (s == bs && v.job < bj),
+        };
+        if better {
+            best = Some((s, v.job));
+        }
+    }
+    best.map(|(_, job)| job)
+}
+
+impl Scheduler for FairShare {
+    fn name(&self) -> &'static str {
+        "fair-share"
+    }
+
+    fn pick_job(&mut self, views: &[SchedView<'_>], _node: NodeId) -> Option<JobId> {
+        fair_share_pick(views)
+    }
+
+    fn pick_task(&mut self, view: &SchedView<'_>, node: NodeId) -> Option<usize> {
+        locality_pick(view, node)
+    }
+
+    fn pick_straggler(
+        &mut self,
+        view: &SchedView<'_>,
+        node: NodeId,
+        now: SimTime,
+    ) -> Option<TaskId> {
+        default_straggler(view, node, now, self.slowdown)
+    }
+}

@@ -5,7 +5,7 @@ use accelmr_net::NodeId;
 
 use crate::config::{MrConfig, TaskId};
 
-use super::{default_straggler, SchedView, Scheduler};
+use super::{default_straggler, locality_pick, SchedView, Scheduler};
 
 /// Prefers the oldest pending task with an input replica on the
 /// requesting node ("it tries to minimize the number of remote blocks
@@ -30,15 +30,7 @@ impl Scheduler for LocalityFirst {
     }
 
     fn pick_task(&mut self, view: &SchedView<'_>, node: NodeId) -> Option<usize> {
-        if view.pending.is_empty() {
-            return None;
-        }
-        Some(
-            view.pending
-                .iter()
-                .position(|t| view.tasks[t.0 as usize].hints.contains(&node))
-                .unwrap_or(0),
-        )
+        locality_pick(view, node)
     }
 
     fn pick_straggler(

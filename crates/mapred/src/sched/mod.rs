@@ -24,10 +24,16 @@
 //!   tail guard keeping the last tasks off slow nodes.
 
 mod adaptive;
+mod deadline;
+mod fair;
 mod fifo;
 mod locality;
+#[cfg(test)]
+mod props;
 
 pub use adaptive::AdaptiveHetero;
+pub use deadline::DeadlineSlack;
+pub use fair::FairShare;
 pub use fifo::Fifo;
 pub use locality::LocalityFirst;
 
@@ -56,6 +62,9 @@ pub struct TaskView<'a> {
 
 /// Everything a scheduler may inspect when deciding for one job on one
 /// heartbeat. Built by the JobTracker per decision; borrows its state.
+/// Task-level decisions ([`Scheduler::pick_task`] /
+/// [`Scheduler::pick_straggler`]) receive one view; the job-level decision
+/// ([`Scheduler::pick_job`]) receives a slice covering every active job.
 #[derive(Debug)]
 pub struct SchedView<'a> {
     /// The job being scheduled.
@@ -63,6 +72,23 @@ pub struct SchedView<'a> {
     /// The job's map-kernel name (the per-kernel-family key adaptive
     /// throughput learning uses).
     pub kernel: &'a str,
+    /// The job's tenant (multi-tenant fairness accounting; `"default"`
+    /// when unset).
+    pub tenant: &'a str,
+    /// The job's fair-share weight (> 0).
+    pub weight: f64,
+    /// The job's completion deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// When the job was submitted (job-level FIFO / aging decisions).
+    pub submitted: SimTime,
+    /// Whether this job may take another dispatch this heartbeat. In
+    /// [`Scheduler::pick_job`] slices, ineligible views are present for
+    /// cross-job accounting (tenant running-slot shares) only — policies
+    /// must never return them. Always `true` in task-level decisions.
+    pub eligible: bool,
+    /// Total live map slots across the cluster (remaining-work and wave
+    /// estimates).
+    pub cluster_slots: usize,
     /// Pending (not yet dispatched) task ids, in queue order. Re-queued
     /// tasks (failures, node deaths) sit at the tail; the queue is never
     /// reordered by the runtime, so index 0 is the oldest entry.
@@ -73,6 +99,25 @@ pub struct SchedView<'a> {
     pub completed_task_times: &'a [SimDuration],
     /// Configured map slots per TaskTracker.
     pub slots_per_node: usize,
+}
+
+impl SchedView<'_> {
+    /// Attempts of this job currently occupying slots (running attempts
+    /// summed over all tasks) — the usage metric weighted fair sharing
+    /// bills to the job's tenant.
+    pub fn running_slots(&self) -> usize {
+        self.tasks.iter().map(|t| t.running.len()).sum()
+    }
+
+    /// Tasks not yet completed that have at least one running attempt —
+    /// the in-flight work counted by remaining-time estimates (and the
+    /// speculation candidates).
+    pub fn running_incomplete(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| !t.completed && !t.running.is_empty())
+            .count()
+    }
 }
 
 /// Split-planning request: how should a job's input be carved into map
@@ -200,6 +245,26 @@ pub trait Scheduler: Send {
     /// Policy name (results, traces, benches).
     fn name(&self) -> &'static str;
 
+    /// Picks the job whose task should take the next free slot on `node` —
+    /// the *job-level* half of the two-level (job → task) dispatch
+    /// decision. `views` covers every active job; entries with
+    /// [`SchedView::eligible`] `false` are present for cross-job
+    /// accounting only and must not be returned. `None` leaves the slot
+    /// empty this heartbeat.
+    ///
+    /// The default picks the lowest eligible job id — exactly Hadoop's
+    /// FIFO job order, proven event-for-event equivalent to the
+    /// pre-`pick_job` dispatch loop by the golden multi-job traces
+    /// (`job_level_dispatch_is_trace_equivalent`).
+    ///
+    /// Job-level decisions always go to the *cluster* scheduler; a per-job
+    /// override ([`JobSpec::scheduler`](crate::JobSpec::scheduler)) only
+    /// governs decisions within its own job.
+    fn pick_job(&mut self, views: &[SchedView<'_>], node: NodeId) -> Option<JobId> {
+        let _ = node;
+        views.iter().filter(|v| v.eligible).map(|v| v.job).min()
+    }
+
     /// Plans how a job's input splits into map tasks. The default honors
     /// the user's task count (or one task per live slot) with uniform
     /// sizes — the historical behavior.
@@ -269,7 +334,25 @@ pub fn build_scheduler(policy: SchedulerPolicy, cfg: &MrConfig) -> Box<dyn Sched
         SchedulerPolicy::Fifo => Box::new(Fifo::new(cfg)),
         SchedulerPolicy::LocalityFirst => Box::new(LocalityFirst::new(cfg)),
         SchedulerPolicy::Adaptive(tuning) => Box::new(AdaptiveHetero::new(tuning, cfg)),
+        SchedulerPolicy::FairShare => Box::new(FairShare::new(cfg)),
+        SchedulerPolicy::DeadlineSlack => Box::new(DeadlineSlack::new(cfg)),
     }
+}
+
+/// The historical locality-preferring task pick, shared by
+/// [`LocalityFirst`] and the job-level policies ([`FairShare`],
+/// [`DeadlineSlack`]): the oldest pending task with an input replica on
+/// the requesting node, falling back to the queue front.
+pub(crate) fn locality_pick(view: &SchedView<'_>, node: NodeId) -> Option<usize> {
+    if view.pending.is_empty() {
+        return None;
+    }
+    Some(
+        view.pending
+            .iter()
+            .position(|t| view.tasks[t.0 as usize].hints.contains(&node))
+            .unwrap_or(0),
+    )
 }
 
 /// Work size of a task (bytes for file/reduce tasks, units for synthetic).

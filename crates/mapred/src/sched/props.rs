@@ -1,0 +1,481 @@
+//! Job-level scheduling properties, driven by the workspace's own
+//! deterministic RNG (no external property-testing dependency): every run
+//! explores the same fixed set of random cases, so failures reproduce
+//! exactly.
+//!
+//! A miniature slot simulator stands in for the JobTracker's heartbeat
+//! loop: jobs hold tasks that are pending, running, or completed; each
+//! step either offers a free slot to `pick_job` (dispatch) or completes a
+//! pseudo-random running attempt (the completion order the policies must
+//! not rely on). Views follow `pick_job_for`'s shape with speculation
+//! *disabled* — one per active job, `eligible` ⇔ pending non-empty — so
+//! "runnable" here means a job with pending tasks. (With speculation on,
+//! the runtime also marks jobs eligible that only have running incomplete
+//! tasks; that regular-dispatch-free path is exercised by the golden
+//! multi-job traces, not this harness.)
+
+use accelmr_des::{SimTime, Xoshiro256};
+use accelmr_net::NodeId;
+
+use crate::config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+
+use super::{build_scheduler, SchedView, Scheduler, TaskView};
+
+struct MiniTask {
+    completed: bool,
+    running: Vec<(u32, NodeId, SimTime)>,
+}
+
+struct MiniJob {
+    id: u32,
+    tenant: usize,
+    weight: f64,
+    deadline: Option<SimTime>,
+}
+
+struct MiniCluster {
+    jobs: Vec<MiniJob>,
+    /// Tasks per job, indexed like `jobs`.
+    tasks: Vec<Vec<MiniTask>>,
+    tenant_names: Vec<String>,
+}
+
+impl MiniCluster {
+    fn pending(&self, j: usize) -> Vec<TaskId> {
+        self.tasks[j]
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.completed && t.running.is_empty())
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+
+    fn running_slots(&self) -> usize {
+        self.tasks.iter().flatten().map(|t| t.running.len()).sum()
+    }
+
+    /// One `pick_job` decision, views built the way the JobTracker builds
+    /// them. Returns the picked job index after asserting the core
+    /// property: the pick is always an eligible view with runnable tasks.
+    fn pick(&self, sched: &mut dyn Scheduler, node: NodeId) -> Option<usize> {
+        let pendings: Vec<Vec<TaskId>> = (0..self.jobs.len()).map(|j| self.pending(j)).collect();
+        let task_views: Vec<Vec<TaskView<'_>>> = self
+            .tasks
+            .iter()
+            .map(|tasks| {
+                tasks
+                    .iter()
+                    .map(|t| TaskView {
+                        hints: &[],
+                        is_reduce: false,
+                        completed: t.completed,
+                        running: &t.running,
+                        size: 1,
+                    })
+                    .collect()
+            })
+            .collect();
+        let views: Vec<SchedView<'_>> = self
+            .jobs
+            .iter()
+            .zip(&task_views)
+            .zip(&pendings)
+            .map(|((job, tasks), pending)| SchedView {
+                job: JobId(job.id),
+                kernel: "k",
+                tenant: &self.tenant_names[job.tenant],
+                weight: job.weight,
+                deadline: job.deadline,
+                submitted: SimTime::ZERO,
+                eligible: !pending.is_empty(),
+                cluster_slots: 8,
+                pending,
+                tasks,
+                completed_task_times: &[],
+                slots_per_node: 2,
+            })
+            .collect();
+        let pick = sched.pick_job(&views, node);
+        let any_eligible = views.iter().any(|v| v.eligible);
+        match pick {
+            None => {
+                // Policies may decline, but with eligible work the shipped
+                // ones never do.
+                assert!(
+                    !any_eligible,
+                    "{} left eligible work unpicked",
+                    sched.name()
+                );
+                None
+            }
+            Some(job) => {
+                let v = views
+                    .iter()
+                    .find(|v| v.job == job)
+                    .unwrap_or_else(|| panic!("{} picked unknown {job}", sched.name()));
+                assert!(v.eligible, "{} picked ineligible {job}", sched.name());
+                assert!(
+                    !v.pending.is_empty(),
+                    "{} picked {job} with no runnable tasks",
+                    sched.name()
+                );
+                Some(self.jobs.iter().position(|j| j.id == job.0).expect("known"))
+            }
+        }
+    }
+
+    fn dispatch(&mut self, j: usize) {
+        let t = self.pending(j)[0].0 as usize;
+        self.tasks[j][t].running.push((1, NodeId(1), SimTime::ZERO));
+    }
+
+    /// Completes the `k`-th running attempt (in job/task order).
+    fn complete_nth(&mut self, k: usize) {
+        let mut left = k;
+        for tasks in &mut self.tasks {
+            for t in tasks.iter_mut() {
+                if !t.running.is_empty() {
+                    if left == 0 {
+                        t.running.clear();
+                        t.completed = true;
+                        return;
+                    }
+                    left -= 1;
+                }
+            }
+        }
+        panic!("no {k}-th running attempt");
+    }
+
+    fn all_done(&self) -> bool {
+        self.tasks.iter().flatten().all(|t| t.completed)
+    }
+}
+
+fn random_cluster(
+    rng: &mut Xoshiro256,
+    tasks_per_job: std::ops::RangeInclusive<u64>,
+) -> MiniCluster {
+    let n_tenants = rng.range_inclusive(2, 4) as usize;
+    let tenant_names: Vec<String> = (0..n_tenants).map(|t| format!("tenant-{t}")).collect();
+    let mut jobs = Vec::new();
+    let mut tasks = Vec::new();
+    let mut id = 0;
+    for tenant in 0..n_tenants {
+        let weight = rng.range_inclusive(1, 8) as f64;
+        for _ in 0..rng.range_inclusive(1, 2) {
+            jobs.push(MiniJob {
+                id,
+                tenant,
+                weight,
+                deadline: None,
+            });
+            id += 1;
+            let n = rng.range_inclusive(*tasks_per_job.start(), *tasks_per_job.end()) as usize;
+            tasks.push(
+                (0..n)
+                    .map(|_| MiniTask {
+                        completed: false,
+                        running: Vec::new(),
+                    })
+                    .collect(),
+            );
+        }
+    }
+    MiniCluster {
+        jobs,
+        tasks,
+        tenant_names,
+    }
+}
+
+fn all_policies() -> Vec<Box<dyn Scheduler>> {
+    let cfg = MrConfig::default();
+    [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::LocalityFirst,
+        SchedulerPolicy::adaptive(),
+        SchedulerPolicy::FairShare,
+        SchedulerPolicy::DeadlineSlack,
+    ]
+    .into_iter()
+    .map(|p| build_scheduler(p, &cfg))
+    .collect()
+}
+
+/// Every shipped policy's `pick_job` — including the trait default the
+/// task-level policies inherit — only ever returns eligible jobs with
+/// runnable tasks, across random mixes of busy, drained, and completed
+/// jobs (and declines only when nothing is eligible). Asserted inside
+/// [`MiniCluster::pick`] on every decision.
+#[test]
+fn pick_job_never_returns_unrunnable_jobs() {
+    let mut rng = Xoshiro256::seed_from_u64(0x71C);
+    for _ in 0..64 {
+        let mut c = random_cluster(&mut rng, 1..=6);
+        // Randomly pre-drain some jobs: all tasks completed, or all
+        // running (pending empty either way).
+        for j in 0..c.jobs.len() {
+            match rng.next_below(3) {
+                0 => {
+                    for t in c.tasks[j].iter_mut() {
+                        t.completed = true;
+                    }
+                }
+                1 => {
+                    for t in c.tasks[j].iter_mut() {
+                        t.running.push((1, NodeId(2), SimTime::ZERO));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for sched in &mut all_policies() {
+            // Drive a short random dispatch/complete sequence; `pick`
+            // asserts the property at every step.
+            for _ in 0..24 {
+                let free = c.running_slots() < 8;
+                if free {
+                    if let Some(j) = c.pick(sched.as_mut(), NodeId(1)) {
+                        c.dispatch(j);
+                        continue;
+                    }
+                }
+                let running = c.running_slots();
+                if running == 0 {
+                    break;
+                }
+                c.complete_nth(rng.next_below(running as u64) as usize);
+            }
+        }
+    }
+}
+
+/// Weighted shares converge: on random tenant/weight mixes with deep
+/// backlogs (every tenant stays busy throughout), the per-tenant integral
+/// of occupied slots approaches the weight proportions.
+#[test]
+fn fair_share_weighted_shares_converge() {
+    let mut rng = Xoshiro256::seed_from_u64(0xFA1);
+    for case in 0..24 {
+        let mut c = random_cluster(&mut rng, 2_000..=2_000);
+        let mut sched = build_scheduler(SchedulerPolicy::FairShare, &MrConfig::default());
+        let slots = 12;
+        let n_tenants = c.tenant_names.len();
+        let mut usage = vec![0u64; n_tenants]; // slot-steps per tenant
+        let mut steps = 0u64;
+        while steps < 3_000 {
+            if c.running_slots() < slots {
+                if let Some(j) = c.pick(sched.as_mut(), NodeId(1)) {
+                    c.dispatch(j);
+                }
+            } else {
+                let running = c.running_slots();
+                c.complete_nth(rng.next_below(running as u64) as usize);
+            }
+            // Integrate occupied slots per tenant (unit time step).
+            for (j, job) in c.jobs.iter().enumerate() {
+                usage[job.tenant] +=
+                    c.tasks[j].iter().map(|t| t.running.len()).sum::<usize>() as u64;
+            }
+            steps += 1;
+        }
+        // Backlogs must still be deep (the convergence claim only holds
+        // while every tenant has work).
+        for j in 0..c.jobs.len() {
+            assert!(!c.pending(j).is_empty(), "case {case}: backlog drained");
+        }
+        let weight_of = |t: usize| c.jobs.iter().find(|j| j.tenant == t).unwrap().weight;
+        let total_w: f64 = (0..n_tenants).map(weight_of).sum();
+        let total_u: u64 = usage.iter().sum();
+        for t in 0..n_tenants {
+            let got = usage[t] as f64 / total_u as f64;
+            let want = weight_of(t) / total_w;
+            assert!(
+                (got - want).abs() < 0.15,
+                "case {case}: tenant {t} share {got:.3} vs weight share {want:.3} \
+                 (weights: {:?}, usage: {usage:?})",
+                (0..n_tenants).map(weight_of).collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+/// No tenant starves: across 1000 random dispatch sequences, every tenant
+/// is first served within a handful of dispatches (a zero-share tenant
+/// only ever loses ties against other zero-share tenants), every
+/// backlogged tenant's inter-dispatch gap stays bounded, and every job
+/// eventually completes.
+#[test]
+fn fair_share_never_starves_a_tenant() {
+    let mut rng = Xoshiro256::seed_from_u64(0x57A);
+    for case in 0..1000 {
+        let mut c = random_cluster(&mut rng, 2..=10);
+        let mut sched = build_scheduler(SchedulerPolicy::FairShare, &MrConfig::default());
+        let slots = rng.range_inclusive(2, 6) as usize;
+        let n_tenants = c.tenant_names.len();
+        let mut first: Vec<Option<u64>> = vec![None; n_tenants];
+        let mut last: Vec<u64> = vec![0; n_tenants];
+        let mut dispatches = 0u64;
+        for _ in 0..4_000 {
+            if c.all_done() {
+                break;
+            }
+            let can_dispatch =
+                c.running_slots() < slots && (0..c.jobs.len()).any(|j| !c.pending(j).is_empty());
+            if can_dispatch {
+                let j = c.pick(sched.as_mut(), NodeId(1)).expect("eligible work");
+                let t = c.jobs[j].tenant;
+                dispatches += 1;
+                first[t].get_or_insert(dispatches);
+                // Gap bound: a backlogged tenant is served at least once
+                // every `slots × Σweights/min-weight` dispatches (weighted
+                // round length), with slack for slot churn.
+                let gap = dispatches - last[t];
+                assert!(
+                    gap <= 16 * slots as u64 * 8,
+                    "case {case}: tenant {t} waited {gap} dispatches"
+                );
+                last[t] = dispatches;
+                c.dispatch(j);
+            } else {
+                let running = c.running_slots();
+                assert!(running > 0, "case {case}: deadlock");
+                c.complete_nth(rng.next_below(running as u64) as usize);
+            }
+        }
+        assert!(c.all_done(), "case {case}: jobs never finished");
+        // Every tenant is served early: a zero-share tenant only loses
+        // ties to other zero-share tenants (lower job id), so its first
+        // dispatch lands within a few churn rounds of the opening.
+        for (t, served) in first.iter().enumerate() {
+            let f = served.expect("tenant dispatched");
+            assert!(
+                f <= 64,
+                "case {case}: tenant {t} first served at dispatch {f}"
+            );
+        }
+    }
+}
+
+/// DeadlineSlack: deadline jobs win over deadline-less ones, urgency
+/// orders by slack (EDF when unlearned), and learned durations shift the
+/// order when remaining work differs.
+#[test]
+fn deadline_slack_orders_by_urgency() {
+    let cfg = MrConfig::default();
+    let mut sched = build_scheduler(SchedulerPolicy::DeadlineSlack, &cfg);
+    let mut c = MiniCluster {
+        jobs: vec![
+            MiniJob {
+                id: 0,
+                tenant: 0,
+                weight: 1.0,
+                deadline: None,
+            },
+            MiniJob {
+                id: 1,
+                tenant: 0,
+                weight: 1.0,
+                deadline: Some(SimTime::from_nanos(300_000_000_000)), // t=300s
+            },
+            MiniJob {
+                id: 2,
+                tenant: 0,
+                weight: 1.0,
+                deadline: Some(SimTime::from_nanos(100_000_000_000)), // t=100s
+            },
+        ],
+        tasks: (0..3)
+            .map(|_| {
+                (0..4)
+                    .map(|_| MiniTask {
+                        completed: false,
+                        running: Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect(),
+        tenant_names: vec!["t".into()],
+    };
+    // Unlearned = plain EDF: the t=100s deadline wins over t=300s and over
+    // the deadline-less job 0, despite job 0's lower id.
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(2));
+    // Learned durations + unequal remaining work flip the order: give job
+    // 1 a deep backlog so its projected finish overruns t=300s while job
+    // 2 (4 tasks, 8 slots, one wave) keeps plenty of slack before t=100s.
+    sched.on_heartbeat(NodeId(1), 2, SimTime::ZERO);
+    sched.on_task_completed(&super::TaskCompletion {
+        job: JobId(9),
+        task: TaskId(0),
+        node: NodeId(1),
+        kernel: "k",
+        is_reduce: false,
+        elapsed: accelmr_des::SimDuration::from_secs(40),
+        work: 1,
+    });
+    c.tasks[1] = (0..60)
+        .map(|_| MiniTask {
+            completed: false,
+            running: Vec::new(),
+        })
+        .collect();
+    // Job 1: 60 tasks / 8 slots = 8 waves × 40 s = 320 s > 300 s → slack
+    // -20 s. Job 2: 1 wave × 40 s against 100 s → slack +60 s.
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(1));
+    // With every deadline job drained, the rest are served fair-share.
+    for j in [1, 2] {
+        for t in c.tasks[j].iter_mut() {
+            t.completed = true;
+        }
+    }
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(0));
+}
+
+/// FairShare unit behavior: zero-usage tenants win, weights scale usage,
+/// ineligible jobs still bill their tenant, ties fall back to job order.
+#[test]
+fn fair_share_pick_accounting() {
+    let cfg = MrConfig::default();
+    let mut sched = build_scheduler(SchedulerPolicy::FairShare, &cfg);
+    let mut c = MiniCluster {
+        jobs: vec![
+            MiniJob {
+                id: 0,
+                tenant: 0,
+                weight: 1.0,
+                deadline: None,
+            },
+            MiniJob {
+                id: 1,
+                tenant: 1,
+                weight: 1.0,
+                deadline: None,
+            },
+        ],
+        tasks: (0..2)
+            .map(|_| {
+                (0..6)
+                    .map(|_| MiniTask {
+                        completed: false,
+                        running: Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect(),
+        tenant_names: vec!["a".into(), "b".into()],
+    };
+    // Tie at zero usage: lowest job id (FIFO degeneration).
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(0));
+    c.dispatch(0);
+    // Tenant a now runs 1 slot; zero-usage tenant b wins.
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(1));
+    c.dispatch(1);
+    // 1 vs 1: tie again → job 0.
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(0));
+    // Double tenant b's weight: 1/1 vs 1/2 → b wins until 2/2.
+    c.jobs[1].weight = 2.0;
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(1));
+    c.dispatch(1);
+    assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(0));
+}

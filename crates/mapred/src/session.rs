@@ -274,12 +274,20 @@ impl<'a> Session<'a> {
     /// Queues a job whose submission is staggered by `delay` relative to
     /// the start of the next [`run_until_complete`](Session::run_until_complete)
     /// call (preloads run after the delay, immediately before submission).
+    ///
+    /// Panics on an invalid spec ([`JobSpec::validate`]): a non-positive
+    /// fair-share weight, or a deadline at or before the submission
+    /// instant (`now + delay`).
     pub fn submit_after(
         &mut self,
         delay: SimDuration,
         request: impl Into<JobRequest>,
     ) -> JobHandle {
         let request = request.into();
+        let submit_at = self.sim.now() + delay;
+        if let Err(e) = request.spec.validate(submit_at) {
+            panic!("invalid JobSpec '{}': {e}", request.spec.name);
+        }
         let slot: ResultSlot = Arc::new(Mutex::new(None));
         let handle = JobHandle {
             index: self.pending.len(),

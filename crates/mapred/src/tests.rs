@@ -512,6 +512,235 @@ pub(crate) fn sched_trace_scenarios(
     out
 }
 
+/// Multi-job scenarios exercising the *job-level* dispatch order of the
+/// heartbeat loop: several concurrent jobs (staggered arrivals, different
+/// task policies, speculation, and a churn wave over the elastic paths)
+/// whose event streams pin down which job each free slot went to. The
+/// golden fingerprints in `job_level_dispatch_is_trace_equivalent` were
+/// recorded *before* the dispatch loop was refactored to consult
+/// [`Scheduler::pick_job`]; the default (lowest-job-id) picker must
+/// reproduce them event for event.
+pub(crate) fn job_level_trace_scenarios(
+    fluid: accelmr_net::FluidEngine,
+) -> Vec<(&'static str, u64, u64, SimDuration)> {
+    let mut out = Vec::new();
+
+    // Three staggered FIFO jobs with speculation: pins the regular-then-
+    // speculative interleaving *across* jobs (job 0's duplicates dispatch
+    // before job 1's queue is touched).
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::Fifo,
+            speculative: true,
+            ..MrConfig::default()
+        };
+        let mut c = cluster_on(fluid, 61, 4, cfg, false);
+        c.sim.enable_trace(16);
+        let mut session = c.session();
+        session.submit(synthetic_spec(Arc::new(SkewKernel), 600_000, Some(8)));
+        session.submit_after(
+            SimDuration::from_secs(4),
+            JobRequest {
+                spec: synthetic_spec(Arc::new(FixedCostKernel::default()), 400_000, Some(6)),
+                preloads: vec![],
+            },
+        );
+        session.submit_after(
+            SimDuration::from_secs(9),
+            JobRequest {
+                spec: synthetic_spec(Arc::new(SkewKernel), 300_000, Some(4)),
+                preloads: vec![],
+            },
+        );
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        let makespan = rs.iter().map(|r| r.elapsed).max().unwrap();
+        out.push((
+            "fifo-multi",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+            makespan,
+        ));
+    }
+
+    // Two concurrent LocalityFirst file jobs over distinct files: slots
+    // alternate between jobs as queues drain, with locality picks inside
+    // each job.
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::LocalityFirst,
+            ..MrConfig::default()
+        };
+        let mut c = cluster_on(fluid, 62, 4, cfg, false);
+        c.sim.enable_trace(16);
+        let file_job = |name: &str, path: &str, seed: u64| JobRequest {
+            spec: JobBuilder::new(name)
+                .input_file(path)
+                .record_bytes(4 * MB)
+                .kernel(FixedCostKernel {
+                    per_record: SimDuration::from_millis(5),
+                    ..FixedCostKernel::default()
+                })
+                .map_tasks(8)
+                .build(),
+            preloads: vec![PreloadSpec {
+                path: path.into(),
+                len: 32 * MB,
+                block_size: Some(4 * MB),
+                replication: None,
+                seed,
+            }],
+        };
+        let mut session = c.session();
+        session.submit(file_job("loc-a", "/a", 13));
+        session.submit(file_job("loc-b", "/b", 14));
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        let makespan = rs.iter().map(|r| r.elapsed).max().unwrap();
+        out.push((
+            "locality-multi",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+            makespan,
+        ));
+    }
+
+    // Two concurrent adaptive jobs on a half-turbo cluster: the learned
+    // model (oversplit, tail guard, weighted dispatch) decides within each
+    // job while job order interleaves across heartbeats.
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::adaptive(),
+            ..MrConfig::default()
+        };
+        let mut c = ClusterBuilder::new()
+            .seed(63)
+            .workers(4)
+            .net(NetConfig {
+                fluid,
+                ..NetConfig::default()
+            })
+            .mr(cfg)
+            .env(HalfTurboFactory)
+            .deploy();
+        c.sim.enable_trace(16);
+        let job = |units: u64| JobRequest {
+            spec: JobBuilder::new("hetero")
+                .synthetic(units)
+                .kernel(HeteroKernel)
+                .rpc_aggregate(SumReducer {
+                    cycles_per_byte: 1.0,
+                })
+                .build(),
+            preloads: vec![],
+        };
+        let mut session = c.session();
+        session.submit(job(600_000_000));
+        session.submit_after(SimDuration::from_secs(6), job(300_000_000));
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        let makespan = rs.iter().map(|r| r.elapsed).max().unwrap();
+        out.push((
+            "adaptive-multi",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+            makespan,
+        ));
+    }
+
+    // A churn wave (join + leave mid-map) under two concurrent jobs: the
+    // PR 4 elastic paths (join replan, heartbeat discovery, death requeue)
+    // composed with multi-job dispatch.
+    {
+        let cfg = MrConfig {
+            tt_dead_after: SimDuration::from_secs(12),
+            ..MrConfig::default()
+        };
+        let mut c = ClusterBuilder::new()
+            .seed(64)
+            .workers(4)
+            .net(NetConfig {
+                fluid,
+                ..NetConfig::default()
+            })
+            .mr(cfg)
+            .dfs(DfsConfig {
+                dead_after: SimDuration::from_secs(12),
+                ..DfsConfig::default()
+            })
+            .deploy();
+        c.sim.enable_trace(16);
+        let mut session = c.session();
+        session.churn(crate::session::ChurnSchedule::wave(
+            1,
+            &[accelmr_net::NodeId(2)],
+            SimDuration::from_secs(12),
+            SimDuration::from_secs(6),
+        ));
+        session.submit(JobRequest {
+            spec: JobBuilder::new("churn-file")
+                .input_file("/cf")
+                .record_bytes(2 * MB)
+                .kernel(FixedCostKernel {
+                    per_record: SimDuration::from_secs(2),
+                    ..FixedCostKernel::default()
+                })
+                .map_tasks(12)
+                .digest_output()
+                .build(),
+            preloads: vec![PreloadSpec {
+                path: "/cf".into(),
+                len: 24 * MB,
+                block_size: Some(2 * MB),
+                replication: Some(2),
+                seed: 15,
+            }],
+        });
+        session.submit_after(
+            SimDuration::from_secs(5),
+            JobRequest {
+                spec: synthetic_spec(Arc::new(FixedCostKernel::default()), 2_000_000, Some(8)),
+                preloads: vec![],
+            },
+        );
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        let makespan = rs.iter().map(|r| r.elapsed).max().unwrap();
+        out.push((
+            "churn-multi",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+            makespan,
+        ));
+    }
+
+    out
+}
+
+/// Golden multi-job trace fingerprints, recorded from the pre-`pick_job`
+/// dispatch loop (jobs visited in ascending id order, each drained regular-
+/// then-speculative). The refactored loop under the default job picker must
+/// be event-for-event identical — FIFO equivalence is proven, not assumed.
+#[test]
+fn job_level_dispatch_is_trace_equivalent() {
+    let golden = [
+        ("fifo-multi", 0x9a1ca458ab8578f6_u64, 363_u64),
+        ("locality-multi", 0xf3bb77ffaf2218f9, 369),
+        ("adaptive-multi", 0x3af9198a1d79f86a, 721),
+        ("churn-multi", 0x536941477aa3c44a, 609),
+    ];
+    let got = job_level_trace_scenarios(accelmr_net::FluidEngine::Reference);
+    assert_eq!(got.len(), golden.len());
+    for ((name, fp, events, _), (gname, gfp, gevents)) in got.iter().zip(golden.iter()) {
+        assert_eq!(name, gname);
+        assert_eq!(
+            (fp, events),
+            (gfp, gevents),
+            "scenario '{name}' diverged from the pre-refactor event stream"
+        );
+    }
+}
+
 /// Trace-equivalence proof for the scheduler extraction: these
 /// fingerprints (full event streams: every message, timer and delivery
 /// time of the whole run) were recorded from the pre-refactor JobTracker,

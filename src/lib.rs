@@ -95,7 +95,8 @@ pub mod prelude {
     pub use accelmr_mapred::{deploy_cluster, run_job};
     pub use accelmr_mapred::{
         ChurnOp, ChurnSchedule, ClusterBuilder, JobBuilder, JobHandle, JobInput, JobRequest,
-        JobResult, JobSpec, MrConfig, OutputSink, PreloadSpec, ReduceSpec, Session, SumReducer,
+        JobResult, JobSpec, JobSpecError, MrConfig, OutputSink, PreloadSpec, ReduceSpec,
+        SchedulerPolicy, Session, SumReducer,
     };
     pub use accelmr_net::{NetConfig, NodeId};
 }
