@@ -1,0 +1,469 @@
+//! A minimal, dependency-free Rust token scanner.
+//!
+//! The audit rules need exactly three things a plain text grep cannot
+//! give them: (1) tokens inside string/char literals and comments must
+//! never match a rule (the auditor's own rule tables would otherwise
+//! flag themselves), (2) comments must be *captured* so
+//! `// audit:allow(...)` annotations can be parsed, and (3) identifier
+//! and path structure (`std :: collections :: HashMap`) must survive
+//! arbitrary whitespace and line breaks. Everything else about Rust
+//! syntax — literal values, generics nesting, actual parsing — is
+//! irrelevant to the rules, so literals and lifetimes are consumed and
+//! dropped rather than represented.
+//!
+//! Handled edge cases, each pinned by a unit test below: nested block
+//! comments (`/* /* */ */`), raw strings with arbitrary hash fences
+//! (`r##"..."##`, `br#"..."#`), raw identifiers (`r#type`), byte and
+//! C-string literals, and the char-literal-vs-lifetime ambiguity
+//! (`'a'` vs `<'a>`).
+
+/// A token the rule engine can see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// The `::` path separator (merged into one token).
+    PathSep,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A comment (line or block), captured for `audit:allow` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All meaningful tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// `true` if any token starts on `line` — used to decide whether an
+    /// allow-comment shares its line with code or stands alone.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// First line strictly after `line` that holds a token, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > line)
+            .min()
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenizes `src`. Invalid UTF-8 never reaches this function (the
+/// walker reads files as `String`); unterminated literals simply consume
+/// to end of file, which is good enough for a linter.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..cur.pos].to_string(),
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            end = cur.pos;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: cur.line,
+                    text: src[start..end.max(start)].to_string(),
+                });
+            }
+            b'"' => {
+                cur.bump();
+                consume_string_body(&mut cur);
+            }
+            b'\'' => {
+                cur.bump();
+                consume_char_or_lifetime(&mut cur);
+            }
+            c if c.is_ascii_digit() => {
+                cur.bump();
+                while let Some(c) = cur.peek() {
+                    // Good enough for numeric literals incl. hex, suffixes
+                    // and floats; `1..n` stops at the first `.` of `..`.
+                    if is_ident_continue(c) || (c == b'.' && cur.peek_at(1) != Some(b'.')) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = cur.pos;
+                cur.bump();
+                while cur.peek().map(is_ident_continue).unwrap_or(false) {
+                    cur.bump();
+                }
+                let ident = &src[start..cur.pos];
+                if !handle_literal_prefix(&mut cur, ident, &mut out, line) {
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(ident.to_string()),
+                        line,
+                    });
+                }
+            }
+            b':' if cur.peek_at(1) == Some(b':') => {
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::PathSep,
+                    line,
+                });
+            }
+            c => {
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// If `ident` is a literal prefix (`r`, `b`, `c`, `br`, `cr`) followed by
+/// a string/char opener, consumes the literal and returns `true`.
+/// `r#ident` (raw identifier) is emitted as a plain identifier.
+fn handle_literal_prefix(cur: &mut Cursor<'_>, ident: &str, out: &mut Lexed, line: u32) -> bool {
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    let stringish = matches!(ident, "r" | "b" | "c" | "br" | "cr");
+    match cur.peek() {
+        Some(b'#') if raw_capable => {
+            let mut hashes = 0usize;
+            while cur.peek_at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            match cur.peek_at(hashes) {
+                Some(b'"') => {
+                    for _ in 0..=hashes {
+                        cur.bump();
+                    }
+                    consume_raw_string_body(cur, hashes);
+                    true
+                }
+                Some(c) if hashes == 1 && is_ident_start(c) => {
+                    // Raw identifier: r#type
+                    cur.bump(); // '#'
+                    let start = cur.pos;
+                    while cur.peek().map(is_ident_continue).unwrap_or(false) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(String::from_utf8_lossy(&cur.src[start..cur.pos]).into()),
+                        line,
+                    });
+                    true
+                }
+                _ => false,
+            }
+        }
+        Some(b'"') if stringish => {
+            cur.bump();
+            if ident.starts_with('r') || ident == "cr" {
+                consume_raw_string_body(cur, 0);
+            } else {
+                consume_string_body(cur);
+            }
+            true
+        }
+        Some(b'\'') if ident == "b" => {
+            cur.bump();
+            consume_char_or_lifetime(cur);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a non-raw string body after the opening quote.
+fn consume_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string body after `r#…#"`; `hashes` is the fence size.
+fn consume_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == b'"' {
+            let mut n = 0usize;
+            while n < hashes && cur.peek_at(n) == Some(b'#') {
+                n += 1;
+            }
+            if n == hashes {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// After a `'`: decides char literal vs lifetime and consumes whichever
+/// it is. Lifetimes produce no token (no rule needs them).
+fn consume_char_or_lifetime(cur: &mut Cursor<'_>) {
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            cur.bump();
+            if cur.peek() == Some(b'u') {
+                cur.bump();
+                if cur.peek() == Some(b'{') {
+                    while let Some(c) = cur.bump() {
+                        if c == b'}' {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char literal; 'a followed by anything else is a
+            // lifetime (consume the identifier, emit nothing).
+            let mut len = 1;
+            while cur.peek_at(len).map(is_ident_continue).unwrap_or(false) {
+                len += 1;
+            }
+            if len == 1 && cur.peek_at(1) == Some(b'\'') {
+                cur.bump();
+                cur.bump();
+            } else {
+                for _ in 0..len {
+                    cur.bump();
+                }
+            }
+        }
+        Some(_) => {
+            // Non-alphabetic char literal: '(', '3', ' '.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+        }
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r##"let s = "Instant::now() thread_rng"; let t = x;"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant" || i == "thread_rng"));
+        assert!(ids.iter().any(|i| i == "x"));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let src = "let s = r##\"quote \" and # inside HashMap::new()\"##; foo();";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(ids.iter().any(|i| i == "foo"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = "let a = b\"SystemTime\"; let b2 = c\"rand\"; let c3 = br#\"OsRng\"#; ok();";
+        let ids = idents(src);
+        for bad in ["SystemTime", "rand", "OsRng"] {
+            assert!(!ids.iter().any(|i| i == bad), "{bad} leaked");
+        }
+        assert!(ids.iter().any(|i| i == "ok"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner thread_rng */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, ["fn", "f"]);
+        assert!(lexed.comments[0].text.contains("inner thread_rng"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\''; let e = '\\u{1F600}'; g(); }";
+        let ids = idents(src);
+        // Neither the lifetime nor char contents become identifiers; the
+        // code around them still lexes.
+        assert!(ids.iter().any(|i| i == "g"));
+        assert!(!ids.iter().any(|i| i == "a"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_plain_identifiers() {
+        let ids = idents("let r#type = 1; use r#mod::thing;");
+        assert!(ids.iter().any(|i| i == "type"));
+        assert!(ids.iter().any(|i| i == "mod"));
+    }
+
+    #[test]
+    fn path_sep_is_merged() {
+        let lexed = lex("std::collections::HashMap");
+        let kinds: Vec<_> = lexed.tokens.iter().map(|t| &t.tok).collect();
+        assert_eq!(
+            kinds,
+            [
+                &Tok::Ident("std".into()),
+                &Tok::PathSep,
+                &Tok::Ident("collections".into()),
+                &Tok::PathSep,
+                &Tok::Ident("HashMap".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_and_comment_capture() {
+        let src = "fn a() {}\n// audit:allow(map-order): reason here\nfn b() {}\n";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 3);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("audit:allow(map-order)"));
+        assert!(!lexed.has_code_on(2));
+        assert_eq!(lexed.next_code_line(2), Some(3));
+    }
+}

@@ -1,0 +1,65 @@
+//! CLI entry point: `cargo run -p accelmr-audit [-- --root <path>]`.
+//!
+//! Prints one `rule file:line message` line per finding on stdout
+//! (machine-readable, stable order) and a summary on stderr; exits
+//! nonzero iff there are findings, so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/audit/ → workspace root, regardless of invocation cwd.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/audit has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut root = workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in accelmr_audit::RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (usage: accelmr-audit [--root <path>] [--list-rules])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match accelmr_audit::audit_workspace(&root) {
+        Ok((scanned, findings)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("audit clean: {scanned} files, 0 findings");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "audit: {} finding(s) across {scanned} files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit failed to scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

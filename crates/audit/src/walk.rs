@@ -1,0 +1,50 @@
+//! Deterministic workspace file walker.
+
+use std::path::{Path, PathBuf};
+
+/// Directories never audited: build output, VCS metadata, hidden dirs.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+/// Every `.rs` file under `root`, in sorted (byte-order) path order so
+/// the auditor's output is identical run to run and machine to machine.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if ty.is_file() && name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root).unwrap();
+        assert!(files
+            .iter()
+            .any(|p| p.ends_with("src/walk.rs") || p.ends_with("src\\walk.rs")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

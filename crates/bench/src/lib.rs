@@ -1,7 +1,5 @@
 //! Shared helpers for the benchmark harness binaries.
 
-#![warn(missing_docs)]
-
 /// Returns `true` when `--quick` was passed: figure binaries then run a
 /// scaled-down sweep (useful in CI; the default regenerates the paper's
 /// full parameter ranges).

@@ -15,8 +15,6 @@
 //! only. A closed-form [`estimate`] module mirrors the event model for the
 //! distributed experiments' fast path and is property-tested against it.
 
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod estimate;
 pub mod kernel;

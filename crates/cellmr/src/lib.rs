@@ -12,8 +12,6 @@
 //! * [`CellMrRuntime::run_mapreduce`] — full key/value map → partition →
 //!   sort → reduce → merge pipeline with per-phase timing.
 
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod runtime;
 

@@ -24,8 +24,6 @@
 //!   clusters where only a fraction of nodes carry accelerators (adaptive
 //!   kernels + the straggler effect the paper anticipated).
 
-#![warn(missing_docs)]
-
 pub mod bridge;
 pub mod energy;
 pub mod env;

@@ -6,6 +6,7 @@
 //! costs measurably in the event loop, so every internal map uses this
 //! hasher. See the workspace performance notes in DESIGN.md.
 
+// audit:allow(std-hashmap): alias definition site — the std types are rebound here to the fixed-seed hasher
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

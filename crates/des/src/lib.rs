@@ -39,8 +39,6 @@
 //! assert_eq!(sim.stats().counter("greeted"), 1);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod actor;
 pub mod fxmap;
 pub mod rng;

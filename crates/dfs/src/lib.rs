@@ -35,8 +35,6 @@
 //!   start together and are priced by a single fabric re-solve. Keep new
 //!   call sites burst-shaped (see `accelmr_net`).
 
-#![warn(missing_docs)]
-
 pub mod cluster;
 pub mod config;
 pub mod datanode;

@@ -213,15 +213,17 @@ impl NameNode {
     /// it participated in, so the scan re-issues them off live nodes.
     fn on_node_lost(&mut self, node: NodeId) {
         self.repair_pending = true;
+        // audit:allow(map-order): per-block replica prune is an independent mutation per entry; no events issue here
         for info in self.block_map.values_mut() {
             info.replicas.retain(|&n| n != node);
         }
-        let cancelled: Vec<u64> = self
+        let mut cancelled: Vec<u64> = self
             .pending_repl
             .iter()
             .filter(|(_, p)| p.source == node || p.targets.contains(&node))
             .map(|(&tag, _)| tag)
             .collect();
+        cancelled.sort_unstable();
         for tag in cancelled {
             let p = self.pending_repl.remove(&tag).expect("pending present");
             self.repl_in_flight.remove(&p.block);

@@ -16,8 +16,6 @@
 //!   function of `(seed, offset)` plus order-independent digests, so any
 //!   component can materialize and verify any byte range independently.
 
-#![warn(missing_docs)]
-
 pub mod aes;
 pub mod cost;
 pub mod data;

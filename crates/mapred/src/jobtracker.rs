@@ -1024,6 +1024,7 @@ impl JobTracker {
     fn handle_node_join(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
         ctx.stats().incr("mr.node_joins");
         self.scheduler.on_node_join(node);
+        // audit:allow(map-order): per-job schedulers are mutually independent state; the join feed order across jobs is unobservable and no events issue here
         for sched in self.job_scheds.values_mut() {
             sched.on_node_join(node);
         }
@@ -1087,6 +1088,7 @@ impl JobTracker {
         for node in newly_dead {
             ctx.stats().incr("mr.tasktrackers_declared_dead");
             self.scheduler.on_node_dead(node);
+            // audit:allow(map-order): per-job schedulers are mutually independent state; the observation feed order across jobs is unobservable and no events issue here
             for sched in self.job_scheds.values_mut() {
                 sched.on_node_dead(node);
             }
@@ -1280,6 +1282,7 @@ impl Actor for JobTracker {
                         self.handle_node_join(ctx, hb.node);
                     }
                     self.scheduler.on_heartbeat(hb.node, hb.free_slots, now);
+                    // audit:allow(map-order): per-job schedulers are mutually independent state; the heartbeat feed order across jobs is unobservable and no events issue here
                     for sched in self.job_scheds.values_mut() {
                         sched.on_heartbeat(hb.node, hb.free_slots, now);
                     }

@@ -48,8 +48,6 @@
 //!   default incremental engine may legitimately reorder events within an
 //!   instant while producing identical timings.
 
-#![warn(missing_docs)]
-
 pub mod builder;
 pub mod cluster;
 pub mod config;

@@ -277,6 +277,7 @@ impl Scheduler for AdaptiveHetero {
     fn on_node_dead(&mut self, node: NodeId) {
         // Forget the dead node's estimates: best/mean/fast-slot
         // computations must only ever see nodes that can still take work.
+        // audit:allow(map-order): independent removal from each per-kernel EWMA table; visit order cannot be observed
         for family in self.rates.values_mut() {
             family.remove(&node);
         }
@@ -287,6 +288,7 @@ impl Scheduler for AdaptiveHetero {
         // work as a probe (see `pick_task`), and split planning keeps it
         // out of weighted sizing until it has estimates. Stale rates from
         // a previous incarnation of the same id must not steer dispatch.
+        // audit:allow(map-order): independent removal from each per-kernel EWMA table; visit order cannot be observed
         for family in self.rates.values_mut() {
             family.remove(&node);
         }

@@ -38,8 +38,6 @@
 //!   index (O(node degree), not O(all flows)), and [`NodeRegistry`] gives
 //!   every handle clone a live view of who serves each node.
 
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod fabric;
 pub mod flow;

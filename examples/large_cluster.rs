@@ -12,6 +12,7 @@
 //!
 //!     cargo run --release --example large_cluster
 
+// audit:allow(wall-clock): this example reports real elapsed wall time; nothing from the host clock feeds the simulation
 use std::time::Instant;
 
 use accelmr::prelude::*;
@@ -20,7 +21,7 @@ fn main() {
     const WORKERS: usize = 128;
     const DATA: u64 = 16 << 30; // 16 GiB across the cluster
 
-    let started = Instant::now();
+    let started = Instant::now(); // audit:allow(wall-clock): measures real wall speed of the run, printed only
     let mut cluster = ClusterBuilder::new()
         .seed(2009)
         .workers(WORKERS)
