@@ -1,0 +1,283 @@
+//! des_core — **wall-clock** microbenchmark of the event engine itself.
+//!
+//! The macro benches (`net_scale`, `churn_scale`) measure the simulator
+//! with the full fabric/DFS/MapReduce stack on top; this bin isolates the
+//! `accelmr-des` core so queue regressions are attributable. Three
+//! workloads, one per hot path of the calendar-queue overhaul:
+//!
+//! * `timer_wheel` — thousands of staggered periodic timers rearming in
+//!   place (the heartbeat shape: `Payload::Timer` is inline, the rearm
+//!   path reuses the arming's slot, and the wheel absorbs the spread of
+//!   deadlines).
+//! * `msg_bursts` — actors fanning boxed messages out in same-instant
+//!   bursts with short random hops (the shuffle shape: the `now_fifo`
+//!   tier must make same-instant delivery comparison-free).
+//! * `cancel_churn` — timers armed and immediately re-armed before firing
+//!   (the retry/timeout shape: a cancel is one generation bump, and the
+//!   stale queue entry is dropped on pop without a hash lookup).
+//!
+//! Writes the `des_core` section of `BENCH_perf.json`
+//! (`BENCH_perf.quick.json` under `--quick`, the CI smoke path).
+
+use std::time::Instant;
+
+use accelmr_des::prelude::*;
+
+const TAG_TICK: u64 = 1;
+const TAG_RETRY: u64 = 2;
+
+/// A heartbeat-shaped actor: one periodic timer, re-armed in place for a
+/// fixed number of firings. Intervals are staggered per actor so firings
+/// spread across wheel buckets instead of synchronizing.
+struct TimerLoop {
+    interval: SimDuration,
+    remaining: u64,
+}
+
+impl Actor for TimerLoop {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                ctx.after(self.interval, TAG_TICK);
+            }
+            Event::Timer { tag: TAG_TICK, .. } => {
+                self.remaining -= 1;
+                if self.remaining > 0 {
+                    ctx.rearm_after(self.interval, TAG_TICK);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A token forwarded around the ring; `hops` counts down to extinction.
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    hops: u32,
+}
+
+/// A shuffle-shaped actor: each received token is forwarded to a pseudo-
+/// random peer, usually at the *same instant* (exercising the FIFO tier),
+/// sometimes a short hop ahead (exercising near-future bucket pushes).
+struct BurstNode {
+    peers: Vec<ActorId>,
+    fanout: u32,
+}
+
+impl Actor for BurstNode {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                for _ in 0..self.fanout {
+                    let to = self.peers[(ctx.rng().next_u64() as usize) % self.peers.len()];
+                    ctx.send(to, Token { hops: 40 });
+                }
+            }
+            Event::Msg { msg, .. } => {
+                if let Some(tok) = msg.peek::<Token>() {
+                    if tok.hops == 0 {
+                        return;
+                    }
+                    let next = Token { hops: tok.hops - 1 };
+                    let to = self.peers[(ctx.rng().next_u64() as usize) % self.peers.len()];
+                    // 3 of 4 hops stay at the current instant; the rest
+                    // jump a few microseconds out.
+                    match ctx.rng().next_u64() % 4 {
+                        0 => {
+                            let ahead = SimDuration::from_nanos(1 + ctx.rng().next_u64() % 4_000);
+                            ctx.send_after(to, next, ahead);
+                        }
+                        _ => ctx.send(to, next),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A timeout-shaped actor: every tick pushes a long "retry" deadline
+/// further out. The reschedule bumps the slot's generation, so the
+/// previously queued arming goes stale and the pop path must drop it —
+/// one cancelled entry per tick, no hash lookups.
+struct CancelChurn {
+    interval: SimDuration,
+    remaining: u64,
+    retry: Option<TimerHandle>,
+}
+
+impl Actor for CancelChurn {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                ctx.after(self.interval, TAG_TICK);
+            }
+            Event::Timer { tag: TAG_TICK, .. } => {
+                self.remaining -= 1;
+                let deadline = ctx.now() + self.interval * 8;
+                self.retry = Some(match self.retry {
+                    Some(h) => ctx.reschedule_at(h, deadline, TAG_RETRY),
+                    None => ctx.after_at(deadline, TAG_RETRY),
+                });
+                if self.remaining > 0 {
+                    ctx.rearm_after(self.interval, TAG_TICK);
+                }
+            }
+            Event::Timer { tag: TAG_RETRY, .. } => {
+                self.retry = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Sample {
+    workload: &'static str,
+    actors: usize,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    pushes: u64,
+    peak_depth: u64,
+    cancelled_drops: u64,
+    timer_rearms: u64,
+}
+
+fn finish(workload: &'static str, actors: usize, mut sim: Sim, started: Instant) -> Sample {
+    let summary = sim.run();
+    let wall_s = started.elapsed().as_secs_f64();
+    let q = sim.stats().queue();
+    Sample {
+        workload,
+        actors,
+        events: summary.events,
+        wall_s,
+        events_per_sec: summary.events as f64 / wall_s.max(1e-9),
+        pushes: q.pushes,
+        peak_depth: q.peak_depth,
+        cancelled_drops: q.cancelled_drops,
+        timer_rearms: q.timer_rearms,
+    }
+}
+
+fn timer_wheel(actors: usize, firings: u64) -> Sample {
+    let mut sim = Sim::new(1);
+    for i in 0..actors {
+        sim.spawn(Box::new(TimerLoop {
+            // 1 ms base with a per-actor prime-stride stagger.
+            interval: SimDuration::from_nanos(1_000_000 + (i as u64 % 97) * 1_013),
+            remaining: firings,
+        }));
+    }
+    finish("timer_wheel", actors, sim, Instant::now())
+}
+
+fn msg_bursts(actors: usize, fanout: u32) -> Sample {
+    let mut sim = Sim::new(2);
+    let ids: Vec<ActorId> = (0..actors)
+        .map(|_| {
+            sim.spawn(Box::new(BurstNode {
+                peers: Vec::new(),
+                fanout,
+            }))
+        })
+        .collect();
+    // Peer tables are installed before `run`, so every `Start` burst sees
+    // the full ring.
+    for &id in &ids {
+        sim.actor_mut::<BurstNode>(id).expect("spawned").peers = ids.clone();
+    }
+    finish("msg_bursts", actors, sim, Instant::now())
+}
+
+fn cancel_churn(actors: usize, ticks: u64) -> Sample {
+    let mut sim = Sim::new(3);
+    for i in 0..actors {
+        sim.spawn(Box::new(CancelChurn {
+            interval: SimDuration::from_nanos(500_000 + (i as u64 % 61) * 997),
+            remaining: ticks,
+            retry: None,
+        }));
+    }
+    finish("cancel_churn", actors, sim, Instant::now())
+}
+
+fn main() {
+    let quick = accelmr_bench::quick_mode();
+    let (n, firings, fanout, ticks) = if quick {
+        (512usize, 40u64, 4u32, 40u64)
+    } else {
+        (8_192usize, 200u64, 8u32, 200u64)
+    };
+
+    println!("# des_core — event-engine microbench (calendar queue hot paths)");
+    println!(
+        "{:>12} {:>7} {:>9} {:>8} {:>12} {:>10} {:>10} {:>9} {:>8}",
+        "workload",
+        "actors",
+        "events",
+        "wall(s)",
+        "events/s",
+        "pushes",
+        "peak",
+        "cancelled",
+        "rearms"
+    );
+    let samples = [
+        timer_wheel(n, firings),
+        msg_bursts(n, fanout),
+        cancel_churn(n / 2, ticks),
+    ];
+    for s in &samples {
+        println!(
+            "{:>12} {:>7} {:>9} {:>8.3} {:>12.0} {:>10} {:>10} {:>9} {:>8}",
+            s.workload,
+            s.actors,
+            s.events,
+            s.wall_s,
+            s.events_per_sec,
+            s.pushes,
+            s.peak_depth,
+            s.cancelled_drops,
+            s.timer_rearms
+        );
+    }
+    // Workload-shape sanity: the rearm path and the cancel path must have
+    // actually been exercised, or the numbers measure nothing.
+    assert!(samples[0].timer_rearms > 0, "timer_wheel never re-armed");
+    assert!(
+        samples[2].cancelled_drops > 0,
+        "cancel_churn never dropped a stale arming"
+    );
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"workload\": \"{}\", \"actors\": {}, \"events\": {}, \"wall_s\": {:.4}, \"events_per_sec\": {:.0}, \"pushes\": {}, \"peak_depth\": {}, \"cancelled_drops\": {}, \"timer_rearms\": {} }}",
+                s.workload,
+                s.actors,
+                s.events,
+                s.wall_s,
+                s.events_per_sec,
+                s.pushes,
+                s.peak_depth,
+                s.cancelled_drops,
+                s.timer_rearms
+            )
+        })
+        .collect();
+    let section = format!(
+        "{{\n    \"scenario\": \"engine-only: staggered periodic timers, same-instant message bursts, cancel-heavy retries\",\n    \"quick\": {quick},\n    \"runs\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    );
+    let out = if quick {
+        "BENCH_perf.quick.json"
+    } else {
+        "BENCH_perf.json"
+    };
+    accelmr_bench::update_bench_section(out, "des_core", &section)
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("\nwrote {out} (des_core section)");
+}

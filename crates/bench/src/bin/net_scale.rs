@@ -26,6 +26,7 @@
 use std::time::Instant;
 
 use accelmr_des::prelude::*;
+use accelmr_des::QueueStats;
 use accelmr_net::{Fabric, FlowDone, FluidEngine, NetConfig, NetHandle, NodeId};
 
 /// Drives `waves` shuffle waves: each wave starts every fetch at one
@@ -103,6 +104,7 @@ struct Sample {
     events_per_sec: f64,
     solver_calls: u64,
     makespan_s: f64,
+    queue: QueueStats,
 }
 
 fn run_scenario(engine: FluidEngine, nodes: u32, waves: u32) -> Sample {
@@ -147,6 +149,7 @@ fn run_scenario(engine: FluidEngine, nodes: u32, waves: u32) -> Sample {
         events_per_sec: summary.events as f64 / wall_s.max(1e-9),
         solver_calls: sim.stats().counter("net.solver_calls"),
         makespan_s: summary.end_time.as_secs_f64(),
+        queue: sim.stats().queue(),
     }
 }
 
@@ -218,8 +221,8 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{ \"nodes\": {}, \"engine\": \"{}\", \"flows\": {}, \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"solver_calls\": {}, \"makespan_s\": {:.6} }}",
-                s.nodes, s.engine, s.flows, s.wall_s, s.events, s.events_per_sec, s.solver_calls, s.makespan_s
+                "    {{ \"nodes\": {}, \"engine\": \"{}\", \"flows\": {}, \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"solver_calls\": {}, \"makespan_s\": {:.6}, \"queue\": {} }}",
+                s.nodes, s.engine, s.flows, s.wall_s, s.events, s.events_per_sec, s.solver_calls, s.makespan_s, accelmr_bench::queue_stats_json(&s.queue)
             )
         })
         .collect();

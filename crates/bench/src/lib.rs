@@ -7,6 +7,17 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Renders the engine's event-core counters ([`accelmr_des::QueueStats`])
+/// as a one-line JSON object for a bench section, so queue-health
+/// regressions (depth blow-ups, lost rearm batching) show up in the
+/// `BENCH_perf.json` trajectory.
+pub fn queue_stats_json(q: &accelmr_des::QueueStats) -> String {
+    format!(
+        "{{ \"pushes\": {}, \"peak_depth\": {}, \"cancelled_drops\": {}, \"dead_actor_drops\": {}, \"timer_rearms\": {}, \"timer_slots\": {} }}",
+        q.pushes, q.peak_depth, q.cancelled_drops, q.dead_actor_drops, q.timer_rearms, q.timer_slots
+    )
+}
+
 /// Prints a figure's table, prefixed with timing of the harness itself.
 pub fn emit(fig: &accelmr_hybrid::experiments::Figure, started: std::time::Instant) {
     print!("{}", fig.to_table());

@@ -41,6 +41,7 @@
 
 pub mod actor;
 pub mod fxmap;
+pub(crate) mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;
@@ -51,7 +52,7 @@ pub use actor::{Actor, ActorId, Event, Msg, MsgExt, TimerHandle};
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use rng::{splitmix64, Xoshiro256};
 pub use sim::{Ctx, RunSummary, Sim};
-pub use stats::{LogHistogram, Stats};
+pub use stats::{LogHistogram, QueueStats, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
 

@@ -5,52 +5,12 @@
 //! `(time, insertion-sequence)` order, so two runs from the same seed replay
 //! identically — a property the test suite asserts via trace fingerprints.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::actor::{Actor, ActorId, Event, Msg, TimerHandle};
-use crate::fxmap::FxHashSet;
+use crate::queue::{CalendarQueue, Payload, Queued};
 use crate::rng::Xoshiro256;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
-
-enum Payload {
-    Start,
-    Timer { id: u64, tag: u64 },
-    Msg { from: ActorId, msg: Box<dyn Msg> },
-}
-
-struct Queued {
-    at: SimTime,
-    seq: u64,
-    target: ActorId,
-    payload: Payload,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Queued {}
-
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Queued {
-    // Reversed so the std max-heap pops the *earliest* event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 struct Slot {
     actor: Option<Box<dyn Actor>>,
@@ -60,9 +20,17 @@ struct Slot {
 pub(crate) struct SimCore {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Queued>,
-    cancelled_timers: FxHashSet<u64>,
-    next_timer_id: u64,
+    queue: CalendarQueue,
+    /// Current generation of each timer slot. A queued firing carries the
+    /// generation it was armed with; a mismatch at pop time means the
+    /// timer was cancelled or rescheduled — the entry is dropped without a
+    /// hash lookup (the old design kept a tombstone hash set).
+    timer_gens: Vec<u32>,
+    /// Slots whose timers fired or were cancelled, ready for reuse.
+    timer_free: Vec<u32>,
+    /// While a timer event dispatches: its slot, until the handler rearms
+    /// it in place ([`Ctx::rearm_after`]) or the dispatcher frees it.
+    fired_slot: Option<u32>,
     rng: Xoshiro256,
     stats: Stats,
     stop_requested: bool,
@@ -81,6 +49,41 @@ impl SimCore {
             target,
             payload,
         });
+        let qs = self.stats.queue_mut();
+        qs.pushes += 1;
+        qs.peak_depth = qs.peak_depth.max(self.queue.len() as u64);
+    }
+
+    /// Grabs a free timer slot (or mints a new one) at its current
+    /// generation.
+    fn alloc_timer(&mut self) -> (u32, u32) {
+        match self.timer_free.pop() {
+            Some(slot) => (slot, self.timer_gens[slot as usize]),
+            None => {
+                let slot = u32::try_from(self.timer_gens.len()).expect("too many timers");
+                self.timer_gens.push(0);
+                self.stats.queue_mut().timer_slots = self.timer_gens.len() as u64;
+                (slot, 0)
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, at: SimTime, target: ActorId, tag: u64) -> TimerHandle {
+        let (slot, gen) = self.alloc_timer();
+        self.push(at, target, Payload::Timer { slot, gen, tag });
+        TimerHandle::pack(slot, gen)
+    }
+}
+
+impl TimerHandle {
+    #[inline]
+    pub(crate) fn pack(slot: u32, gen: u32) -> Self {
+        TimerHandle((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    #[inline]
+    pub(crate) fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
     }
 }
 
@@ -106,9 +109,10 @@ impl Sim {
             core: SimCore {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
-                cancelled_timers: FxHashSet::default(),
-                next_timer_id: 0,
+                queue: CalendarQueue::new(),
+                timer_gens: Vec::new(),
+                timer_free: Vec::new(),
+                fired_slot: None,
                 rng: Xoshiro256::seed_from_u64(seed),
                 stats: Stats::new(),
                 stop_requested: false,
@@ -243,9 +247,9 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
         self.core.stop_requested = false;
         while !self.core.stop_requested && self.core.events_processed < self.core.event_limit {
-            match self.core.queue.peek() {
+            match self.core.queue.next_at() {
                 None => break,
-                Some(q) if q.at > deadline => {
+                Some(at) if at > deadline => {
                     self.core.now = deadline;
                     break;
                 }
@@ -277,29 +281,54 @@ impl Sim {
         self.core.now = q.at;
 
         // Drop cancelled timers and events for dead actors without charging
-        // them against the event budget.
-        if let Payload::Timer { id, .. } = q.payload {
-            if self.core.cancelled_timers.remove(&id) {
+        // them against the event budget. A stale generation means the
+        // arming was cancelled or rescheduled after this entry was queued.
+        let mut timer_slot = None;
+        if let Payload::Timer { slot, gen, .. } = q.payload {
+            if self.core.timer_gens.get(slot as usize) != Some(&gen) {
+                self.core.stats.queue_mut().cancelled_drops += 1;
                 return;
             }
+            timer_slot = Some(slot);
         }
+        let retire_timer = |core: &mut SimCore| {
+            // The arming is spent: bump the generation (invalidating the
+            // handle) and recycle the slot.
+            if let Some(slot) = timer_slot {
+                core.timer_gens[slot as usize] = core.timer_gens[slot as usize].wrapping_add(1);
+                core.timer_free.push(slot);
+            }
+        };
         let Some(slot) = self.actors.get_mut(q.target.index()) else {
+            self.core.stats.queue_mut().dead_actor_drops += 1;
+            retire_timer(&mut self.core);
             return;
         };
         let Some(mut actor) = slot.actor.take() else {
+            self.core.stats.queue_mut().dead_actor_drops += 1;
+            retire_timer(&mut self.core);
             return;
         };
 
         let ev = match q.payload {
             Payload::Start => Event::Start,
-            Payload::Timer { id, tag } => Event::Timer {
-                handle: TimerHandle(id),
+            Payload::Timer { slot, gen, tag } => Event::Timer {
+                handle: TimerHandle::pack(slot, gen),
                 tag,
             },
             Payload::Msg { from, msg } => Event::Msg { from, msg },
         };
         self.core.trace.record(q.at, q.target, ev.label());
         self.core.events_processed += 1;
+
+        // Advance the firing timer's generation *before* the handler runs:
+        // the in-flight handle is now stale (cancelling it is a no-op) and
+        // the slot is ready for an in-place rearm.
+        if let Some(slot) = timer_slot {
+            self.core.timer_gens[slot as usize] =
+                self.core.timer_gens[slot as usize].wrapping_add(1);
+            self.core.fired_slot = Some(slot);
+        }
 
         let mut ctx = Ctx {
             core: &mut self.core,
@@ -309,6 +338,11 @@ impl Sim {
         };
         actor.handle(&mut ctx, ev);
         let killed = ctx.kill_self;
+
+        // Slot not consumed by a rearm: recycle it.
+        if let Some(slot) = self.core.fired_slot.take() {
+            self.core.timer_free.push(slot);
+        }
         if !killed {
             // The slot may have moved if `actors` reallocated during spawn,
             // but the index is stable.
@@ -367,27 +401,62 @@ impl<'a> Ctx<'a> {
 
     /// Arms a one-shot timer for this actor. The firing event carries `tag`.
     pub fn after(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
-        let id = self.core.next_timer_id;
-        self.core.next_timer_id += 1;
-        self.core.push(
-            self.core.now + delay,
-            self.self_id,
-            Payload::Timer { id, tag },
-        );
-        TimerHandle(id)
+        let at = self.core.now + delay;
+        self.core.arm_timer(at, self.self_id, tag)
     }
 
     /// Arms a one-shot timer that fires at the absolute instant `at`
     /// (clamped to the current instant if `at` is in the past). Useful for
     /// schedulers that track deadlines rather than delays — re-arming at an
     /// unchanged deadline can then be skipped entirely (timer reuse) instead
-    /// of paying a cancel + re-insert per event.
+    /// of paying a cancel + re-insert per event ([`Ctx::reschedule_at`] is
+    /// the moving-deadline counterpart).
     pub fn after_at(&mut self, at: SimTime, tag: u64) -> TimerHandle {
         let at = at.max(self.core.now);
-        let id = self.core.next_timer_id;
-        self.core.next_timer_id += 1;
-        self.core.push(at, self.self_id, Payload::Timer { id, tag });
-        TimerHandle(id)
+        self.core.arm_timer(at, self.self_id, tag)
+    }
+
+    /// Rearms the timer whose firing is *currently being handled*, reusing
+    /// its slot in place — the periodic-timer fast path (heartbeats,
+    /// liveness sweeps): no slot churn, no cancel + re-insert. Dispatch
+    /// order is identical to calling [`Ctx::after`] at the same point in
+    /// the handler (the queue entry gets the same sequence number); only
+    /// the slot bookkeeping differs. Falls back to a fresh arming when the
+    /// current event is not a timer firing.
+    pub fn rearm_after(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        let at = self.core.now + delay;
+        match self.core.fired_slot.take() {
+            Some(slot) => {
+                self.core.stats.queue_mut().timer_rearms += 1;
+                let gen = self.core.timer_gens[slot as usize];
+                self.core
+                    .push(at, self.self_id, Payload::Timer { slot, gen, tag });
+                TimerHandle::pack(slot, gen)
+            }
+            None => self.core.arm_timer(at, self.self_id, tag),
+        }
+    }
+
+    /// Moves a pending timer to the absolute instant `at` (clamped to the
+    /// current instant), reusing its slot: equivalent to — and dispatch-
+    /// order-identical with — `cancel_timer` + [`Ctx::after_at`], without
+    /// the tombstone bookkeeping. If `handle` already fired or was
+    /// cancelled, this is just a fresh arming.
+    pub fn reschedule_at(&mut self, handle: TimerHandle, at: SimTime, tag: u64) -> TimerHandle {
+        let at = at.max(self.core.now);
+        let (slot, gen) = handle.unpack();
+        if self.core.timer_gens.get(slot as usize) == Some(&gen) {
+            // Invalidate the pending entry (it will surface as a
+            // cancelled drop) and re-arm the same slot one generation up.
+            let gen = gen.wrapping_add(1);
+            self.core.timer_gens[slot as usize] = gen;
+            self.core.stats.queue_mut().timer_rearms += 1;
+            self.core
+                .push(at, self.self_id, Payload::Timer { slot, gen, tag });
+            TimerHandle::pack(slot, gen)
+        } else {
+            self.core.arm_timer(at, self.self_id, tag)
+        }
     }
 
     /// Arms a zero-delay timer: the firing is queued *behind* every event
@@ -401,7 +470,13 @@ impl<'a> Ctx<'a> {
 
     /// Cancels a timer armed with [`Ctx::after`]; harmless if already fired.
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.core.cancelled_timers.insert(handle.0);
+        let (slot, gen) = handle.unpack();
+        if self.core.timer_gens.get(slot as usize) == Some(&gen) {
+            // Invalidate the pending queue entry (dropped at pop, no hash
+            // tombstone) and recycle the slot immediately.
+            self.core.timer_gens[slot as usize] = gen.wrapping_add(1);
+            self.core.timer_free.push(slot);
+        }
     }
 
     /// Spawns a new actor mid-run; it receives [`Event::Start`] at the
@@ -846,6 +921,150 @@ mod tests {
         sim.run();
         assert_eq!(sim.stats().counter("late"), 1);
         assert_eq!(sim.stats().counter("clamped"), 1);
+    }
+
+    #[test]
+    fn rearm_after_reuses_slot_and_keeps_order() {
+        struct Beat {
+            beats: u32,
+        }
+        impl Actor for Beat {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        ctx.after(SimDuration::from_secs(1), 0);
+                    }
+                    Event::Timer { .. } => {
+                        self.beats += 1;
+                        if self.beats < 5 {
+                            ctx.rearm_after(SimDuration::from_secs(1), 0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.spawn(Box::new(Beat { beats: 0 }));
+        let summary = sim.run();
+        assert_eq!(summary.end_time, SimTime::from_nanos(5_000_000_000));
+        let qs = sim.stats().queue();
+        // One slot serves the whole periodic chain.
+        assert_eq!(qs.timer_slots, 1);
+        assert_eq!(qs.timer_rearms, 4);
+        assert_eq!(qs.cancelled_drops, 0);
+    }
+
+    #[test]
+    fn reschedule_at_moves_deadline_without_double_fire() {
+        struct T {
+            armed: Option<TimerHandle>,
+            fired_at: Option<SimTime>,
+        }
+        impl Actor for T {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        self.armed = Some(ctx.after(SimDuration::from_secs(5), 7));
+                        ctx.after(SimDuration::from_secs(1), 1);
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        // Pull the deadline in from t=5s to t=2s.
+                        let h = self.armed.take().unwrap();
+                        self.armed = Some(ctx.reschedule_at(h, SimTime::from_nanos(2e9 as u64), 7));
+                    }
+                    Event::Timer { tag: 7, .. } => {
+                        assert!(self.fired_at.is_none(), "deadline timer fired twice");
+                        self.fired_at = Some(ctx.now());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let a = sim.spawn(Box::new(T {
+            armed: None,
+            fired_at: None,
+        }));
+        sim.run();
+        let t = sim.actor_ref::<T>(a).unwrap();
+        assert_eq!(t.fired_at, Some(SimTime::from_nanos(2_000_000_000)));
+        let qs = sim.stats().queue();
+        // The superseded t=5s entry surfaces once and is dropped.
+        assert_eq!(qs.cancelled_drops, 1);
+        assert_eq!(qs.timer_rearms, 1);
+    }
+
+    #[test]
+    fn cancelled_handles_are_inert_after_slot_reuse() {
+        struct T {
+            old: Option<TimerHandle>,
+        }
+        impl Actor for T {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        let h = ctx.after(SimDuration::from_secs(9), 1);
+                        ctx.cancel_timer(h);
+                        self.old = Some(h);
+                        // Reuses the freed slot at a newer generation.
+                        ctx.after(SimDuration::from_secs(1), 2);
+                    }
+                    Event::Timer { tag: 2, .. } => {
+                        // Cancelling the stale handle must not kill the
+                        // slot's current occupant...
+                        ctx.cancel_timer(self.old.unwrap());
+                        ctx.after(SimDuration::from_secs(1), 3);
+                    }
+                    Event::Timer { tag: 3, .. } => {
+                        ctx.stats().incr("third_fire");
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        ctx.stats().incr("must_not_fire");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.spawn(Box::new(T { old: None }));
+        sim.run();
+        assert_eq!(sim.stats().counter("must_not_fire"), 0);
+        assert_eq!(sim.stats().counter("third_fire"), 1);
+    }
+
+    #[test]
+    fn queue_stats_track_depth_and_drops() {
+        let (sim, _) = ping_pong(9);
+        let qs = sim.stats().queue();
+        // 2 Starts + 10 ball messages.
+        assert_eq!(qs.pushes, 12);
+        assert!(qs.peak_depth >= 2);
+        assert_eq!(qs.dead_actor_drops, 0);
+
+        // Dead-actor drops: the killed victim's pending message.
+        struct Victim;
+        impl Actor for Victim {
+            fn handle(&mut self, _: &mut Ctx<'_>, _: Event) {}
+        }
+        struct Killer {
+            victim: ActorId,
+        }
+        impl Actor for Killer {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    ctx.send_after(self.victim, Kick, SimDuration::from_secs(2));
+                    ctx.after(SimDuration::from_secs(1), 0);
+                } else if matches!(ev, Event::Timer { .. }) {
+                    ctx.kill(self.victim);
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let v = sim.spawn(Box::new(Victim));
+        sim.spawn(Box::new(Killer { victim: v }));
+        sim.run();
+        assert_eq!(sim.stats().queue().dead_actor_drops, 1);
     }
 
     #[test]

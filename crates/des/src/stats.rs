@@ -100,12 +100,36 @@ impl LogHistogram {
     }
 }
 
+/// Event-core health counters, maintained inline by the engine (plain
+/// fields, not hash-map counters, so the dispatch hot path stays free of
+/// hashing). Read them via [`Stats::queue`]; benchmark bins surface them in
+/// their JSON sections so queue regressions show up in the trajectory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever enqueued (dispatched or dropped).
+    pub pushes: u64,
+    /// High-water mark of pending events.
+    pub peak_depth: u64,
+    /// Timer firings dropped because the arming was cancelled or
+    /// rescheduled before the queue entry surfaced.
+    pub cancelled_drops: u64,
+    /// Events dropped because their target actor was killed first.
+    pub dead_actor_drops: u64,
+    /// Timer armings that reused the slot of the timer being handled or
+    /// rescheduled (the in-place path — no cancel + re-insert).
+    pub timer_rearms: u64,
+    /// Distinct timer slots ever allocated (live armings never exceed
+    /// this; periodic timers hold one slot forever).
+    pub timer_slots: u64,
+}
+
 /// Metric sink owned by the engine and shared with all actors via `Ctx`.
 #[derive(Debug, Default)]
 pub struct Stats {
     counters: FxHashMap<&'static str, u64>,
     gauges: FxHashMap<&'static str, f64>,
     histograms: FxHashMap<&'static str, LogHistogram>,
+    queue: QueueStats,
 }
 
 impl Stats {
@@ -166,11 +190,24 @@ impl Stats {
         v
     }
 
+    /// Event-core health counters (queue depth, drops, timer reuse).
+    #[inline]
+    pub fn queue(&self) -> QueueStats {
+        self.queue
+    }
+
+    /// Engine-internal mutable access to the event-core counters.
+    #[inline]
+    pub(crate) fn queue_mut(&mut self) -> &mut QueueStats {
+        &mut self.queue
+    }
+
     /// Clears all metrics.
     pub fn reset(&mut self) {
         self.counters.clear();
         self.gauges.clear();
         self.histograms.clear();
+        self.queue = QueueStats::default();
     }
 }
 

@@ -114,7 +114,9 @@ impl Actor for DataNode {
                 let hb = DnHeartbeat { node: self.node };
                 let (net, node, head, nn) = (self.net, self.node, self.head_node, self.namenode);
                 net.unicast(ctx, node, head, nn, 128, hb);
-                ctx.after(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                // In-place rearm: the heartbeat chain holds one timer slot
+                // for the actor's whole lifetime.
+                ctx.rearm_after(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
             }
             Event::Timer { .. } => {}
             Event::Msg { msg, .. } => {

@@ -392,7 +392,7 @@ impl Actor for NameNode {
                     "dfs.live_datanodes",
                     (self.datanodes.len() - self.dead.len()) as f64,
                 );
-                ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
+                ctx.rearm_after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
             }
             Event::Timer { .. } => {}
             Event::Msg { msg, .. } => {

@@ -1172,7 +1172,7 @@ impl Actor for JobTracker {
                 ..
             } => {
                 self.check_liveness(ctx);
-                ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
+                ctx.rearm_after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
             }
             Event::Timer { tag, .. } => {
                 let (kind, job_id) = unpack_job_timer(tag);

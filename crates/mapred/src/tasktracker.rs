@@ -778,7 +778,8 @@ impl Actor for TaskTracker {
                 ..
             } => {
                 self.send_heartbeat(ctx);
-                ctx.after(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
+                // In-place rearm: one timer slot per tracker, forever.
+                ctx.rearm_after(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
             }
             Event::Timer { tag, .. } => {
                 let (kind, slot, gen) = unpack_timer_tag(tag);

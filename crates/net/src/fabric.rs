@@ -36,6 +36,13 @@
 //!    armed completion timer is *reused* when the projected next
 //!    completion instant is unchanged, instead of paying a cancel +
 //!    re-insert per event.
+//! 4. **Slab flow storage** — active flows live in a slot-indexed slab
+//!    split into a hot array (remaining bytes, rate, route — what the
+//!    decrement/solve loops touch) and a cold array (notification
+//!    endpoints, payloads), with freed slots recycled. Link indices and
+//!    the completion heap refer to flows by slot (O(1), no hashing);
+//!    every order-sensitive sweep sorts by the flow's monotonic id, so
+//!    the event stream is identical to the original id-ordered map's.
 //!
 //! [`FluidEngine::Reference`] preserves the original engine — one global
 //! [`max_min_rates`] solve per flow event — event-for-event; it is the
@@ -44,7 +51,7 @@
 //! epsilon.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use accelmr_des::prelude::*;
 
@@ -136,25 +143,57 @@ pub struct FlowAborted {
     pub tag: u64,
 }
 
-struct ActiveFlow {
+/// Hot per-flow state, slot-indexed and densely packed: exactly the
+/// fields the component walk, the rate write-back, and the settle loop
+/// touch. Keeping these in one ~80-byte record (no boxed payload) means a
+/// resolve sweep streams through a compact array instead of taking two
+/// cache misses per flow on a fat mixed record — the component walk is
+/// the single hottest loop in the 1000-node churn profile.
+#[derive(Clone, Copy)]
+struct FlowHot {
+    /// Monotonic flow id: the deterministic sort key for every
+    /// order-sensitive sweep and the completion-heap tiebreaker. Slab
+    /// *slots* are recycled; ids never are. `u64::MAX` marks a free slot
+    /// (no live flow can carry it — ids count up from zero).
+    id: u64,
     /// Bytes left as of `updated_at` (lazily settled: only touched when
     /// this flow's rate changes, not on every fabric event).
     remaining: f64,
     rate: f64,
     updated_at: SimTime,
-    route: Route,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older generation are stale and dropped on pop.
+    gen: u64,
     cap: f64,
+    route: Route,
+    /// Component-walk visit stamp (see `resolve_dirty`).
+    mark: u32,
+}
+
+/// Cold per-flow bookkeeping, read only when the flow completes or
+/// aborts: who to tell, and what to hand them.
+struct FlowCold {
     notify: ActorId,
     tag: u64,
     total: u64,
     src: NodeId,
     dst: NodeId,
     on_done: Option<Box<dyn Msg>>,
-    /// Bumped on every rate change; completion-heap entries carrying an
-    /// older generation are stale and dropped on pop.
-    gen: u64,
-    /// Component-walk visit stamp (see `resolve_dirty`).
-    mark: u32,
+}
+
+/// Per-flow snapshot taken as the component walk first visits a flow: by
+/// then every link on its route holds a dense solver slot, so the solver
+/// feed and the `add_flow` order need no further flow-table lookups.
+#[derive(Clone, Copy)]
+struct CompFlow {
+    /// Monotonic flow id — the deterministic solve-order key.
+    id: u64,
+    /// Slab slot, for the lookup-free rate write-back.
+    slot: u32,
+    cap: f64,
+    /// Dense solver slots of the route's links (first `n_links` valid).
+    slots: [u32; 2],
+    n_links: u8,
 }
 
 /// Completion-timer tag (kept at 0, matching the original fabric).
@@ -171,9 +210,19 @@ pub struct Fabric {
     tx: Vec<LinkId>,
     rx: Vec<LinkId>,
     loopback: Vec<LinkId>,
-    /// Active flows by id; BTreeMap so every sweep is in flow-id order
-    /// (determinism, and reference-engine event-stream fidelity).
-    flows: BTreeMap<u64, ActiveFlow>,
+    /// Active flows in a slot-indexed hot/cold slab: `hot[s]` holds the
+    /// solver-facing state ([`FlowHot`]; `id == u64::MAX` = free slot),
+    /// `cold[s]` the completion bookkeeping. Direct Vec indexing on the
+    /// hot path — the component walk visits every flow of a component per
+    /// resolve, and map descents dominated the 1000-node churn profile.
+    /// Slots recycle through `free_slots`; the monotonic flow *id* lives
+    /// in [`FlowHot`], and every sweep whose order can reach events or
+    /// float rounding sorts by id, preserving the original BTreeMap
+    /// id-order semantics exactly.
+    hot: Vec<FlowHot>,
+    cold: Vec<Option<FlowCold>>,
+    free_slots: Vec<u32>,
+    live_flows: usize,
     next_flow_id: u64,
     /// Armed completion timer and the absolute instant it fires at; the
     /// instant lets `rearm` skip the cancel + re-arm when the projected
@@ -184,8 +233,8 @@ pub struct Fabric {
     // --- incremental engine state ---
     /// Whether a deferred resolve wakeup is already queued for this instant.
     resolve_pending: bool,
-    /// Persistent link → active-flow-ids index.
-    link_flows: Vec<Vec<u64>>,
+    /// Persistent link → active-flow slab slots index.
+    link_flows: Vec<Vec<u32>>,
     /// Links whose flow set changed since the last resolve.
     dirty_links: Vec<LinkId>,
     link_dirty: Vec<bool>,
@@ -194,11 +243,14 @@ pub struct Fabric {
     link_mark: Vec<u32>,
     link_slot: Vec<u32>,
     /// Scratch: flows of the current component / link BFS frontier.
-    comp_flows: Vec<u64>,
+    comp_flows: Vec<CompFlow>,
     bfs_links: Vec<LinkId>,
     solver: MaxMinSolver,
-    /// Min-heap of (projected finish, flow id, generation).
-    done_heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// Min-heap of (projected finish, flow id, generation, slab slot).
+    /// The slot rides along for O(1) access; it never decides order —
+    /// ids are unique, so comparisons end at the (finish, id, gen) prefix
+    /// exactly as they did before slots existed.
+    done_heap: BinaryHeap<Reverse<(SimTime, u64, u64, u32)>>,
 }
 
 impl Fabric {
@@ -221,7 +273,10 @@ impl Fabric {
             tx,
             rx,
             loopback,
-            flows: BTreeMap::new(),
+            hot: Vec::new(),
+            cold: Vec::new(),
+            free_slots: Vec::new(),
+            live_flows: 0,
             next_flow_id: 0,
             timer: None,
             last_update: SimTime::ZERO,
@@ -263,6 +318,49 @@ impl Fabric {
         self.tx.len() - before
     }
 
+    /// Stores a flow in a recycled (or fresh) slab slot.
+    fn insert_flow(&mut self, h: FlowHot, c: FlowCold) -> u32 {
+        self.live_flows += 1;
+        match self.free_slots.pop() {
+            Some(s) => {
+                debug_assert_eq!(self.hot[s as usize].id, u64::MAX);
+                self.hot[s as usize] = h;
+                self.cold[s as usize] = Some(c);
+                s
+            }
+            None => {
+                self.hot.push(h);
+                self.cold.push(Some(c));
+                (self.hot.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Frees a slab slot, returning the flow's final hot state and its
+    /// completion bookkeeping.
+    fn remove_flow(&mut self, slot: u32) -> (FlowHot, FlowCold) {
+        self.live_flows -= 1;
+        self.free_slots.push(slot);
+        let h = self.hot[slot as usize];
+        self.hot[slot as usize].id = u64::MAX;
+        let c = self.cold[slot as usize].take().expect("flow present");
+        (h, c)
+    }
+
+    /// Live `(id, slot)` pairs in ascending flow-id order — the
+    /// deterministic sweep order of the original BTreeMap flow table.
+    fn flows_by_id(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self
+            .hot
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.id != u64::MAX)
+            .map(|(s, h)| (h.id, s as u32))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
         if src == dst {
             Route::single(self.loopback[src.index()])
@@ -294,54 +392,75 @@ impl Fabric {
         let dt = (now - self.last_update).as_secs_f64();
         self.last_update = now;
         if dt > 0.0 {
-            for f in self.flows.values_mut() {
-                f.remaining -= f.rate * dt;
+            for h in &mut self.hot {
+                if h.id != u64::MAX {
+                    h.remaining -= h.rate * dt;
+                }
             }
         }
-        // Completions in flow-id order: deterministic.
-        let done: Vec<u64> = self
-            .flows
+        // Completions in flow-id order (collect-then-sort): deterministic,
+        // matching the old BTreeMap sweep exactly.
+        let mut done: Vec<(u64, u32)> = self
+            .hot
             .iter()
-            .filter(|(_, f)| f.remaining <= EPS_BYTES)
-            .map(|(id, _)| *id)
+            .enumerate()
+            .filter(|(_, h)| h.id != u64::MAX && h.remaining <= EPS_BYTES)
+            .map(|(s, h)| (h.id, s as u32))
             .collect();
-        for id in done {
-            let f = self.flows.remove(&id).expect("flow present");
-            ctx.stats().add("net.flow_bytes_done", f.total);
+        done.sort_unstable();
+        for (_, slot) in done {
+            let (_, c) = self.remove_flow(slot);
+            ctx.stats().add("net.flow_bytes_done", c.total);
             ctx.stats().incr("net.flows_done");
-            Self::deliver_done(ctx, f.notify, f.tag, f.total, f.on_done);
+            Self::deliver_done(ctx, c.notify, c.tag, c.total, c.on_done);
         }
     }
 
     /// Re-solves rates over *all* flows and re-arms the completion timer.
     fn ref_reschedule(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some((t, _)) = self.timer.take() {
-            ctx.cancel_timer(t);
-        }
-        if self.flows.is_empty() {
+        let old_timer = self.timer.take();
+        if self.live_flows == 0 {
+            if let Some((t, _)) = old_timer {
+                ctx.cancel_timer(t);
+            }
             return;
         }
-        let demands: Vec<FlowDemand> = self
-            .flows
-            .values()
-            .map(|f| FlowDemand {
-                links: f.route.links().to_vec(),
-                cap: f.cap,
+        // Solver input order decides float rounding, so both the demand
+        // build and the rate write-back walk ascending flow ids — the
+        // exact order the old BTreeMap sweep produced.
+        let ids = self.flows_by_id();
+        let demands: Vec<FlowDemand> = ids
+            .iter()
+            .map(|&(_, slot)| {
+                let h = &self.hot[slot as usize];
+                FlowDemand {
+                    links: h.route.links().to_vec(),
+                    cap: h.cap,
+                }
             })
             .collect();
         let rates = max_min_rates(&self.links, &demands);
         ctx.stats().incr("net.solver_calls");
         let mut next = f64::INFINITY;
-        for (f, rate) in self.flows.values_mut().zip(rates) {
-            f.rate = rate;
+        for (&(_, slot), rate) in ids.iter().zip(rates) {
+            let h = &mut self.hot[slot as usize];
+            h.rate = rate;
             if rate > 0.0 {
-                next = next.min(f.remaining / rate);
+                next = next.min(h.remaining / rate);
             }
         }
         if next.is_finite() {
             let delay = SimDuration::from_secs_f64(next).max(SimDuration::from_nanos(1));
             let at = ctx.now() + delay;
-            self.timer = Some((ctx.after(delay, TAG_COMPLETE), at));
+            // Reschedule in place (dispatch-order-identical to the old
+            // cancel + re-arm, minus the slot churn).
+            let t = match old_timer {
+                Some((t, _)) => ctx.reschedule_at(t, at, TAG_COMPLETE),
+                None => ctx.after_at(at, TAG_COMPLETE),
+            };
+            self.timer = Some((t, at));
+        } else if let Some((t, _)) = old_timer {
+            ctx.cancel_timer(t);
         }
     }
 
@@ -355,22 +474,24 @@ impl Fabric {
                 let id = self.next_flow_id;
                 self.next_flow_id += 1;
                 let route = self.route(req.src, req.dst);
-                self.flows.insert(
-                    id,
-                    ActiveFlow {
+                self.insert_flow(
+                    FlowHot {
+                        id,
                         remaining: req.bytes as f64,
                         rate: 0.0,
                         updated_at: now,
-                        route,
+                        gen: 0,
                         cap: req.cap_bytes_per_sec.unwrap_or(f64::INFINITY),
+                        route,
+                        mark: 0,
+                    },
+                    FlowCold {
                         notify: req.notify,
                         tag: req.tag,
                         total: req.bytes,
                         src: req.src,
                         dst: req.dst,
                         on_done: req.on_done,
-                        gen: 0,
-                        mark: 0,
                     },
                 );
                 ctx.stats().incr("net.flows_started");
@@ -383,17 +504,25 @@ impl Fabric {
             // O(F). The counter exists so the incremental engine's
             // link-indexed abort can be asserted against it.
             ctx.stats()
-                .add("net.abort_flows_scanned", self.flows.len() as u64);
-            let dead: Vec<u64> = self
-                .flows
+                .add("net.abort_flows_scanned", self.live_flows as u64);
+            let mut dead: Vec<(u64, u32)> = self
+                .hot
                 .iter()
-                .filter(|(_, f)| f.src == node || f.dst == node)
-                .map(|(id, _)| *id)
+                .zip(&self.cold)
+                .enumerate()
+                .filter_map(|(s, (h, c))| {
+                    if h.id == u64::MAX {
+                        return None;
+                    }
+                    let c = c.as_ref().expect("flow present");
+                    (c.src == node || c.dst == node).then_some((h.id, s as u32))
+                })
                 .collect();
-            for id in dead {
-                let f = self.flows.remove(&id).expect("flow present");
+            dead.sort_unstable();
+            for (_, slot) in dead {
+                let (_, c) = self.remove_flow(slot);
                 ctx.stats().incr("net.flows_aborted");
-                ctx.send(f.notify, FlowAborted { tag: f.tag });
+                ctx.send(c.notify, FlowAborted { tag: c.tag });
             }
             self.ref_reschedule(ctx);
         }
@@ -422,11 +551,11 @@ impl Fabric {
         }
     }
 
-    /// Unindexes a flow from its links.
-    fn detach(&mut self, route: Route, id: u64) {
+    /// Unindexes a flow's slab slot from its links.
+    fn detach(&mut self, route: Route, slot: u32) {
         for &l in route.links() {
             let v = &mut self.link_flows[l.0];
-            if let Some(p) = v.iter().position(|&x| x == id) {
+            if let Some(p) = v.iter().position(|&x| x == slot) {
                 v.swap_remove(p);
             }
         }
@@ -436,12 +565,11 @@ impl Fabric {
     /// flows whose projected finish has arrived. Stale entries (older
     /// generation than the flow, or flow already gone) are discarded.
     fn settle_due(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
-        while let Some(&Reverse((at, id, gen))) = self.done_heap.peek() {
-            let Some(f) = self.flows.get_mut(&id) else {
-                self.done_heap.pop();
-                continue;
-            };
-            if f.gen != gen {
+        while let Some(&Reverse((at, id, gen, slot))) = self.done_heap.peek() {
+            // Slots recycle, ids don't: an id mismatch means this entry's
+            // flow is gone and another now owns the slot.
+            let h = &mut self.hot[slot as usize];
+            if h.id != id || h.gen != gen {
                 self.done_heap.pop();
                 continue;
             }
@@ -449,24 +577,24 @@ impl Fabric {
                 break;
             }
             self.done_heap.pop();
-            let dt = (now - f.updated_at).as_secs_f64();
+            let dt = (now - h.updated_at).as_secs_f64();
             if dt > 0.0 {
-                f.remaining -= f.rate * dt;
-                f.updated_at = now;
+                h.remaining -= h.rate * dt;
+                h.updated_at = now;
             }
-            if f.remaining <= EPS_BYTES {
-                let f = self.flows.remove(&id).expect("flow present");
-                self.detach(f.route, id);
-                self.mark_dirty(f.route);
-                ctx.stats().add("net.flow_bytes_done", f.total);
+            if h.remaining <= EPS_BYTES {
+                let (h, c) = self.remove_flow(slot);
+                self.detach(h.route, slot);
+                self.mark_dirty(h.route);
+                ctx.stats().add("net.flow_bytes_done", c.total);
                 ctx.stats().incr("net.flows_done");
-                Self::deliver_done(ctx, f.notify, f.tag, f.total, f.on_done);
+                Self::deliver_done(ctx, c.notify, c.tag, c.total, c.on_done);
             } else {
                 // Nanosecond rounding left a sliver; try again shortly
                 // (mirrors the reference engine's 1 ns minimum re-arm).
-                let delay = SimDuration::from_secs_f64(f.remaining / f.rate)
+                let delay = SimDuration::from_secs_f64(h.remaining / h.rate)
                     .max(SimDuration::from_nanos(1));
-                self.done_heap.push(Reverse((now + delay, id, gen)));
+                self.done_heap.push(Reverse((now + delay, id, gen, slot)));
             }
         }
     }
@@ -488,8 +616,8 @@ impl Fabric {
             for m in &mut self.link_mark {
                 *m = 0;
             }
-            for f in self.flows.values_mut() {
-                f.mark = 0;
+            for h in &mut self.hot {
+                h.mark = 0;
             }
             self.epoch = 1;
         }
@@ -509,20 +637,36 @@ impl Fabric {
         // Grow to the full component: links sharing a flow share a fate.
         while let Some(l) = self.bfs_links.pop() {
             for i in 0..self.link_flows[l.0].len() {
-                let fid = self.link_flows[l.0][i];
-                let f = self.flows.get_mut(&fid).expect("indexed flow present");
-                if f.mark == epoch {
+                let slot = self.link_flows[l.0][i];
+                let h = &mut self.hot[slot as usize];
+                debug_assert_ne!(h.id, u64::MAX, "indexed flow present");
+                if h.mark == epoch {
                     continue;
                 }
-                f.mark = epoch;
-                self.comp_flows.push(fid);
-                for &l2 in f.route.links() {
+                h.mark = epoch;
+                let (id, cap, route) = (h.id, h.cap, h.route);
+                for &l2 in route.links() {
                     if self.link_mark[l2.0] != epoch {
                         self.link_mark[l2.0] = epoch;
                         self.link_slot[l2.0] = self.solver.add_link(self.links.capacity(l2));
                         self.bfs_links.push(l2);
                     }
                 }
+                // Every route link now holds a solver slot (assigned above
+                // or on an earlier visit): snapshot, so the solver feed
+                // below is lookup-free.
+                let links = route.links();
+                let mut slots = [0u32; 2];
+                for (s, l2) in slots.iter_mut().zip(links) {
+                    *s = self.link_slot[l2.0];
+                }
+                self.comp_flows.push(CompFlow {
+                    id,
+                    slot,
+                    cap,
+                    slots,
+                    n_links: links.len() as u8,
+                });
             }
         }
         if self.comp_flows.is_empty() {
@@ -532,36 +676,36 @@ impl Fabric {
         }
         // Flow-id order keeps the solve order (and thus float rounding)
         // independent of walk order.
-        self.comp_flows.sort_unstable();
-        for i in 0..self.comp_flows.len() {
-            let f = &self.flows[&self.comp_flows[i]];
-            let mut local = [0u32; 2];
-            let links = f.route.links();
-            for (s, l) in local.iter_mut().zip(links) {
-                *s = self.link_slot[l.0];
-            }
-            self.solver.add_flow(&local[..links.len()], f.cap);
+        self.comp_flows.sort_unstable_by_key(|c| c.id);
+        for c in &self.comp_flows {
+            self.solver.add_flow(&c.slots[..c.n_links as usize], c.cap);
         }
+        let rounds_before = self.solver.rounds();
         let rates = self.solver.solve();
         ctx.stats().incr("net.solver_calls");
-        for (i, &fid) in self.comp_flows.iter().enumerate() {
+        ctx.stats()
+            .add("net.comp_flow_visits", self.comp_flows.len() as u64);
+        for (i, c) in self.comp_flows.iter().enumerate() {
             let new_rate = rates[i];
-            let f = self.flows.get_mut(&fid).expect("component flow present");
-            let dt = (now - f.updated_at).as_secs_f64();
+            let h = &mut self.hot[c.slot as usize];
+            let dt = (now - h.updated_at).as_secs_f64();
             if dt > 0.0 {
-                f.remaining -= f.rate * dt;
+                h.remaining -= h.rate * dt;
             }
-            f.updated_at = now;
-            if new_rate != f.rate {
-                f.rate = new_rate;
-                f.gen += 1;
+            h.updated_at = now;
+            if new_rate != h.rate {
+                h.rate = new_rate;
+                h.gen += 1;
                 if new_rate > 0.0 {
-                    let delay = SimDuration::from_secs_f64(f.remaining / new_rate)
+                    let delay = SimDuration::from_secs_f64(h.remaining / new_rate)
                         .max(SimDuration::from_nanos(1));
-                    self.done_heap.push(Reverse((now + delay, fid, f.gen)));
+                    self.done_heap
+                        .push(Reverse((now + delay, c.id, h.gen, c.slot)));
                 }
             }
         }
+        ctx.stats()
+            .add("net.solver_rounds", self.solver.rounds() - rounds_before);
     }
 
     /// Re-arms the completion timer at the earliest valid projected finish,
@@ -570,8 +714,9 @@ impl Fabric {
         let next = loop {
             match self.done_heap.peek() {
                 None => break None,
-                Some(&Reverse((at, id, gen))) => {
-                    if self.flows.get(&id).map(|f| f.gen) == Some(gen) {
+                Some(&Reverse((at, id, gen, slot))) => {
+                    let h = &self.hot[slot as usize];
+                    if h.id == id && h.gen == gen {
                         break Some(at);
                     }
                     self.done_heap.pop();
@@ -585,13 +730,16 @@ impl Fabric {
                 }
             }
             Some(at) => {
-                if let Some((t, armed_at)) = self.timer {
-                    if armed_at == at {
-                        return; // timer reuse: nothing to cancel, nothing to queue
+                let t = match self.timer {
+                    Some((_, armed_at)) if armed_at == at => {
+                        return; // timer reuse: nothing to move, nothing to queue
                     }
-                    ctx.cancel_timer(t);
-                }
-                self.timer = Some((ctx.after_at(at, TAG_COMPLETE), at));
+                    // Deadline moved: reschedule in place (order-identical
+                    // to cancel + re-arm, no slot churn).
+                    Some((t, _)) => ctx.reschedule_at(t, at, TAG_COMPLETE),
+                    None => ctx.after_at(at, TAG_COMPLETE),
+                };
+                self.timer = Some((t, at));
             }
         }
     }
@@ -606,26 +754,28 @@ impl Fabric {
             let id = self.next_flow_id;
             self.next_flow_id += 1;
             let route = self.route(req.src, req.dst);
-            self.flows.insert(
-                id,
-                ActiveFlow {
+            let slot = self.insert_flow(
+                FlowHot {
+                    id,
                     remaining: req.bytes as f64,
                     rate: 0.0,
                     updated_at: now,
-                    route,
+                    gen: 0,
                     cap: req.cap_bytes_per_sec.unwrap_or(f64::INFINITY),
+                    route,
+                    mark: 0,
+                },
+                FlowCold {
                     notify: req.notify,
                     tag: req.tag,
                     total: req.bytes,
                     src: req.src,
                     dst: req.dst,
                     on_done: req.on_done,
-                    gen: 0,
-                    mark: 0,
                 },
             );
             for &l in route.links() {
-                self.link_flows[l.0].push(id);
+                self.link_flows[l.0].push(slot);
             }
             self.mark_dirty(route);
             ctx.stats().incr("net.flows_started");
@@ -641,14 +791,16 @@ impl Fabric {
             // exactly one of them). Consulting the persistent link→flows
             // index makes a crash O(degree of the node), not O(all flows):
             // under 1000-node churn a crash must not scan the whole wire.
-            let mut dead: Vec<u64> = Vec::new();
+            let mut dead: Vec<(u64, u32)> = Vec::new();
             if node.index() < self.tx.len() {
                 for l in [
                     self.tx[node.index()],
                     self.rx[node.index()],
                     self.loopback[node.index()],
                 ] {
-                    dead.extend_from_slice(&self.link_flows[l.0]);
+                    for &slot in &self.link_flows[l.0] {
+                        dead.push((self.hot[slot as usize].id, slot));
+                    }
                 }
             }
             ctx.stats()
@@ -657,26 +809,26 @@ impl Fabric {
             // abort notifications fire in flow-id order (determinism, and
             // parity with the reference engine's BTreeMap sweep).
             dead.sort_unstable();
-            for id in dead {
-                let mut f = self.flows.remove(&id).expect("flow present");
-                self.detach(f.route, id);
-                self.mark_dirty(f.route);
+            for (_, slot) in dead {
+                let (mut h, c) = self.remove_flow(slot);
+                self.detach(h.route, slot);
+                self.mark_dirty(h.route);
                 // A flow settled to within EPS of done may still hold a
                 // heap entry a nanosecond out (timer quantization); the
                 // reference engine's elapse-before-abort delivers FlowDone
                 // for it, so match that rather than aborting a transfer
                 // that has effectively landed.
-                let dt = (now - f.updated_at).as_secs_f64();
+                let dt = (now - h.updated_at).as_secs_f64();
                 if dt > 0.0 {
-                    f.remaining -= f.rate * dt;
+                    h.remaining -= h.rate * dt;
                 }
-                if f.remaining <= EPS_BYTES {
-                    ctx.stats().add("net.flow_bytes_done", f.total);
+                if h.remaining <= EPS_BYTES {
+                    ctx.stats().add("net.flow_bytes_done", c.total);
                     ctx.stats().incr("net.flows_done");
-                    Self::deliver_done(ctx, f.notify, f.tag, f.total, f.on_done);
+                    Self::deliver_done(ctx, c.notify, c.tag, c.total, c.on_done);
                 } else {
                     ctx.stats().incr("net.flows_aborted");
-                    ctx.send(f.notify, FlowAborted { tag: f.tag });
+                    ctx.send(c.notify, FlowAborted { tag: c.tag });
                 }
             }
             self.request_resolve(ctx);

@@ -235,6 +235,8 @@ pub struct MaxMinSolver {
     rates: Vec<f64>,
     /// Lifetime count of [`MaxMinSolver::solve`] calls (perf telemetry).
     solves: u64,
+    /// Lifetime count of progressive-filling rounds (perf telemetry).
+    rounds: u64,
 }
 
 impl MaxMinSolver {
@@ -285,6 +287,11 @@ impl MaxMinSolver {
         self.solves
     }
 
+    /// Number of progressive-filling rounds over the solver's lifetime.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
     /// Runs progressive filling over the staged component; returns one rate
     /// per flow in [`MaxMinSolver::add_flow`] order. Allocation-free once
     /// the buffers have warmed up.
@@ -295,6 +302,7 @@ impl MaxMinSolver {
             return &self.rates;
         }
         loop {
+            self.rounds += 1;
             // Count unfrozen flows per link.
             for c in self.unfrozen_on_link.iter_mut() {
                 *c = 0;
