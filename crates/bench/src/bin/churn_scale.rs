@@ -67,6 +67,13 @@ struct Sample {
     comp_visits: u64,
     solver_rounds: u64,
     queue: QueueStats,
+    /// Chaos-plane robustness counters (zero in fault-free churn runs
+    /// unless hardening knobs are enabled; surfaced so regressions in the
+    /// counter plumbing are visible here too).
+    attempt_retries: u64,
+    read_retries: u64,
+    blacklist_entries: u64,
+    partitions_healed: u64,
 }
 
 fn run(sc: &Scenario) -> Sample {
@@ -163,6 +170,10 @@ fn run(sc: &Scenario) -> Sample {
         comp_visits: stats.counter("net.comp_flow_visits"),
         solver_rounds: stats.counter("net.solver_rounds"),
         queue: stats.queue(),
+        attempt_retries: stats.counter("mr.attempt_retries"),
+        read_retries: stats.counter("dfs.read_retries"),
+        blacklist_entries: stats.counter("mr.blacklist_entries"),
+        partitions_healed: stats.counter("net.partitions_healed"),
     }
 }
 
@@ -208,7 +219,7 @@ fn run_and_report(sc: &Scenario, section: &str, quick: bool, wall_bar_s: f64) {
     }
 
     let body = format!(
-        "{{\n    \"scenario\": \"terasort, 64 MB blocks x{}, replication 3, {} reducers, churn wave {}j+{}l over [{}s, {}s]\",\n    \"quick\": {quick},\n    \"runs\": [\n      {{ \"workers\": {}, \"joins\": {}, \"leaves\": {}, \"churn_pct\": {pct:.1}, \"flows\": {}, \"events\": {}, \"events_per_sec\": {:.0}, \"wall_s\": {:.4}, \"makespan_s\": {:.3}, \"attempts\": {}, \"rereplications\": {}, \"abort_flows_scanned\": {}, \"joined_node_dispatches\": {}, \"solver_calls\": {}, \"solver_rounds\": {}, \"queue\": {} }}\n    ]\n  }}",
+        "{{\n    \"scenario\": \"terasort, 64 MB blocks x{}, replication 3, {} reducers, churn wave {}j+{}l over [{}s, {}s]\",\n    \"quick\": {quick},\n    \"runs\": [\n      {{ \"workers\": {}, \"joins\": {}, \"leaves\": {}, \"churn_pct\": {pct:.1}, \"flows\": {}, \"events\": {}, \"events_per_sec\": {:.0}, \"wall_s\": {:.4}, \"makespan_s\": {:.3}, \"attempts\": {}, \"rereplications\": {}, \"abort_flows_scanned\": {}, \"joined_node_dispatches\": {}, \"solver_calls\": {}, \"solver_rounds\": {}, \"queue\": {}, \"robustness\": {{ \"mr.attempt_retries\": {}, \"dfs.read_retries\": {}, \"mr.blacklist_entries\": {}, \"net.partitions_healed\": {} }} }}\n    ]\n  }}",
         sc.blocks,
         sc.reducers,
         sc.joins,
@@ -230,6 +241,10 @@ fn run_and_report(sc: &Scenario, section: &str, quick: bool, wall_bar_s: f64) {
         s.solver_calls,
         s.solver_rounds,
         accelmr_bench::queue_stats_json(&s.queue),
+        s.attempt_retries,
+        s.read_retries,
+        s.blacklist_entries,
+        s.partitions_healed,
     );
     let out = if quick {
         "BENCH_perf.quick.json"

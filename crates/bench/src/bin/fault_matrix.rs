@@ -1,0 +1,410 @@
+//! fault_matrix — robustness sweep of the chaos plane: fault class ×
+//! intensity on the 256-node terasort.
+//!
+//! Each cell injects one fault class through a deterministic
+//! [`FaultPlan`] — network partitions that
+//! stall and heal, NIC degradation, gray compute failures, heartbeat
+//! loss (false-positive death), transient stalls, and a mixed seeded
+//! storm — against the hardened runtime profile (I/O timeouts with
+//! exponential backoff and failover, progressive blacklisting, epoch
+//! fencing, the job-level liveness watchdog). The acceptance bar per
+//! cell:
+//!
+//! * **termination** — the run completes or fails with a typed
+//!   `JobError`; it never hangs (the drained
+//!   simulation returning at all proves it);
+//! * **exactly-once** — the output digest equals the fault-free
+//!   baseline's and the reduce aggregate equals the input size: no
+//!   record lost to a stalled transfer, none double-counted through a
+//!   fenced zombie report;
+//! * **bounded inflation** — the makespan stays within a constant factor
+//!   of the fault-free baseline (faults cost time, not correctness).
+//!
+//! Writes the `fault_matrix` section of `BENCH_perf.json`
+//! (`BENCH_perf.quick.json` under `--quick`, the CI smoke path),
+//! including the robustness counters (`mr.attempt_retries`,
+//! `mr.blacklist_entries`, `dfs.read_retries`, `net.partitions_healed`,
+//! fencing/resurrection/watchdog activity) per cell.
+
+use std::time::Instant;
+
+use accelmr_des::SimDuration;
+use accelmr_dfs::DfsConfig;
+use accelmr_hybrid::presets;
+use accelmr_mapred::{ClusterBuilder, FaultPlan, MrConfig};
+use accelmr_net::NodeId;
+
+/// One fault class of the sweep.
+#[derive(Clone, Copy, Debug)]
+enum Class {
+    Partition,
+    Degrade,
+    Gray,
+    HeartbeatLoss,
+    Stall,
+    /// Mixed storm from the seeded generator.
+    Storm,
+}
+
+struct Scenario {
+    workers: usize,
+    /// Input blocks (64 MB each, replication 3).
+    blocks: u64,
+    reducers: usize,
+}
+
+struct Cell {
+    name: &'static str,
+    class: Class,
+    victims: usize,
+    window_s: u64,
+}
+
+struct Outcome {
+    succeeded: bool,
+    typed_error: Option<String>,
+    makespan_s: f64,
+    digest: (u64, u64),
+    kv_total: u64,
+    wall_s: f64,
+    events: u64,
+    attempt_retries: u64,
+    read_retries: u64,
+    blacklist_entries: u64,
+    partitions_healed: u64,
+    fenced_reports: u64,
+    resurrections: u64,
+    speculative_launches: u64,
+    jobs_stalled: u64,
+}
+
+/// Victim nodes for a cell: a fixed stride through the worker id space
+/// (deterministic, head node excluded, no dependence on map iteration).
+fn victims(sc: &Scenario, count: usize) -> Vec<NodeId> {
+    let stride = (sc.workers / count.max(1)).max(1);
+    (0..count)
+        .map(|i| NodeId(1 + ((i * stride) % sc.workers) as u32))
+        .collect()
+}
+
+/// Builds the plan for one cell: faults staggered 3 s apart from t=20 s
+/// (mid-map for every scenario size), each healing after the cell's
+/// window.
+fn plan_for(sc: &Scenario, cell: &Cell) -> FaultPlan {
+    let window = SimDuration::from_secs(cell.window_s);
+    let start = SimDuration::from_secs(20);
+    if matches!(cell.class, Class::Storm) {
+        let nodes: Vec<NodeId> = (1..=sc.workers as u32).map(NodeId).collect();
+        return FaultPlan::storm(
+            2009,
+            &nodes,
+            cell.victims,
+            start,
+            SimDuration::from_secs(40),
+            window,
+        );
+    }
+    let mut plan = FaultPlan::new();
+    for (i, &node) in victims(sc, cell.victims).iter().enumerate() {
+        let at = start + SimDuration::from_secs(3 * i as u64);
+        plan = match cell.class {
+            Class::Partition => plan.partition_at(at, node, window),
+            Class::Degrade => plan.degrade_at(at, node, 0.05, window),
+            Class::Gray => plan.gray_at(at, node, 0.2, window),
+            Class::HeartbeatLoss => plan.heartbeat_loss_at(at, node, window),
+            Class::Stall => plan.stall_at(at, node, window),
+            Class::Storm => unreachable!(),
+        };
+    }
+    plan
+}
+
+fn run(sc: &Scenario, plan: FaultPlan) -> Outcome {
+    // The hardened profile is the point of the sweep: fetch/read timeouts
+    // with backoff and failover, blacklisting with probation decay, the
+    // stall watchdog — plus speculation, so gray nodes get raced.
+    let mr = MrConfig {
+        tt_dead_after: SimDuration::from_secs(12),
+        max_attempts: 30,
+        speculative: true,
+        // Stock hardened I/O timeouts: generous enough that
+        // contention-slowed but healthy transfers never thrash the retry
+        // path, so nonzero retry counters below always mean real faults.
+        ..MrConfig::hardened()
+    };
+    let dfs = DfsConfig {
+        dead_after: SimDuration::from_secs(12),
+        ..DfsConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new()
+        .seed(2009)
+        .workers(sc.workers)
+        .mr(mr)
+        .dfs(dfs)
+        .deploy();
+
+    let started = Instant::now();
+    let mut session = cluster.session();
+    session.faults(plan);
+    session.submit(
+        presets::terasort_replicated("/gray", sc.blocks * (64 << 20), sc.reducers, 3)
+            .map_tasks(sc.blocks as usize),
+    );
+    let result = session.run();
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // A zero-length drain returns the cumulative event count.
+    let now = cluster.sim.now();
+    let events = cluster.sim.run_until(now).events;
+    let stats = cluster.sim.stats();
+    Outcome {
+        succeeded: result.succeeded,
+        typed_error: result.error.map(|e| e.to_string()),
+        makespan_s: result.elapsed.as_secs_f64(),
+        digest: result.digest,
+        kv_total: result.kv.iter().map(|&(_, v)| v).sum(),
+        wall_s,
+        events,
+        attempt_retries: stats.counter("mr.attempt_retries"),
+        read_retries: stats.counter("dfs.read_retries"),
+        blacklist_entries: stats.counter("mr.blacklist_entries"),
+        partitions_healed: stats.counter("net.partitions_healed"),
+        fenced_reports: stats.counter("mr.fenced_reports"),
+        resurrections: stats.counter("mr.tt_resurrections"),
+        speculative_launches: stats.counter("mr.speculative_launches"),
+        jobs_stalled: stats.counter("mr.jobs_stalled"),
+    }
+}
+
+fn cell_json(cell: &Cell, o: &Outcome, baseline: &Outcome) -> String {
+    let inflation = o.makespan_s / baseline.makespan_s.max(1e-9);
+    format!(
+        "{{ \"cell\": \"{}\", \"victims\": {}, \"window_s\": {}, \"succeeded\": {}, \"error\": {}, \"makespan_s\": {:.3}, \"makespan_inflation\": {inflation:.3}, \"digest_exact\": {}, \"wall_s\": {:.4}, \"events\": {}, \"counters\": {{ \"mr.attempt_retries\": {}, \"dfs.read_retries\": {}, \"mr.blacklist_entries\": {}, \"net.partitions_healed\": {}, \"mr.fenced_reports\": {}, \"mr.tt_resurrections\": {}, \"mr.speculative_launches\": {}, \"mr.jobs_stalled\": {} }} }}",
+        cell.name,
+        cell.victims,
+        cell.window_s,
+        o.succeeded,
+        o.typed_error
+            .as_ref()
+            .map_or("null".into(), |e| format!("\"{e}\"")),
+        o.makespan_s,
+        o.digest == baseline.digest && o.kv_total == baseline.kv_total,
+        o.wall_s,
+        o.events,
+        o.attempt_retries,
+        o.read_retries,
+        o.blacklist_entries,
+        o.partitions_healed,
+        o.fenced_reports,
+        o.resurrections,
+        o.speculative_launches,
+        o.jobs_stalled,
+    )
+}
+
+fn main() {
+    let quick = accelmr_bench::quick_mode();
+    let sc = if quick {
+        Scenario {
+            workers: 64,
+            blocks: 4 * 64,
+            reducers: 8,
+        }
+    } else {
+        Scenario {
+            workers: 256,
+            blocks: 4 * 256,
+            reducers: 32,
+        }
+    };
+    let cells: Vec<Cell> = if quick {
+        vec![
+            Cell {
+                name: "partition/hi",
+                class: Class::Partition,
+                victims: 4,
+                window_s: 45,
+            },
+            Cell {
+                name: "degrade/hi",
+                class: Class::Degrade,
+                victims: 4,
+                window_s: 45,
+            },
+            Cell {
+                name: "gray/hi",
+                class: Class::Gray,
+                victims: 4,
+                window_s: 45,
+            },
+            Cell {
+                name: "hb_loss/hi",
+                class: Class::HeartbeatLoss,
+                victims: 4,
+                window_s: 30,
+            },
+            Cell {
+                name: "stall/hi",
+                class: Class::Stall,
+                victims: 4,
+                window_s: 30,
+            },
+            Cell {
+                name: "storm",
+                class: Class::Storm,
+                victims: 10,
+                window_s: 30,
+            },
+        ]
+    } else {
+        vec![
+            Cell {
+                name: "partition/lo",
+                class: Class::Partition,
+                victims: 1,
+                window_s: 30,
+            },
+            Cell {
+                name: "partition/hi",
+                class: Class::Partition,
+                victims: 12,
+                window_s: 45,
+            },
+            Cell {
+                name: "degrade/lo",
+                class: Class::Degrade,
+                victims: 1,
+                window_s: 30,
+            },
+            Cell {
+                name: "degrade/hi",
+                class: Class::Degrade,
+                victims: 12,
+                window_s: 45,
+            },
+            Cell {
+                name: "gray/lo",
+                class: Class::Gray,
+                victims: 1,
+                window_s: 30,
+            },
+            Cell {
+                name: "gray/hi",
+                class: Class::Gray,
+                victims: 12,
+                window_s: 45,
+            },
+            Cell {
+                name: "hb_loss/lo",
+                class: Class::HeartbeatLoss,
+                victims: 1,
+                window_s: 25,
+            },
+            Cell {
+                name: "hb_loss/hi",
+                class: Class::HeartbeatLoss,
+                victims: 12,
+                window_s: 25,
+            },
+            Cell {
+                name: "stall/lo",
+                class: Class::Stall,
+                victims: 1,
+                window_s: 30,
+            },
+            Cell {
+                name: "stall/hi",
+                class: Class::Stall,
+                victims: 12,
+                window_s: 30,
+            },
+            Cell {
+                name: "storm",
+                class: Class::Storm,
+                victims: 25,
+                window_s: 30,
+            },
+        ]
+    };
+
+    println!(
+        "# fault_matrix — {}-node terasort, fault class x intensity",
+        sc.workers
+    );
+    let baseline = run(&sc, FaultPlan::new());
+    assert!(baseline.succeeded, "fault-free baseline failed");
+    assert_eq!(
+        baseline.kv_total,
+        sc.blocks * (64 << 20),
+        "baseline aggregate is not the input size"
+    );
+    println!(
+        "  baseline: makespan {:.1} s sim, wall {:.2} s, {} events",
+        baseline.makespan_s, baseline.wall_s, baseline.events
+    );
+
+    let mut rows = Vec::new();
+    for cell in &cells {
+        let o = run(&sc, plan_for(&sc, cell));
+        let inflation = o.makespan_s / baseline.makespan_s.max(1e-9);
+        println!(
+            "  {:>14}: {} makespan {:>7.1} s ({inflation:.2}x) retries {{fetch {}, read {}}} blacklist {} healed {} fenced {} resurrected {} spec {}",
+            cell.name,
+            if o.succeeded { "ok  " } else { "FAIL" },
+            o.makespan_s,
+            o.attempt_retries,
+            o.read_retries,
+            o.blacklist_entries,
+            o.partitions_healed,
+            o.fenced_reports,
+            o.resurrections,
+            o.speculative_launches,
+        );
+        // Termination with a typed outcome: success, or a typed JobError.
+        assert!(
+            o.succeeded || o.typed_error.is_some(),
+            "{}: failed without a typed JobError",
+            cell.name
+        );
+        // Exactly-once: every completing cell reproduces the baseline
+        // digest and the input-size aggregate.
+        if o.succeeded {
+            assert_eq!(
+                o.digest, baseline.digest,
+                "{}: digest drifted under faults",
+                cell.name
+            );
+            assert_eq!(
+                o.kv_total, baseline.kv_total,
+                "{}: reduce aggregate drifted (lost or double-counted records)",
+                cell.name
+            );
+        }
+        // Bounded makespan inflation: faults cost time, not unbounded time.
+        assert!(
+            inflation < 4.0,
+            "{}: makespan inflated {inflation:.2}x (> 4x baseline)",
+            cell.name
+        );
+        rows.push(cell_json(cell, &o, &baseline));
+    }
+
+    let body = format!(
+        "{{\n    \"scenario\": \"terasort, 64 MB blocks x{}, replication 3, {} reducers, {} workers, hardened profile + speculation\",\n    \"quick\": {quick},\n    \"baseline\": {{ \"makespan_s\": {:.3}, \"wall_s\": {:.4}, \"events\": {} }},\n    \"cells\": [\n      {}\n    ]\n  }}",
+        sc.blocks,
+        sc.reducers,
+        sc.workers,
+        baseline.makespan_s,
+        baseline.wall_s,
+        baseline.events,
+        rows.join(",\n      "),
+    );
+    let out = if quick {
+        "BENCH_perf.quick.json"
+    } else {
+        "BENCH_perf.json"
+    };
+    accelmr_bench::update_bench_section(out, "fault_matrix", &body)
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("\nwrote {out} (fault_matrix section)");
+}

@@ -110,6 +110,13 @@ pub enum MrConfigError {
         /// Configured death timeout.
         tt_dead_after: SimDuration,
     },
+    /// A chaos-hardening knob is set to a value that disables the very
+    /// machinery it configures (zero timeout/threshold, or a retry
+    /// backoff below 1.0 that would *shrink* timeouts under pressure).
+    InvalidHardening {
+        /// The offending knob.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for MrConfigError {
@@ -129,6 +136,12 @@ impl std::fmt::Display for MrConfigError {
                 "tt_dead_after ({tt_dead_after}) must exceed heartbeat_interval \
                  ({heartbeat_interval}); healthy trackers would be declared dead"
             ),
+            MrConfigError::InvalidHardening { what } => {
+                write!(
+                    f,
+                    "hardening knob {what} must be positive (or None to disable)"
+                )
+            }
         }
     }
 }
@@ -177,6 +190,47 @@ pub struct MrConfig {
     pub shuffle_stream_cap: Option<f64>,
     /// Scheduling policy.
     pub scheduler: SchedulerPolicy,
+    // --- chaos-hardening knobs -----------------------------------------
+    // All default to *off*, preserving the stock Hadoop-0.19 protocol
+    // behavior (and every historical event trace) byte-for-byte; the
+    // chaos plane enables them via `MrConfig::hardened()`. Hadoop 0.19
+    // had none of this machinery, which is exactly why a partitioned
+    // shuffle hangs it — these knobs are the PR-8 hardening layer.
+    /// Shuffle fetch timeout: a reduce-side fetch with no completion
+    /// within this window is abandoned and re-issued (the stalled stream
+    /// is left to drain; a late arrival for it is dropped). Grows by
+    /// [`io_retry_backoff`](MrConfig::io_retry_backoff) per retry. Must
+    /// exceed the worst-case *legitimate* fetch time under full shuffle
+    /// congestion, or healthy transfers get duplicated. `None` = fetches
+    /// wait forever (stock behavior).
+    pub shuffle_fetch_timeout: Option<SimDuration>,
+    /// DFS record-read timeout: a segment read not served within this
+    /// window fails over to the next replica (same backoff rule). `None`
+    /// = reads wait forever (stock behavior).
+    pub read_timeout: Option<SimDuration>,
+    /// Timeout multiplier applied per retry of the same fetch/read
+    /// (exponential backoff; >= 1.0).
+    pub io_retry_backoff: f64,
+    /// Retries per fetch/read before the attempt is failed (re-queued by
+    /// the JobTracker under its `max_attempts` budget).
+    pub io_max_retries: u32,
+    /// Progressive TaskTracker blacklisting: a node accumulating this
+    /// many failed attempts (decayed over
+    /// [`blacklist_probation`](MrConfig::blacklist_probation)) stops
+    /// receiving work until its score decays below the bar again. `None`
+    /// = never blacklist (stock behavior).
+    pub blacklist_threshold: Option<u32>,
+    /// Probation half-life of the blacklist failure score: every such
+    /// window, a node's accumulated score halves, so a gray node that
+    /// recovers re-enters the dispatch rotation.
+    pub blacklist_probation: SimDuration,
+    /// Job-level liveness watchdog: a job making no forward progress
+    /// (no dispatch, no attempt completion) for this long is failed with
+    /// a typed [`JobError`](crate::JobError) instead of hanging the
+    /// session — the backstop for unservable inputs (every replica of a
+    /// block gone) and unhealable partitions. `None` = jobs may hang
+    /// (stock behavior).
+    pub job_stall_timeout: Option<SimDuration>,
 }
 
 impl MrConfig {
@@ -196,7 +250,52 @@ impl MrConfig {
                 tt_dead_after: self.tt_dead_after,
             });
         }
+        if self.shuffle_fetch_timeout == Some(SimDuration::ZERO) {
+            return Err(MrConfigError::InvalidHardening {
+                what: "shuffle_fetch_timeout",
+            });
+        }
+        if self.read_timeout == Some(SimDuration::ZERO) {
+            return Err(MrConfigError::InvalidHardening {
+                what: "read_timeout",
+            });
+        }
+        if !(self.io_retry_backoff.is_finite() && self.io_retry_backoff >= 1.0) {
+            return Err(MrConfigError::InvalidHardening {
+                what: "io_retry_backoff",
+            });
+        }
+        if self.blacklist_threshold == Some(0) {
+            return Err(MrConfigError::InvalidHardening {
+                what: "blacklist_threshold",
+            });
+        }
+        if self.job_stall_timeout == Some(SimDuration::ZERO) {
+            return Err(MrConfigError::InvalidHardening {
+                what: "job_stall_timeout",
+            });
+        }
         Ok(())
+    }
+
+    /// The default config with every chaos-hardening knob engaged at the
+    /// values the `fault_matrix` bench runs under: generous I/O timeouts
+    /// (above worst-case congested transfer times) with 2x backoff,
+    /// 3-strike blacklisting with a one-minute probation half-life, and a
+    /// job watchdog well past the death-detection window. Fault-free runs
+    /// behave identically *in outcome* but not in event trace (timeout
+    /// timers arm and lazily expire), which is why hardening is opt-in.
+    pub fn hardened() -> Self {
+        MrConfig {
+            shuffle_fetch_timeout: Some(SimDuration::from_secs(45)),
+            read_timeout: Some(SimDuration::from_secs(30)),
+            io_retry_backoff: 2.0,
+            io_max_retries: 5,
+            blacklist_threshold: Some(3),
+            blacklist_probation: SimDuration::from_secs(60),
+            job_stall_timeout: Some(SimDuration::from_secs(120)),
+            ..MrConfig::default()
+        }
     }
 }
 
@@ -218,6 +317,13 @@ impl Default for MrConfig {
             max_attempts: 4,
             shuffle_stream_cap: Some(20.0e6),
             scheduler: SchedulerPolicy::LocalityFirst,
+            shuffle_fetch_timeout: None,
+            read_timeout: None,
+            io_retry_backoff: 2.0,
+            io_max_retries: 4,
+            blacklist_threshold: None,
+            blacklist_probation: SimDuration::from_secs(60),
+            job_stall_timeout: None,
         }
     }
 }
@@ -237,6 +343,49 @@ mod tests {
         // ~7.5 s per 64 MB record, the paper's "several seconds".
         let per_record = (64 << 20) as f64 / cap;
         assert!((6.0..10.0).contains(&per_record), "{per_record}");
+    }
+
+    #[test]
+    fn hardening_defaults_off_and_validated() {
+        let c = MrConfig::default();
+        assert!(c.shuffle_fetch_timeout.is_none());
+        assert!(c.read_timeout.is_none());
+        assert!(c.blacklist_threshold.is_none());
+        assert!(c.job_stall_timeout.is_none());
+        c.validate().unwrap();
+
+        let h = MrConfig::hardened();
+        h.validate().unwrap();
+        assert!(h.shuffle_fetch_timeout.is_some());
+        assert!(h.blacklist_threshold.is_some());
+        assert!(h.job_stall_timeout.is_some());
+
+        let bad = MrConfig {
+            shuffle_fetch_timeout: Some(SimDuration::ZERO),
+            ..MrConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(MrConfigError::InvalidHardening {
+                what: "shuffle_fetch_timeout"
+            })
+        ));
+        let bad = MrConfig {
+            io_retry_backoff: 0.5,
+            ..MrConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(MrConfigError::InvalidHardening { .. })
+        ));
+        let bad = MrConfig {
+            blacklist_threshold: Some(0),
+            ..MrConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(MrConfigError::InvalidHardening { .. })
+        ));
     }
 
     #[test]

@@ -298,6 +298,45 @@ pub struct TaskMetrics {
     pub compute: SimDuration,
 }
 
+/// Why a job terminated without success. Typed so chaos harnesses (and
+/// callers generally) can distinguish "a task ran out of attempts" from
+/// "the job-level watchdog declared it unservable" — the latter replaces
+/// the historical failure mode of hanging the session forever when, e.g.,
+/// every replica of an input block is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// A task failed `attempts` times, reaching
+    /// [`MrConfig::max_attempts`](crate::MrConfig::max_attempts).
+    TaskFailed {
+        /// The task that exhausted its attempts.
+        task: TaskId,
+        /// How many attempts it burned.
+        attempts: u32,
+    },
+    /// The liveness watchdog ([`job_stall_timeout`](crate::MrConfig::job_stall_timeout))
+    /// saw no dispatch or completed attempt for `idle_for`: the job cannot
+    /// make progress (unservable input, every eligible node blacklisted, ...).
+    Stalled {
+        /// Time since the job last dispatched or completed an attempt.
+        idle_for: SimDuration,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TaskFailed { task, attempts } => {
+                write!(f, "{task} failed after {attempts} attempts")
+            }
+            JobError::Stalled { idle_for } => {
+                write!(f, "no progress for {idle_for}; job is unservable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// Final job outcome delivered to the submitting client.
 #[derive(Clone, Debug)]
 pub struct JobResult {
@@ -307,6 +346,10 @@ pub struct JobResult {
     pub name: String,
     /// `true` when every task eventually succeeded.
     pub succeeded: bool,
+    /// Why the job failed, when `succeeded` is false and the cause was
+    /// task-level (`None` for successful jobs; also `None` on legacy
+    /// failure paths that predate typed errors, e.g. missing input files).
+    pub error: Option<JobError>,
     /// Submission-to-completion wall time.
     pub elapsed: SimDuration,
     /// Map tasks executed.

@@ -23,13 +23,15 @@
 use std::collections::VecDeque;
 
 use accelmr_des::prelude::*;
-use accelmr_des::FxHashMap;
+use accelmr_des::{FxHashMap, FxHashSet};
 use accelmr_dfs::msgs::{BlockLoc, LocationsReply, PreloadDone};
 use accelmr_dfs::DfsHandle;
 use accelmr_net::{NetHandle, NodeId};
 
 use crate::config::{JobId, MrConfig, TaskId};
-use crate::job::{JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskWork};
+use crate::job::{
+    JobError, JobInput, JobResult, JobSpec, OutputSink, ReduceSpec, TaskDescriptor, TaskWork,
+};
 use crate::msgs::{AssignTask, JobComplete, KillTask, SubmitJob, TaskReport, TtHeartbeat};
 use crate::sched::{
     build_scheduler, task_work_size, SchedView, Scheduler, SplitRequest, TaskCompletion, TaskView,
@@ -65,6 +67,11 @@ struct TtInfo {
     actor: ActorId,
     last_heartbeat: SimTime,
     dead: bool,
+    /// Progressive-blacklist failure score: bumped per failed attempt,
+    /// halved every [`MrConfig::blacklist_probation`]. The node is
+    /// blacklisted (skipped by dispatch) while the score is at or above
+    /// [`MrConfig::blacklist_threshold`].
+    fail_score: u32,
 }
 
 struct TaskState {
@@ -128,6 +135,12 @@ struct JobState {
     /// Map outputs (and their folded contributions) for the shuffle.
     map_outputs: FxHashMap<TaskId, MapOutput>,
     succeeded: bool,
+    /// Typed cause of failure, for [`JobResult::error`].
+    error: Option<JobError>,
+    /// Last instant the job dispatched or completed an attempt (or was
+    /// submitted): the watchdog input. Maintained unconditionally; only
+    /// *checked* when [`MrConfig::job_stall_timeout`] is set.
+    last_progress: SimTime,
     // Fairness accounting: the integral of concurrently running attempts
     // over time (slot-seconds) and its step timeline. Maintained by
     // `note_share` at every change of the job's occupied-slot count.
@@ -205,6 +218,15 @@ pub struct JobTracker {
     /// Private scheduler instances for jobs carrying their own policy
     /// ([`JobSpec::scheduler`]); removed when the job completes.
     job_scheds: FxHashMap<u32, Box<dyn Scheduler>>,
+    /// Epoch-fenced attempts `(job, task, attempt)`: attempts that were
+    /// requeued when their node was declared dead. A fenced attempt's
+    /// eventual report — from a falsely-declared-dead tracker that kept
+    /// running, or one that heartbeats again after a partition heal — is
+    /// rejected wholesale, keeping kv/digest accounting exactly-once (the
+    /// re-execution's report is the one that counts).
+    fenced: FxHashSet<(u32, u32, u32)>,
+    /// Next instant the probation sweep halves every blacklist score.
+    blacklist_decay_at: SimTime,
 }
 
 /// Resolves the scheduler for `job`: its private override if it has one,
@@ -271,6 +293,52 @@ impl JobTracker {
             next_job: 0,
             scheduler,
             job_scheds: FxHashMap::default(),
+            fenced: FxHashSet::default(),
+            blacklist_decay_at: SimTime::ZERO,
+        }
+    }
+
+    /// Whether `node` is currently held out of dispatch by the progressive
+    /// blacklist. Always `false` with the knob unset (the default).
+    fn is_blacklisted(&self, node: NodeId) -> bool {
+        match (self.cfg.blacklist_threshold, self.tts.get(&node)) {
+            (Some(th), Some(tt)) => tt.fail_score >= th,
+            _ => false,
+        }
+    }
+
+    /// Scores a failed attempt against its node and enters the node into
+    /// the blacklist at the threshold. Inert with the knob unset.
+    fn note_node_failure(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
+        let Some(th) = self.cfg.blacklist_threshold else {
+            return;
+        };
+        if let Some(tt) = self.tts.get_mut(&node) {
+            tt.fail_score += 1;
+            if tt.fail_score == th {
+                ctx.stats().incr("mr.blacklist_entries");
+            }
+        }
+    }
+
+    /// Probation decay: every [`MrConfig::blacklist_probation`], halve all
+    /// failure scores, so a blacklisted node that stops failing drifts
+    /// back into service instead of being banned forever. Runs on the
+    /// liveness tick; inert with blacklisting unset.
+    fn decay_blacklist(&mut self, now: SimTime) {
+        if self.cfg.blacklist_threshold.is_none() {
+            return;
+        }
+        if self.blacklist_decay_at == SimTime::ZERO {
+            self.blacklist_decay_at = now + self.cfg.blacklist_probation;
+            return;
+        }
+        while now >= self.blacklist_decay_at {
+            // audit:allow(map-order): per-node score halving is independent per entry; order is unobservable and no events issue here
+            for tt in self.tts.values_mut() {
+                tt.fail_score /= 2;
+            }
+            self.blacklist_decay_at += self.cfg.blacklist_probation;
         }
     }
 
@@ -536,6 +604,7 @@ impl JobTracker {
             reduce_merge_time,
         };
         job.note_share(ctx.now(), 1);
+        job.last_progress = ctx.now();
         ctx.stats().incr("mr.assignments");
         let now = ctx.now();
         let has_override = self.job_scheds.contains_key(&job_id);
@@ -564,6 +633,14 @@ impl JobTracker {
     /// event — proven by the golden multi-job traces
     /// (`job_level_dispatch_is_trace_equivalent`).
     fn schedule_on(&mut self, ctx: &mut Ctx<'_>, node: NodeId, mut free: usize) {
+        // A blacklisted tracker stays registered and keeps heartbeating
+        // (its slots still count toward the cluster total) but is handed
+        // no work — regular or speculative — until probation decays its
+        // failure score back under the threshold.
+        if self.is_blacklisted(node) {
+            ctx.stats().incr("mr.blacklist_skips");
+            return;
+        }
         // Jobs retired for this heartbeat (nothing left to offer), and
         // jobs whose regular queue declined (skip straight to speculation
         // on their next pick — `pick_task` cannot start returning `Some`
@@ -732,6 +809,17 @@ impl JobTracker {
 
     fn handle_report(&mut self, ctx: &mut Ctx<'_>, report: TaskReport) {
         let job_id = report.job.0;
+        // Epoch fence: the attempt was requeued when its node was declared
+        // dead, so this report is from a zombie execution. Reject it
+        // before it can touch running lists, pending queues, or kv/digest
+        // folds — the re-executed attempt's report is the real one.
+        if self.fenced.remove(&(job_id, report.task.0, report.attempt)) {
+            ctx.stats().incr("mr.fenced_reports");
+            return;
+        }
+        if !report.ok {
+            self.note_node_failure(ctx, report.node);
+        }
         let Some(job) = self.jobs.get_mut(&job_id) else {
             return;
         };
@@ -753,6 +841,10 @@ impl JobTracker {
             if !ts.completed {
                 if ts.attempts >= self.cfg.max_attempts {
                     job.succeeded = false;
+                    job.error = Some(JobError::TaskFailed {
+                        task: report.task,
+                        attempts: ts.attempts,
+                    });
                     self.finalize(ctx, JobId(job_id));
                 } else {
                     job.pending.push_back(report.task);
@@ -785,6 +877,7 @@ impl JobTracker {
         };
 
         job.note_share(ctx.now(), -(others.len() as i64));
+        job.last_progress = ctx.now();
         job.bytes_read += report.metrics.bytes_read;
         job.bytes_output += report.metrics.bytes_output;
         job.local_reads += report.metrics.local_reads;
@@ -987,6 +1080,7 @@ impl JobTracker {
             job: job_id,
             name: job.spec.name.clone(),
             succeeded: job.succeeded,
+            error: job.error,
             elapsed: now - job.submitted,
             tenant: job.spec.tenant.clone(),
             weight: job.spec.weight,
@@ -1075,6 +1169,8 @@ impl JobTracker {
     /// Declares silent TaskTrackers dead and re-queues their work.
     fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        self.decay_blacklist(now);
+        let mut newly_fenced: Vec<(u32, u32, u32)> = Vec::new();
         let mut newly_dead: Vec<NodeId> = Vec::new();
         let mut nodes: Vec<NodeId> = self.tts.keys().copied().collect();
         nodes.sort_unstable();
@@ -1106,9 +1202,19 @@ impl JobTracker {
                 let mut vanished = 0i64;
                 for (i, ts) in job.tasks.iter_mut().enumerate() {
                     let tid = TaskId(i as u32);
-                    // Running attempts on the dead node vanish.
+                    // Running attempts on the dead node vanish — and are
+                    // *fenced*: should the node turn out to be alive
+                    // (heartbeat loss, partition), the zombie executions'
+                    // eventual reports must not fold a second copy of the
+                    // work into the job.
                     let before = ts.running.len();
-                    ts.running.retain(|&(_, n, _)| n != node);
+                    ts.running.retain(|&(a, n, _)| {
+                        if n != node {
+                            return true;
+                        }
+                        newly_fenced.push((job_id, i as u32, a));
+                        false
+                    });
                     vanished += (before - ts.running.len()) as i64;
                     if before != ts.running.len() && !ts.completed && ts.running.is_empty() {
                         job.pending.push_back(tid);
@@ -1153,6 +1259,41 @@ impl JobTracker {
                 }
                 job.note_share(now, -vanished);
             }
+        }
+        for key in newly_fenced {
+            self.fenced.insert(key);
+        }
+        self.check_watchdog(ctx, now);
+    }
+
+    /// Job-level liveness watchdog: a job with *nothing running* and no
+    /// dispatch or completion for [`MrConfig::job_stall_timeout`] cannot
+    /// make progress (unservable input, every candidate node dead or
+    /// blacklisted) and is terminated with a typed
+    /// [`JobError::Stalled`] instead of hanging the session. Jobs with
+    /// attempts in flight are never declared stalled — slow tasks are the
+    /// I/O watchdogs' and speculation's problem, not this one's.
+    fn check_watchdog(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let Some(timeout) = self.cfg.job_stall_timeout else {
+            return;
+        };
+        let mut stalled: Vec<u32> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !matches!(j.phase, Phase::Done | Phase::Finalizing))
+            .filter(|(_, j)| j.running_now == 0 && now.since(j.last_progress) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        stalled.sort_unstable();
+        for id in stalled {
+            if let Some(job) = self.jobs.get_mut(&id) {
+                job.succeeded = false;
+                job.error = Some(JobError::Stalled {
+                    idle_for: now.since(job.last_progress),
+                });
+            }
+            ctx.stats().incr("mr.jobs_stalled");
+            self.finalize(ctx, JobId(id));
         }
     }
 }
@@ -1242,6 +1383,8 @@ impl Actor for JobTracker {
                             dispatch_log: Vec::new(),
                             map_outputs: FxHashMap::default(),
                             succeeded: true,
+                            error: None,
+                            last_progress: ctx.now(),
                             running_now: 0,
                             share_last_change: ctx.now(),
                             slot_seconds: 0.0,
@@ -1266,16 +1409,33 @@ impl Actor for JobTracker {
                     let hb = msg.downcast::<TtHeartbeat>().expect("checked");
                     ctx.stats().incr("mr.heartbeats");
                     let now = ctx.now();
-                    // A heartbeat resurrects nothing: dead stays dead (the
-                    // paper-era JobTracker required re-registration; our
-                    // crashed TaskTrackers never come back).
+                    // A heartbeat from a tracker we declared dead means the
+                    // declaration was a false positive (heartbeat loss, or
+                    // a healed partition): resurrect it. Its pre-death
+                    // attempts were requeued and fenced at declaration
+                    // time, so any stale reports this heartbeat carries
+                    // are rejected in `handle_report` — the node rejoins
+                    // with a clean slate. Genuinely crashed trackers never
+                    // heartbeat again, so this path is unreachable outside
+                    // chaos runs.
                     let is_new = !self.tts.contains_key(&hb.node);
                     let entry = self.tts.entry(hb.node).or_insert(TtInfo {
                         actor: ActorId::ENGINE,
                         last_heartbeat: now,
                         dead: false,
+                        fail_score: 0,
                     });
                     entry.last_heartbeat = now;
+                    let resurrected = entry.dead;
+                    if resurrected {
+                        entry.dead = false;
+                        ctx.stats().incr("mr.tt_resurrections");
+                        self.scheduler.on_node_join(hb.node);
+                        // audit:allow(map-order): per-job schedulers are mutually independent state; the join feed order across jobs is unobservable and no events issue here
+                        for sched in self.job_scheds.values_mut() {
+                            sched.on_node_join(hb.node);
+                        }
+                    }
                     if is_new {
                         // Discovery by heartbeat alone (no registration
                         // observed): still a join for the schedulers.
@@ -1333,6 +1493,7 @@ impl JobTracker {
                 actor,
                 last_heartbeat: now,
                 dead: false,
+                fail_score: 0,
             });
     }
 }

@@ -65,7 +65,7 @@ pub use cluster::{deploy_cluster, run_job};
 pub use cluster::{deploy_mr, MrCluster, MrHandle, PreloadSpec};
 pub use config::{AdaptiveTuning, JobId, MrConfig, MrConfigError, SchedulerPolicy, TaskId};
 pub use job::{
-    JobInput, JobResult, JobSpec, JobSpecError, OutputSink, ReduceSpec, TaskDescriptor,
+    JobError, JobInput, JobResult, JobSpec, JobSpecError, OutputSink, ReduceSpec, TaskDescriptor,
     TaskMetrics, TaskWork,
 };
 pub use jobtracker::JobTracker;
@@ -73,12 +73,12 @@ pub use kernel::{
     FixedCostKernel, NodeEnv, NodeEnvFactory, NullEnv, NullEnvFactory, RecordCtx, RecordOutcome,
     ReduceKernel, SumReducer, TaskKernel, UnitsOutcome,
 };
-pub use msgs::{CrashTaskTracker, JobComplete, SubmitJob};
+pub use msgs::{CrashTaskTracker, InjectGray, JobComplete, SetHeartbeatLoss, SubmitJob};
 pub use sched::{
     build_scheduler, AdaptiveHetero, DeadlineSlack, FairShare, Fifo, LocalityFirst, NodeThroughput,
     SchedView, Scheduler, SplitPlan, SplitRequest, TaskCompletion, TaskView,
 };
-pub use session::{ChurnOp, ChurnSchedule, JobHandle, JobRequest, Session};
+pub use session::{ChurnOp, ChurnSchedule, FaultOp, FaultPlan, JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;
 
 #[cfg(test)]

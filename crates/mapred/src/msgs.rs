@@ -82,3 +82,29 @@ pub struct KillTask {
 /// [`accelmr_net::AbortNode`] to kill in-flight transfers.
 #[derive(Debug, Clone, Copy)]
 pub struct CrashTaskTracker;
+
+/// Gray-failure injection: the TaskTracker's *compute* throughput silently
+/// degrades to `factor` of nominal (`0.25` = four times slower) until a
+/// follow-up message with `factor == 1.0` heals it. Only timers armed
+/// after injection are affected; already-running computations finish at
+/// their original speed, like a machine that starts thermal-throttling
+/// mid-task. The node never stops heartbeating — that is the point: gray
+/// failures are invisible to crash detection and must be caught by
+/// straggler speculation and blacklisting instead.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectGray {
+    /// Throughput multiplier in `(0, 1]`; `1.0` restores nominal speed.
+    pub factor: f64,
+}
+
+/// Heartbeat-loss injection: while `suppress` is set the TaskTracker
+/// keeps running tasks but sends no heartbeats, so the JobTracker's
+/// liveness sweep will falsely declare it dead. Completed-task reports
+/// accumulate locally and all ride the first heartbeat after the loss
+/// window ends — exactly the stale-report burst the epoch fencing in the
+/// JobTracker exists to reject.
+#[derive(Debug, Clone, Copy)]
+pub struct SetHeartbeatLoss {
+    /// `true` drops every outgoing heartbeat; `false` resumes them.
+    pub suppress: bool,
+}

@@ -28,6 +28,14 @@ use super::{default_straggler, locality_pick, SchedView, Scheduler};
 #[derive(Debug)]
 pub struct FairShare {
     slowdown: f64,
+    /// Tenants at the minimum weighted share, snapshotted by the latest
+    /// [`pick_job`](Scheduler::pick_job) call (which the dispatch loop
+    /// always makes before any straggler offer on the same slot). Gates
+    /// speculation: duplicates occupy real slots and are billed to their
+    /// tenant's share like any attempt, so only the poorest tenant(s) may
+    /// launch them — an over-share tenant cannot grab extra capacity
+    /// through speculative copies that regular dispatch would deny it.
+    min_share_tenants: Vec<String>,
 }
 
 impl FairShare {
@@ -35,8 +43,49 @@ impl FairShare {
     pub fn new(cfg: &MrConfig) -> Self {
         FairShare {
             slowdown: cfg.speculative_slowdown,
+            min_share_tenants: Vec::new(),
         }
     }
+}
+
+/// Tenant accounting over a `pick_job` view slice: `(tenant, usage,
+/// weight)` with usage summing running slots over *all* views (speculative
+/// attempts included — they occupy slots like any other) and weight the
+/// maximum among the tenant's jobs. A linear scan keyed by name: tenant
+/// counts per decision are small, and determinism matters more than big-O.
+fn tenant_usage<'a>(views: &[SchedView<'a>]) -> Vec<(&'a str, f64, f64)> {
+    let mut tenants: Vec<(&str, f64, f64)> = Vec::new();
+    for v in views {
+        let slots = v.running_slots() as f64;
+        match tenants.iter_mut().find(|(t, _, _)| *t == v.tenant) {
+            Some((_, usage, weight)) => {
+                *usage += slots;
+                *weight = weight.max(v.weight);
+            }
+            None => tenants.push((v.tenant, slots, v.weight)),
+        }
+    }
+    tenants
+}
+
+/// The tenants whose weighted share is minimal across `views` — the ones
+/// entitled to the next slot (and therefore the only ones allowed to spend
+/// it on a speculative duplicate).
+fn min_share_tenants(views: &[SchedView<'_>]) -> Vec<String> {
+    let tenants = tenant_usage(views);
+    let share = |usage: f64, weight: f64| usage / weight.max(f64::MIN_POSITIVE);
+    let Some(min) = tenants
+        .iter()
+        .map(|&(_, u, w)| share(u, w))
+        .min_by(|a, b| a.partial_cmp(b).expect("shares are finite"))
+    else {
+        return Vec::new();
+    };
+    tenants
+        .iter()
+        .filter(|&&(_, u, w)| share(u, w) == min)
+        .map(|&(t, _, _)| t.to_owned())
+        .collect()
 }
 
 /// The weighted max-min pick over `views`, shared by [`FairShare`] and
@@ -50,19 +99,7 @@ impl FairShare {
 /// eligible jobs, the smallest `usage / weight` tenant wins; ties break to
 /// the lowest job id, so equal-share tenants degrade to plain FIFO.
 pub(crate) fn fair_share_pick(views: &[SchedView<'_>]) -> Option<JobId> {
-    // Tenant → (usage, weight). A linear scan keyed by name: tenant counts
-    // per decision are small, and determinism matters more than big-O.
-    let mut tenants: Vec<(&str, f64, f64)> = Vec::new();
-    for v in views {
-        let slots = v.running_slots() as f64;
-        match tenants.iter_mut().find(|(t, _, _)| *t == v.tenant) {
-            Some((_, usage, weight)) => {
-                *usage += slots;
-                *weight = weight.max(v.weight);
-            }
-            None => tenants.push((v.tenant, slots, v.weight)),
-        }
-    }
+    let tenants = tenant_usage(views);
     let share = |tenant: &str| -> f64 {
         tenants
             .iter()
@@ -93,6 +130,7 @@ impl Scheduler for FairShare {
     }
 
     fn pick_job(&mut self, views: &[SchedView<'_>], _node: NodeId) -> Option<JobId> {
+        self.min_share_tenants = min_share_tenants(views);
         fair_share_pick(views)
     }
 
@@ -106,6 +144,15 @@ impl Scheduler for FairShare {
         node: NodeId,
         now: SimTime,
     ) -> Option<TaskId> {
+        // Speculative duplicates are billed to the tenant's running-slot
+        // share like any attempt, so only a minimum-share tenant may spend
+        // a slot on one. An empty snapshot (no `pick_job` yet — e.g. this
+        // policy serving as a per-job override) keeps the default open.
+        if !self.min_share_tenants.is_empty()
+            && !self.min_share_tenants.iter().any(|t| t == view.tenant)
+        {
+            return None;
+        }
         default_straggler(view, node, now, self.slowdown)
     }
 }

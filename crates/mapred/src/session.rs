@@ -40,7 +40,7 @@ use crate::config::MrConfig;
 use crate::job::{JobResult, JobSpec};
 use crate::jobtracker::RegisterTaskTracker;
 use crate::kernel::NodeEnvFactory;
-use crate::msgs::{CrashTaskTracker, JobComplete};
+use crate::msgs::{CrashTaskTracker, InjectGray, JobComplete, SetHeartbeatLoss};
 use crate::tasktracker::TaskTracker;
 
 /// A job plus the driver-side work it needs before submission (DFS
@@ -221,6 +221,239 @@ impl ChurnSchedule {
     }
 }
 
+/// One fault class inside a [`FaultPlan`]. Every op names its victim and
+/// a window after which the fault heals — chaos here is always transient;
+/// permanent crash-shaped departures are [`ChurnSchedule`]'s job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultOp {
+    /// Full network partition of `node`'s NIC for `window`: bulk flows
+    /// (shuffle fetches, DFS streams) through it stall at rate zero — they
+    /// do *not* abort — and resume where they left off at heal. Control
+    /// RPCs (heartbeats, assignments) are modeled off the fluid fabric and
+    /// keep flowing: this is a pure data-plane fault, detectable only by
+    /// I/O watchdogs, never by heartbeat silence.
+    Partition {
+        /// The partitioned node.
+        node: NodeId,
+        /// Time until the partition heals.
+        window: SimDuration,
+    },
+    /// `node`'s NIC bandwidth silently drops to `factor` of nominal for
+    /// `window` (a flapping link, a saturated ToR port).
+    Degrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Bandwidth multiplier in `(0, 1)`.
+        factor: f64,
+        /// Time until full bandwidth returns.
+        window: SimDuration,
+    },
+    /// Gray failure: `node`'s *compute* throughput silently drops to
+    /// `factor` of nominal for `window`. The node heartbeats normally the
+    /// whole time — only straggler speculation and blacklisting can see it.
+    Gray {
+        /// The gray node.
+        node: NodeId,
+        /// Compute-throughput multiplier in `(0, 1)`.
+        factor: f64,
+        /// Time until nominal speed returns.
+        window: SimDuration,
+    },
+    /// `node` sends no heartbeats for `window` while its tasks keep
+    /// running: the JobTracker falsely declares it dead, requeues its
+    /// work, and must *fence* the zombie attempts' late reports when the
+    /// node comes back.
+    HeartbeatLoss {
+        /// The silenced node.
+        node: NodeId,
+        /// Duration of the loss window.
+        window: SimDuration,
+    },
+    /// Transient stall — a process-freeze approximation: for `window` the
+    /// node goes heartbeat-silent *and* computes at 1/16 speed (a true
+    /// freeze would pin in-flight compute timers astronomically far out;
+    /// a severe slowdown exercises the same recovery paths — false death,
+    /// fencing, re-execution — while keeping every timer bounded).
+    Stall {
+        /// The stalled node.
+        node: NodeId,
+        /// Duration of the stall.
+        window: SimDuration,
+    },
+}
+
+/// The primitive state changes a [`FaultOp`] expands into (one at fault
+/// start, one at heal).
+#[derive(Clone, Copy, Debug)]
+enum FaultAction {
+    /// Set the node's NIC bandwidth factor (`0.0` = partition, `1.0` = heal).
+    NicFactor(NodeId, f64),
+    /// Set the node's compute-throughput factor (`1.0` = heal).
+    Gray(NodeId, f64),
+    /// Set heartbeat suppression on or off.
+    HbLoss(NodeId, bool),
+}
+
+/// Compute-slowdown factor for [`FaultOp::Stall`].
+const STALL_GRAY_FACTOR: f64 = 1.0 / 16.0;
+
+/// A declarative fault-injection plan: fault classes at simulated offsets,
+/// applied with [`Session::faults`]. Sibling to [`ChurnSchedule`] — same
+/// driver-actor pattern, same offset anchoring (relative to the start of
+/// the next [`Session::run_until_complete`] call) — but every fault heals
+/// after its window instead of removing the node.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimDuration, FaultOp)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault op at `at`.
+    pub fn op_at(mut self, at: SimDuration, op: FaultOp) -> Self {
+        self.events.push((at, op));
+        self
+    }
+
+    /// Adds a network partition of `node` over `[at, at + window]`.
+    pub fn partition_at(self, at: SimDuration, node: NodeId, window: SimDuration) -> Self {
+        self.op_at(at, FaultOp::Partition { node, window })
+    }
+
+    /// Adds a gray failure (compute at `factor` of nominal) on `node`
+    /// over `[at, at + window]`.
+    pub fn gray_at(self, at: SimDuration, node: NodeId, factor: f64, window: SimDuration) -> Self {
+        self.op_at(
+            at,
+            FaultOp::Gray {
+                node,
+                factor,
+                window,
+            },
+        )
+    }
+
+    /// Adds a NIC-bandwidth degradation (to `factor` of nominal) on `node`
+    /// over `[at, at + window]`.
+    pub fn degrade_at(
+        self,
+        at: SimDuration,
+        node: NodeId,
+        factor: f64,
+        window: SimDuration,
+    ) -> Self {
+        self.op_at(
+            at,
+            FaultOp::Degrade {
+                node,
+                factor,
+                window,
+            },
+        )
+    }
+
+    /// Adds a heartbeat-loss window on `node` over `[at, at + window]`.
+    pub fn heartbeat_loss_at(self, at: SimDuration, node: NodeId, window: SimDuration) -> Self {
+        self.op_at(at, FaultOp::HeartbeatLoss { node, window })
+    }
+
+    /// Adds a transient stall of `node` over `[at, at + window]`.
+    pub fn stall_at(self, at: SimDuration, node: NodeId, window: SimDuration) -> Self {
+        self.op_at(at, FaultOp::Stall { node, window })
+    }
+
+    /// A seeded fault storm: `count` faults drawn with the in-tree RNG —
+    /// victims uniform over `nodes`, classes round-robin over the full
+    /// fault taxonomy, start offsets uniform over `[start, start + spread]`
+    /// — each healing after `window`. The deterministic bulk generator the
+    /// `fault_matrix` bench sweeps intensity with: same seed, same storm.
+    pub fn storm(
+        seed: u64,
+        nodes: &[NodeId],
+        count: usize,
+        start: SimDuration,
+        spread: SimDuration,
+        window: SimDuration,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "fault storm needs victim candidates");
+        let mut rng = accelmr_des::Xoshiro256::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for i in 0..count {
+            let node = nodes[rng.next_below(nodes.len() as u64) as usize];
+            let at = start + SimDuration::from_nanos(rng.next_below(spread.as_nanos().max(1)));
+            let op = match i % 5 {
+                0 => FaultOp::Partition { node, window },
+                1 => FaultOp::Degrade {
+                    node,
+                    factor: 0.1,
+                    window,
+                },
+                2 => FaultOp::Gray {
+                    node,
+                    factor: 0.25,
+                    window,
+                },
+                3 => FaultOp::HeartbeatLoss { node, window },
+                _ => FaultOp::Stall { node, window },
+            };
+            plan.events.push((at, op));
+        }
+        plan
+    }
+
+    /// The scheduled ops, in insertion order.
+    pub fn events(&self) -> &[(SimDuration, FaultOp)] {
+        &self.events
+    }
+
+    /// Expands every op into its primitive apply/heal actions, sorted by
+    /// time (stable: same-instant actions keep plan order, applies before
+    /// their own heals even at window zero).
+    fn actions(&self) -> Vec<(SimDuration, FaultAction)> {
+        let mut out: Vec<(SimDuration, FaultAction)> = Vec::new();
+        for &(at, op) in &self.events {
+            match op {
+                FaultOp::Partition { node, window } => {
+                    out.push((at, FaultAction::NicFactor(node, 0.0)));
+                    out.push((at + window, FaultAction::NicFactor(node, 1.0)));
+                }
+                FaultOp::Degrade {
+                    node,
+                    factor,
+                    window,
+                } => {
+                    out.push((at, FaultAction::NicFactor(node, factor)));
+                    out.push((at + window, FaultAction::NicFactor(node, 1.0)));
+                }
+                FaultOp::Gray {
+                    node,
+                    factor,
+                    window,
+                } => {
+                    out.push((at, FaultAction::Gray(node, factor)));
+                    out.push((at + window, FaultAction::Gray(node, 1.0)));
+                }
+                FaultOp::HeartbeatLoss { node, window } => {
+                    out.push((at, FaultAction::HbLoss(node, true)));
+                    out.push((at + window, FaultAction::HbLoss(node, false)));
+                }
+                FaultOp::Stall { node, window } => {
+                    out.push((at, FaultAction::Gray(node, STALL_GRAY_FACTOR)));
+                    out.push((at, FaultAction::HbLoss(node, true)));
+                    out.push((at + window, FaultAction::Gray(node, 1.0)));
+                    out.push((at + window, FaultAction::HbLoss(node, false)));
+                }
+            }
+        }
+        out.sort_by_key(|&(at, _)| at);
+        out
+    }
+}
+
 /// Drives N jobs through one deployed cluster. Jobs queued with
 /// [`submit`](Session::submit) /
 /// [`submit_after`](Session::submit_after) all run concurrently (subject to
@@ -235,6 +468,8 @@ pub struct Session<'a> {
     pending: Vec<PendingJob>,
     /// Membership changes queued for the next run (requires `elastic`).
     churn: Vec<(SimDuration, ChurnChange)>,
+    /// Fault-injection primitives queued for the next run.
+    faults: Vec<(SimDuration, FaultAction)>,
     elastic: Option<ElasticCtx>,
 }
 
@@ -252,6 +487,7 @@ impl<'a> Session<'a> {
             dfs,
             pending: Vec::new(),
             churn: Vec::new(),
+            faults: Vec::new(),
             elastic: None,
         }
     }
@@ -355,6 +591,20 @@ impl<'a> Session<'a> {
         joined
     }
 
+    /// Queues a whole [`FaultPlan`] for the next
+    /// [`run_until_complete`](Session::run_until_complete) call. Offsets are
+    /// anchored at the start of that call, exactly like churn. The chaos
+    /// driver actor is spawned only when a plan was queued, so fault-free
+    /// runs keep their historical actor layout and event traces.
+    ///
+    /// Unlike churn, fault injection needs no deployment context: faults
+    /// mutate already-running actors (NIC bandwidth in the fabric, compute
+    /// throughput and heartbeat emission in TaskTrackers), so plans work on
+    /// any deployment, including the deprecated positional path.
+    pub fn faults(&mut self, plan: FaultPlan) {
+        self.faults.extend(plan.actions());
+    }
+
     /// Runs the simulation until every queued job has completed, and
     /// returns their results in submission order. Queued membership
     /// changes ([`add_node_at`](Session::add_node_at) /
@@ -367,7 +617,12 @@ impl<'a> Session<'a> {
     /// complete with `succeeded == false`).
     pub fn run_until_complete(&mut self) -> Vec<JobResult> {
         let churn = std::mem::take(&mut self.churn);
-        let last_churn_at = churn.iter().map(|&(at, _)| at).max();
+        let faults = std::mem::take(&mut self.faults);
+        let last_churn_at = churn
+            .iter()
+            .map(|&(at, _)| at)
+            .chain(faults.iter().map(|&(at, _)| at))
+            .max();
         if !churn.is_empty() {
             let elastic = self
                 .elastic
@@ -380,11 +635,15 @@ impl<'a> Session<'a> {
                 churn,
             )));
         }
+        if !faults.is_empty() {
+            self.sim
+                .spawn(Box::new(FaultDriver::new(self.mr.clone(), faults)));
+        }
         if self.pending.is_empty() {
-            // A job-less batch still applies queued membership changes:
-            // drive the simulation just past the last scheduled change
-            // (it would otherwise be silently deferred — and re-anchored —
-            // to the next batch's start).
+            // A job-less batch still applies queued membership changes and
+            // fault actions: drive the simulation just past the last
+            // scheduled one (it would otherwise be silently deferred — and
+            // re-anchored — to the next batch's start).
             if let Some(at) = last_churn_at {
                 let deadline = self.sim.now() + at;
                 self.sim.run_until(deadline);
@@ -567,6 +826,88 @@ impl ChurnDriver {
 impl Actor for ChurnDriver {
     fn name(&self) -> String {
         "mr.session.churn".into()
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Start => {
+                self.start = ctx.now();
+                self.run_due(ctx);
+            }
+            Event::Timer { .. } => self.run_due(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Applies a [`FaultPlan`]'s primitive actions from inside the simulation,
+/// mirroring [`ChurnDriver`]'s timeline mechanics exactly: events sorted
+/// stable by offset, anchored at the driver's `Start` instant, one timer
+/// armed per pending event. NIC-factor actions go through the fabric's
+/// node-bandwidth control; gray and heartbeat-loss actions are routed to
+/// the victim's TaskTracker actor. Actions on nodes that have since left
+/// the cluster are silently dropped — chaos composes with churn.
+struct FaultDriver {
+    mr: MrHandle,
+    /// Actions sorted by time (stable: same-instant actions keep expansion
+    /// order, so applies precede their own heals), drained front to back.
+    events: Vec<(SimDuration, FaultAction)>,
+    next: usize,
+    start: SimTime,
+}
+
+impl FaultDriver {
+    fn new(mr: MrHandle, mut events: Vec<(SimDuration, FaultAction)>) -> Self {
+        events.sort_by_key(|&(at, _)| at);
+        FaultDriver {
+            mr,
+            events,
+            next: 0,
+            start: SimTime::ZERO,
+        }
+    }
+
+    fn arm_next(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(&(at, _)) = self.events.get(self.next) {
+            ctx.after_at(self.start + at, 0);
+        }
+    }
+
+    fn run_due(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        while let Some(&(at, action)) = self.events.get(self.next) {
+            if self.start + at > now {
+                break;
+            }
+            self.next += 1;
+            self.apply(ctx, action);
+        }
+        self.arm_next(ctx);
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_>, action: FaultAction) {
+        ctx.stats().incr("chaos.actions_applied");
+        match action {
+            FaultAction::NicFactor(node, factor) => {
+                self.mr.net.set_node_bandwidth(ctx, node, factor);
+            }
+            FaultAction::Gray(node, factor) => {
+                if let Some(tt) = self.mr.tasktrackers.get(node) {
+                    ctx.send(tt, InjectGray { factor });
+                }
+            }
+            FaultAction::HbLoss(node, suppress) => {
+                if let Some(tt) = self.mr.tasktrackers.get(node) {
+                    ctx.send(tt, SetHeartbeatLoss { suppress });
+                }
+            }
+        }
+    }
+}
+
+impl Actor for FaultDriver {
+    fn name(&self) -> String {
+        "mr.session.chaos".into()
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {

@@ -27,13 +27,22 @@ use accelmr_net::{FlowAborted, FlowDone, NetHandle, NodeId};
 use crate::config::{JobId, MrConfig, TaskId};
 use crate::job::{OutputSink, TaskDescriptor, TaskMetrics, TaskWork};
 use crate::kernel::{NodeEnv, RecordCtx};
-use crate::msgs::{AssignTask, CrashTaskTracker, KillTask, TaskReport, TtHeartbeat};
+use crate::msgs::{
+    AssignTask, CrashTaskTracker, InjectGray, KillTask, SetHeartbeatLoss, TaskReport, TtHeartbeat,
+};
 
 const TIMER_HEARTBEAT: u64 = 0;
 const KIND_START: u64 = 1;
 const KIND_COMPUTE: u64 = 2;
 const KIND_CLEANUP: u64 = 3;
 const KIND_MERGE: u64 = 4;
+// I/O watchdog timers carry the outstanding I/O tag (next_tag counter, far
+// below 2^56) in the low bits instead of a slot/gen pair: staleness is
+// decided by whether the tag is still in `reads`/`fetches`, not by slot
+// liveness, so a timeout whose I/O already completed is a silent no-op.
+const KIND_FETCH_TIMEOUT: u64 = 5;
+const KIND_READ_TIMEOUT: u64 = 6;
+const IO_TAG_MASK: u64 = (1 << 56) - 1;
 
 #[inline]
 fn slot_timer_tag(kind: u64, slot: usize, gen: u32) -> u64 {
@@ -43,6 +52,32 @@ fn slot_timer_tag(kind: u64, slot: usize, gen: u32) -> u64 {
 #[inline]
 fn unpack_timer_tag(tag: u64) -> (u64, usize, u32) {
     (tag >> 56, ((tag >> 40) & 0xffff) as usize, tag as u32)
+}
+
+#[inline]
+fn io_timer_tag(kind: u64, io_tag: u64) -> u64 {
+    debug_assert!(io_tag <= IO_TAG_MASK);
+    (kind << 56) | io_tag
+}
+
+/// `base * factor^n`, the exponential-backoff schedule for I/O watchdogs.
+#[inline]
+fn backoff(base: SimDuration, factor: f64, n: u32) -> SimDuration {
+    if n == 0 {
+        return base;
+    }
+    SimDuration::from_nanos((base.as_nanos() as f64 * factor.powi(n as i32)) as u64)
+}
+
+/// Stretches a compute duration by the node's gray-failure factor. The
+/// `factor == 1.0` path must return `d` untouched (no f64 round trip) so
+/// fault-free runs arm bit-identical timers and golden traces hold.
+#[inline]
+fn degrade(d: SimDuration, factor: f64) -> SimDuration {
+    if factor >= 1.0 {
+        return d;
+    }
+    SimDuration::from_nanos((d.as_nanos() as f64 / factor) as u64)
 }
 
 /// One read segment in flight (a record may span DFS blocks).
@@ -68,6 +103,18 @@ struct Segment {
 struct ReadyRecord {
     record: u64,
     bytes: Option<Vec<u8>>,
+}
+
+/// One shuffle fetch in flight, with enough context to re-issue it after a
+/// timeout (the map-output source and size survive retries; `retries`
+/// drives the exponential backoff and the give-up threshold).
+#[derive(Debug, Clone, Copy)]
+struct FetchCtx {
+    slot: usize,
+    gen: u32,
+    from: NodeId,
+    bytes: u64,
+    retries: u32,
 }
 
 struct TaskRun {
@@ -135,9 +182,14 @@ pub struct TaskTracker {
     reads: FxHashMap<u64, ReadCtx>,
     /// write tag → `(slot, gen, block length)`.
     writes: FxHashMap<u64, (usize, u32, u64)>,
-    fetches: FxHashMap<u64, (usize, u32)>,
+    fetches: FxHashMap<u64, FetchCtx>,
     create_waiters: VecDeque<usize>,
     next_tag: u64,
+    /// Gray-failure throughput multiplier; `1.0` = healthy.
+    gray_factor: f64,
+    /// Chaos-injected heartbeat loss: while set, heartbeats are dropped
+    /// (reports accumulate) but tasks keep running.
+    hb_suppressed: bool,
 }
 
 impl TaskTracker {
@@ -169,6 +221,8 @@ impl TaskTracker {
             fetches: FxHashMap::default(),
             create_waiters: VecDeque::new(),
             next_tag: 1,
+            gray_factor: 1.0,
+            hb_suppressed: false,
         }
     }
 
@@ -190,6 +244,13 @@ impl TaskTracker {
     }
 
     fn send_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        if self.hb_suppressed {
+            // Heartbeat-loss window: the message is dropped, not deferred.
+            // Completed-task reports stay queued and ride the first
+            // heartbeat after the window — the JobTracker must fence them.
+            ctx.stats().incr("mr.heartbeats_suppressed");
+            return;
+        }
         let hb = TtHeartbeat {
             node: self.node,
             free_slots: self.free_slots(),
@@ -338,6 +399,60 @@ impl TaskTracker {
                 run.metrics.remote_reads += 1;
             }
         }
+        if let Some(t) = self.cfg.read_timeout {
+            // Each replica attempt waits longer than the last, so a
+            // congested-but-alive source is not hammered in a tight loop.
+            let t = backoff(t, self.cfg.io_retry_backoff, replica_tried as u32);
+            ctx.after(t, io_timer_tag(KIND_READ_TIMEOUT, tag));
+        }
+    }
+
+    /// A read watchdog fired. If the segment is still outstanding the
+    /// source is stalled (partitioned or gray): abandon the tag — the
+    /// late [`RangeData`], if it ever lands, is dropped by the tag lookup
+    /// — and fail over to the next replica via [`Self::retry_read`].
+    fn read_timed_out(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if !self.reads.contains_key(&tag) {
+            return; // completed (or already rerouted) before the deadline
+        }
+        ctx.stats().incr("dfs.read_retries");
+        self.retry_read(ctx, tag);
+    }
+
+    /// A shuffle-fetch watchdog fired while the flow was still in flight:
+    /// re-issue the fetch from the same source under a fresh tag with
+    /// exponentially backed-off patience, up to `io_max_retries`. The
+    /// stalled flow is left to drain; its eventual [`FlowDone`] misses the
+    /// tag lookup and is ignored.
+    fn fetch_timed_out(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        let Some(f) = self.fetches.remove(&tag) else {
+            return; // fetch completed before the deadline
+        };
+        if !self.slot_live(f.slot, f.gen) {
+            return;
+        }
+        if f.retries >= self.cfg.io_max_retries {
+            ctx.stats().incr("mr.fetch_failures");
+            self.fail_task(ctx, f.slot, f.gen);
+            return;
+        }
+        ctx.stats().incr("mr.attempt_retries");
+        let retries = f.retries + 1;
+        let new_tag = self.tag();
+        self.fetches.insert(new_tag, FetchCtx { retries, ..f });
+        let (net, node) = (self.net, self.node);
+        net.start_flow(
+            ctx,
+            f.from,
+            node,
+            f.bytes,
+            self.cfg.shuffle_stream_cap,
+            new_tag,
+        );
+        if let Some(t) = self.cfg.shuffle_fetch_timeout {
+            let t = backoff(t, self.cfg.io_retry_backoff, retries);
+            ctx.after(t, io_timer_tag(KIND_FETCH_TIMEOUT, new_tag));
+        }
     }
 
     /// A read segment failed: retry on the next replica.
@@ -393,6 +508,7 @@ impl TaskTracker {
 
     fn start_compute(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         let now = ctx.now();
+        let gray = self.gray_factor;
         let (compute, gen) = {
             let Slot::Busy(run) = &mut self.slots[slot] else {
                 return;
@@ -416,7 +532,10 @@ impl TaskTracker {
             };
             let outcome = run.desc.kernel.map_record(self.env.as_mut(), &rec_ctx);
             run.computing = true;
-            run.metrics.compute += outcome.compute;
+            // A gray node computes slower; metrics record the observed
+            // (degraded) time so elapsed and compute stay consistent.
+            let compute = degrade(outcome.compute, gray);
+            run.metrics.compute += compute;
             run.metrics.bytes_read += rl;
             run.metrics.records += 1;
             if outcome.digest != 0 {
@@ -429,7 +548,7 @@ impl TaskTracker {
                     run.out_queue.push_back(outcome.output_bytes);
                 }
             }
-            (outcome.compute, run.gen)
+            (compute, run.gen)
         };
         self.ensure_output_file(ctx, slot);
         self.drain_output_queue(ctx, slot);
@@ -678,15 +797,17 @@ impl TaskTracker {
                 }
             }
             TaskWork::MapUnits { units, index } => {
+                let gray = self.gray_factor;
                 let (compute, gen) = {
                     let Slot::Busy(run) = &mut self.slots[slot] else {
                         return;
                     };
                     let outcome = run.desc.kernel.map_units(self.env.as_mut(), units, index);
                     run.kv.extend(outcome.kv);
-                    run.metrics.compute += outcome.compute;
+                    let compute = degrade(outcome.compute, gray);
+                    run.metrics.compute += compute;
                     run.computing = true;
-                    (outcome.compute, run.gen)
+                    (compute, run.gen)
                 };
                 ctx.after(compute, slot_timer_tag(KIND_COMPUTE, slot, gen));
             }
@@ -709,12 +830,24 @@ impl TaskTracker {
                     }
                     any = true;
                     let tag = self.tag();
-                    self.fetches.insert(tag, (slot, gen));
+                    self.fetches.insert(
+                        tag,
+                        FetchCtx {
+                            slot,
+                            gen,
+                            from,
+                            bytes,
+                            retries: 0,
+                        },
+                    );
                     if let Slot::Busy(run) = &mut self.slots[slot] {
                         run.metrics.bytes_read += bytes;
                     }
                     let (net, node) = (self.net, self.node);
                     net.start_flow(ctx, from, node, bytes, self.cfg.shuffle_stream_cap, tag);
+                    if let Some(t) = self.cfg.shuffle_fetch_timeout {
+                        ctx.after(t, io_timer_tag(KIND_FETCH_TIMEOUT, tag));
+                    }
                 }
                 if !any {
                     self.start_merge(ctx, slot);
@@ -724,6 +857,7 @@ impl TaskTracker {
     }
 
     fn start_merge(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
+        let gray = self.gray_factor;
         let (merge_time, gen) = {
             let Slot::Busy(run) = &mut self.slots[slot] else {
                 return;
@@ -732,10 +866,12 @@ impl TaskTracker {
                 return;
             }
             run.merge_started = true;
-            let merge_time = run
-                .desc
-                .reduce_merge_time
-                .unwrap_or(SimDuration::from_millis(1));
+            let merge_time = degrade(
+                run.desc
+                    .reduce_merge_time
+                    .unwrap_or(SimDuration::from_millis(1)),
+                gray,
+            );
             run.metrics.compute += merge_time;
             let out_bytes = run.metrics.bytes_read;
             if run.writes_dfs() && out_bytes > 0 {
@@ -782,6 +918,19 @@ impl Actor for TaskTracker {
                 ctx.rearm_after(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
             }
             Event::Timer { tag, .. } => {
+                // I/O watchdogs carry an I/O tag, not a slot/gen pair:
+                // route them before the slot-liveness check.
+                match tag >> 56 {
+                    KIND_FETCH_TIMEOUT => {
+                        self.fetch_timed_out(ctx, tag & IO_TAG_MASK);
+                        return;
+                    }
+                    KIND_READ_TIMEOUT => {
+                        self.read_timed_out(ctx, tag & IO_TAG_MASK);
+                        return;
+                    }
+                    _ => {}
+                }
                 let (kind, slot, gen) = unpack_timer_tag(tag);
                 let live = matches!(
                     self.slots.get(slot),
@@ -813,6 +962,18 @@ impl Actor for TaskTracker {
                     ctx.stats().incr("mr.tasktrackers_crashed");
                     let me = ctx.self_id();
                     ctx.kill(me);
+                } else if let Some(gray) = msg.peek::<InjectGray>() {
+                    let f = gray.factor;
+                    // Clamp to (0, 1]: zero/negative would freeze compute
+                    // forever, which is a stall, not a gray failure.
+                    self.gray_factor = if f > 0.0 { f.min(1.0) } else { 1.0e-9 };
+                    ctx.stats().incr(if self.gray_factor < 1.0 {
+                        "mr.gray_injected"
+                    } else {
+                        "mr.gray_healed"
+                    });
+                } else if let Some(loss) = msg.peek::<SetHeartbeatLoss>() {
+                    self.hb_suppressed = loss.suppress;
                 } else if msg.is::<RangeData>() {
                     let data = msg.downcast::<RangeData>().expect("checked");
                     let Some(rctx) = self.reads.remove(&data.tag) else {
@@ -855,23 +1016,26 @@ impl Actor for TaskTracker {
                     let tag = ab.tag;
                     if self.reads.contains_key(&tag) {
                         self.retry_read(ctx, tag);
-                    } else if let Some((slot, gen)) = self.fetches.remove(&tag) {
-                        self.fail_task(ctx, slot, gen);
+                    } else if let Some(f) = self.fetches.remove(&tag) {
+                        // An aborted fetch means the source node crashed,
+                        // taking its map output with it: re-fetching is
+                        // futile, fail fast so the maps get re-executed.
+                        self.fail_task(ctx, f.slot, f.gen);
                     }
                 } else if let Some(done) = msg.peek::<FlowDone>() {
-                    if let Some((slot, gen)) = self.fetches.remove(&done.tag) {
-                        if !self.slot_live(slot, gen) {
+                    if let Some(f) = self.fetches.remove(&done.tag) {
+                        if !self.slot_live(f.slot, f.gen) {
                             return;
                         }
                         let all_in = {
-                            let Slot::Busy(run) = &mut self.slots[slot] else {
+                            let Slot::Busy(run) = &mut self.slots[f.slot] else {
                                 return;
                             };
                             run.fetches_left -= 1;
                             run.fetches_left == 0
                         };
                         if all_in {
-                            self.start_merge(ctx, slot);
+                            self.start_merge(ctx, f.slot);
                         }
                     }
                 } else if msg.is::<CreateAck>() {

@@ -127,6 +127,30 @@ pub struct EnsureNode {
     pub node: NodeId,
 }
 
+/// Sets the bandwidth factor of a node's NIC (tx + rx) links — the chaos
+/// plane's partition/degraded-link state. `factor` scales the configured
+/// link rate: `1.0` restores full health, values in `(0, 1)` model a gray
+/// link, and `0.0` (or anything below [`PARTITION_FACTOR`]) is a full
+/// partition — flows crossing the node **stall at rate 0** (no abort, no
+/// completion) until a later message restores capacity, at which point
+/// they resume from their remaining byte count. The loopback device is
+/// untouched: a partition is a NIC-level event, local disk traffic
+/// survives it. Restoring a fully-partitioned node counts
+/// `net.partitions_healed`.
+#[derive(Debug, Clone, Copy)]
+pub struct SetNodeBandwidth {
+    /// The node whose links are re-priced.
+    pub node: NodeId,
+    /// Bandwidth factor in `[0, 1]` (clamped).
+    pub factor: f64,
+}
+
+/// Bandwidth factors below this are treated as a full partition (capacity
+/// exactly 0): a near-zero rate would project completions astronomically
+/// far out instead of stalling the flow, which is the semantics partitions
+/// need.
+pub const PARTITION_FACTOR: f64 = 1e-6;
+
 /// A flow completed; delivered to the flow's `notify` actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowDone {
@@ -210,6 +234,9 @@ pub struct Fabric {
     tx: Vec<LinkId>,
     rx: Vec<LinkId>,
     loopback: Vec<LinkId>,
+    /// Per-node NIC bandwidth factor (1.0 = healthy, 0.0 = partitioned);
+    /// see [`SetNodeBandwidth`].
+    degrade: Vec<f64>,
     /// Active flows in a slot-indexed hot/cold slab: `hot[s]` holds the
     /// solver-facing state ([`FlowHot`]; `id == u64::MAX` = free slot),
     /// `cold[s]` the completion bookkeeping. Direct Vec indexing on the
@@ -273,6 +300,7 @@ impl Fabric {
             tx,
             rx,
             loopback,
+            degrade: vec![1.0; nodes],
             hot: Vec::new(),
             cold: Vec::new(),
             free_slots: Vec::new(),
@@ -315,7 +343,51 @@ impl Fabric {
         self.link_dirty.resize(n_links, false);
         self.link_mark.resize(n_links, 0);
         self.link_slot.resize(n_links, 0);
+        self.degrade.resize(self.tx.len(), 1.0);
         self.tx.len() - before
+    }
+
+    /// Applies [`SetNodeBandwidth`]: re-prices the node's tx/rx links and
+    /// triggers a component re-solve on whichever engine is active, so the
+    /// new capacity binds from this instant on both. A factor equal to the
+    /// current one is a no-op (no spurious solve, no trace perturbation).
+    fn set_node_bandwidth(&mut self, ctx: &mut Ctx<'_>, now: SimTime, node: NodeId, factor: f64) {
+        self.ensure_node(node);
+        let factor = if factor < PARTITION_FACTOR {
+            0.0
+        } else {
+            factor.min(1.0)
+        };
+        let old = self.degrade[node.index()];
+        if factor == old {
+            return;
+        }
+        if old == 0.0 {
+            ctx.stats().incr("net.partitions_healed");
+        }
+        if factor == 0.0 {
+            ctx.stats().incr("net.partitions_started");
+        }
+        self.degrade[node.index()] = factor;
+        let cap = self.cfg.link_bytes_per_sec * factor;
+        let (tx, rx) = (self.tx[node.index()], self.rx[node.index()]);
+        self.links.set_capacity(tx, cap);
+        self.links.set_capacity(rx, cap);
+        ctx.stats().incr("net.bandwidth_changes");
+        match self.cfg.fluid {
+            FluidEngine::Reference => {
+                // Settle progress at the old rates, then one global
+                // re-solve prices every flow at the new capacity.
+                self.ref_elapse(ctx, now);
+                self.ref_reschedule(ctx);
+            }
+            FluidEngine::Incremental => {
+                // Both links join the dirty set; the deferred resolve
+                // settles and re-prices exactly the touched component.
+                self.mark_dirty(Route::pair(tx, rx));
+                self.request_resolve(ctx);
+            }
+        }
     }
 
     /// Stores a flow in a recycled (or fresh) slab slot.
@@ -881,6 +953,9 @@ impl Actor for Fabric {
                     // appended, nothing is re-priced.
                     let added = self.ensure_node(grow.node);
                     ctx.stats().add("net.nodes_added", added as u64);
+                } else if let Some(set) = msg.peek::<SetNodeBandwidth>() {
+                    let (node, factor) = (set.node, set.factor);
+                    self.set_node_bandwidth(ctx, now, node, factor);
                 } else {
                     match self.cfg.fluid {
                         FluidEngine::Reference => self.ref_handle_msg(ctx, now, msg),
@@ -986,6 +1061,27 @@ impl NetHandle {
     /// no-op for nodes already served.
     pub fn ensure_node(self, ctx: &mut Ctx<'_>, node: NodeId) {
         ctx.send(self.fabric, EnsureNode { node });
+    }
+
+    /// Scales `node`'s NIC bandwidth by `factor` (see [`SetNodeBandwidth`]):
+    /// `1.0` heals, `(0, 1)` degrades, `0.0` partitions — flows stall at
+    /// rate 0 and resume when a later call restores capacity.
+    pub fn set_node_bandwidth(self, ctx: &mut Ctx<'_>, node: NodeId, factor: f64) {
+        ctx.send(self.fabric, SetNodeBandwidth { node, factor });
+    }
+
+    /// Partitions `node` off the data plane: every flow it touches stalls
+    /// (no abort) until [`NetHandle::heal_node`]. Control RPCs
+    /// ([`Unicast`]) are unaffected — a partition here is the data-plane
+    /// half of a gray failure.
+    pub fn partition_node(self, ctx: &mut Ctx<'_>, node: NodeId) {
+        self.set_node_bandwidth(ctx, node, 0.0);
+    }
+
+    /// Restores `node`'s links to full capacity; stalled flows resume from
+    /// their remaining bytes.
+    pub fn heal_node(self, ctx: &mut Ctx<'_>, node: NodeId) {
+        self.set_node_bandwidth(ctx, node, 1.0);
     }
 }
 
@@ -1408,6 +1504,114 @@ mod tests {
             let t1 = done.iter().find(|(t, _)| *t == 1).unwrap().1;
             assert!((t0 - 1.5).abs() < 1e-6, "{engine:?} t0={t0}");
             assert!((t1 - 2.0).abs() < 1e-6, "{engine:?} t1={t1}");
+        }
+    }
+
+    /// Chaos-plane primitive: a partition stalls flows (no abort, no
+    /// completion) and a heal lets them finish with the stalled window
+    /// added to their transfer time — identically on both engines.
+    #[test]
+    fn partition_stalls_and_heal_resumes() {
+        struct PartitionDriver {
+            net: NetHandle,
+            done: Vec<(u64, f64)>,
+            aborted: u32,
+        }
+        impl Actor for PartitionDriver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        // 1 s transfer through node 2; a disjoint 1 s
+                        // control flow shows the partition is node-local.
+                        self.net
+                            .start_flow(ctx, NodeId(1), NodeId(2), 125_000_000, None, 0);
+                        self.net
+                            .start_flow(ctx, NodeId(3), NodeId(4), 125_000_000, None, 1);
+                        ctx.after(SimDuration::from_millis(500), 1);
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        self.net.partition_node(ctx, NodeId(2));
+                        ctx.after(SimDuration::from_secs(2), 2);
+                    }
+                    Event::Timer { tag: 2, .. } => self.net.heal_node(ctx, NodeId(2)),
+                    Event::Msg { msg, .. } => {
+                        if let Some(done) = msg.peek::<FlowDone>() {
+                            self.done.push((done.tag, ctx.now().as_secs_f64()));
+                        } else if msg.peek::<FlowAborted>().is_some() {
+                            self.aborted += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for engine in engines() {
+            let mut sim = Sim::new(0);
+            let fabric = sim.spawn(Box::new(Fabric::new(cfg_with(engine), 6)));
+            let d = sim.spawn(Box::new(PartitionDriver {
+                net: NetHandle { fabric },
+                done: Vec::new(),
+                aborted: 0,
+            }));
+            sim.run();
+            let driver = sim.actor_ref::<PartitionDriver>(d).expect("driver");
+            assert_eq!(driver.aborted, 0, "{engine:?}: partitions must not abort");
+            let t0 = driver.done.iter().find(|(t, _)| *t == 0).unwrap().1;
+            let t1 = driver.done.iter().find(|(t, _)| *t == 1).unwrap().1;
+            // Flow 1 never crosses node 2: unaffected, finishes at 1 s.
+            assert!((t1 - 1.0).abs() < 1e-6, "{engine:?} t1={t1}");
+            // Flow 0: 0.5 s of progress, 2 s stalled, 0.5 s to finish.
+            assert!((t0 - 3.0).abs() < 1e-6, "{engine:?} t0={t0}");
+            assert_eq!(sim.stats().counter("net.partitions_healed"), 1);
+            assert_eq!(sim.stats().counter("net.partitions_started"), 1);
+        }
+    }
+
+    /// Degraded (gray) links re-price on both engines: halving a
+    /// receiver's bandwidth mid-transfer stretches exactly the remaining
+    /// bytes, and a redundant factor write is a no-op.
+    #[test]
+    fn degraded_bandwidth_reprices_flows() {
+        struct DegradeDriver {
+            net: NetHandle,
+            done: Vec<(u64, f64)>,
+        }
+        impl Actor for DegradeDriver {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        self.net
+                            .start_flow(ctx, NodeId(1), NodeId(2), 125_000_000, None, 0);
+                        ctx.after(SimDuration::from_millis(500), 1);
+                    }
+                    Event::Timer { tag: 1, .. } => {
+                        self.net.set_node_bandwidth(ctx, NodeId(2), 0.5);
+                        // Same factor again: must not perturb anything.
+                        self.net.set_node_bandwidth(ctx, NodeId(2), 0.5);
+                    }
+                    Event::Msg { msg, .. } => {
+                        if let Some(done) = msg.peek::<FlowDone>() {
+                            self.done.push((done.tag, ctx.now().as_secs_f64()));
+                            ctx.stop();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for engine in engines() {
+            let mut sim = Sim::new(0);
+            let fabric = sim.spawn(Box::new(Fabric::new(cfg_with(engine), 4)));
+            let d = sim.spawn(Box::new(DegradeDriver {
+                net: NetHandle { fabric },
+                done: Vec::new(),
+            }));
+            sim.run();
+            let driver = sim.actor_ref::<DegradeDriver>(d).expect("driver");
+            // 0.5 s at full rate, then 62.5 MB at half rate = 1 s more.
+            let t0 = driver.done[0].1;
+            assert!((t0 - 1.5).abs() < 1e-6, "{engine:?} t0={t0}");
+            assert_eq!(sim.stats().counter("net.partitions_healed"), 0);
         }
     }
 

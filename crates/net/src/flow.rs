@@ -60,6 +60,20 @@ impl LinkTable {
         self.caps[link.0]
     }
 
+    /// Re-prices `link` to `bytes_per_sec`. Unlike [`LinkTable::add`],
+    /// zero is allowed: both solvers freeze a zero-capacity link's flows
+    /// at rate 0 (progressive filling saturates instantly), which is the
+    /// fabric's partition state — transfers stall rather than abort, and
+    /// resume when capacity is restored. Takes effect at the next solve;
+    /// callers re-price the affected component themselves.
+    pub fn set_capacity(&mut self, link: LinkId, bytes_per_sec: f64) {
+        assert!(
+            bytes_per_sec >= 0.0 && bytes_per_sec.is_finite(),
+            "link capacity must be finite and non-negative"
+        );
+        self.caps[link.0] = bytes_per_sec;
+    }
+
     /// Number of links.
     pub fn len(&self) -> usize {
         self.caps.len()
@@ -484,6 +498,33 @@ mod tests {
         for (l, u) in used.iter().enumerate() {
             assert!(*u <= links.caps[l] + 1e-3, "link {l} over: {u}");
         }
+    }
+
+    #[test]
+    fn zero_capacity_link_stalls_flows_at_rate_zero() {
+        // A partitioned link: flows crossing it freeze at rate 0 (both
+        // solvers terminate), flows elsewhere are unaffected.
+        let mut links = table(&[100.0, 50.0]);
+        links.set_capacity(LinkId(0), 0.0);
+        let flows = vec![demand(&[0], f64::INFINITY), demand(&[1], f64::INFINITY)];
+        let r = max_min_rates(&links, &flows);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 50.0).abs() < 1e-6);
+        // The production solver agrees (add_link accepts the zero the
+        // fabric writes through set_capacity).
+        let mut s = MaxMinSolver::new();
+        s.begin();
+        s.add_link(0.0);
+        s.add_link(50.0);
+        s.add_flow(&[0], f64::INFINITY);
+        s.add_flow(&[1], f64::INFINITY);
+        let got = s.solve();
+        assert_eq!(got[0], 0.0);
+        assert!((got[1] - 50.0).abs() < 1e-6);
+        // Restoring capacity re-prices at the next solve.
+        links.set_capacity(LinkId(0), 25.0);
+        let r = max_min_rates(&links, &flows);
+        assert!((r[0] - 25.0).abs() < 1e-6);
     }
 
     #[test]

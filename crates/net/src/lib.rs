@@ -45,7 +45,8 @@ pub mod registry;
 
 pub use config::{FluidEngine, NetConfig, NodeId};
 pub use fabric::{
-    AbortNode, EnsureNode, Fabric, FlowAborted, FlowDone, NetHandle, StartFlow, Unicast,
+    AbortNode, EnsureNode, Fabric, FlowAborted, FlowDone, NetHandle, SetNodeBandwidth, StartFlow,
+    Unicast, PARTITION_FACTOR,
 };
 pub use flow::{max_min_rates, FlowDemand, LinkId, LinkTable, MaxMinSolver, Route};
 pub use registry::NodeRegistry;

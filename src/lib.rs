@@ -94,9 +94,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use accelmr_mapred::{deploy_cluster, run_job};
     pub use accelmr_mapred::{
-        ChurnOp, ChurnSchedule, ClusterBuilder, JobBuilder, JobHandle, JobInput, JobRequest,
-        JobResult, JobSpec, JobSpecError, MrConfig, OutputSink, PreloadSpec, ReduceSpec,
-        SchedulerPolicy, Session, SumReducer,
+        ChurnOp, ChurnSchedule, ClusterBuilder, FaultOp, FaultPlan, JobBuilder, JobError,
+        JobHandle, JobInput, JobRequest, JobResult, JobSpec, JobSpecError, MrConfig, OutputSink,
+        PreloadSpec, ReduceSpec, SchedulerPolicy, Session, SumReducer,
     };
     pub use accelmr_net::{NetConfig, NodeId};
 }

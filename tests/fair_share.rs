@@ -244,3 +244,68 @@ fn past_deadline_is_rejected_at_submit_time() {
         slot_job("late", "t", 1, 1).deadline_at(SimTime::ZERO + SimDuration::from_secs(5)),
     );
 }
+
+/// Speculative duplicates are charged to tenant shares: after a
+/// `pick_job` share snapshot, a tenant sitting above the minimum weighted
+/// share is refused the straggler copy that the minimum-share tenant is
+/// granted for an identical straggling task. Without this gate an
+/// over-share tenant could grab extra slots through speculation that
+/// regular dispatch would deny it.
+#[test]
+fn speculation_is_charged_to_tenant_share() {
+    use accelmr::mapred::{FairShare, JobId, SchedView, Scheduler, TaskView};
+
+    let asker = NodeId(9); // the node requesting work
+    let runner = NodeId(2); // where the straggling attempts run
+    let started = SimTime::ZERO;
+    let now = SimTime::ZERO + SimDuration::from_secs(100);
+    // One completed 10 s attempt per job: with the default 1.5× slowdown
+    // threshold, an attempt running for 100 s is a clear straggler.
+    let times = [SimDuration::from_secs(10)];
+    let running = [(0u32, runner, started)];
+    let task = || TaskView {
+        hints: &[],
+        is_reduce: false,
+        completed: false,
+        running: &running,
+        size: 1,
+    };
+    // `rich` occupies 4 slots, `poor` occupies 1, equal weights: `poor`
+    // holds the minimum weighted share.
+    let rich_tasks = [task(), task(), task(), task()];
+    let poor_tasks = [task()];
+    fn view<'a>(
+        job: u32,
+        tenant: &'a str,
+        tasks: &'a [TaskView<'a>],
+        times: &'a [SimDuration],
+    ) -> SchedView<'a> {
+        SchedView {
+            job: JobId(job),
+            kernel: "k",
+            tenant,
+            weight: 1.0,
+            deadline: None,
+            submitted: SimTime::ZERO,
+            eligible: true,
+            cluster_slots: 8,
+            pending: &[],
+            tasks,
+            completed_task_times: times,
+            slots_per_node: 2,
+        }
+    }
+    let views = [
+        view(0, "rich", &rich_tasks, &times),
+        view(1, "poor", &poor_tasks, &times),
+    ];
+
+    let mut sched = FairShare::new(&MrConfig::default());
+    // The dispatch loop always snapshots shares via pick_job before any
+    // straggler offer; `poor` (share 1) wins over `rich` (share 4).
+    assert_eq!(sched.pick_job(&views, asker), Some(JobId(1)));
+    // `rich` is above the minimum share: no speculative copy.
+    assert_eq!(sched.pick_straggler(&views[0], asker, now), None);
+    // `poor` is at the minimum share: the straggler is granted.
+    assert!(sched.pick_straggler(&views[1], asker, now).is_some());
+}
