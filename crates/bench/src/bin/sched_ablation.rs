@@ -14,7 +14,12 @@
 //! against an interactive tenant's stream of small deadline-carrying pi
 //! jobs. FIFO head-of-line blocking shows up as the light tenant's p99
 //! job latency and missed deadlines; `FairShare` collapses the p99 and
-//! `DeadlineSlack` restores the deadline hit-rate.
+//! `DeadlineSlack` restores the deadline hit-rate. The job-level policies
+//! run with the balanced preemption budget
+//! ([`PreemptionTuning::balanced`]): kill-and-requeue closes the deadline
+//! gap dispatch alone cannot (a full hit-rate is the acceptance bar,
+//! asserted here and grepped by CI from the quick JSON) while the wasted
+//! requeued runtime stays under 10% of the batch's total slot-seconds.
 //!
 //! Writes the `BENCH_sched.json` baseline next to the working directory;
 //! CI smoke-runs `--quick` to keep the path green.
@@ -23,7 +28,8 @@ use accelmr_des::{SimDuration, SimTime};
 use accelmr_hybrid::hetero::{AdaptiveAesKernel, AdaptivePiKernel, MixedEnvFactory};
 use accelmr_hybrid::presets;
 use accelmr_mapred::{
-    ClusterBuilder, JobBuilder, JobResult, PreloadSpec, SchedulerPolicy, SumReducer,
+    ClusterBuilder, JobBuilder, JobResult, MrConfig, PreemptionTuning, PreloadSpec,
+    SchedulerPolicy, SumReducer,
 };
 
 const RECORD_BYTES: u64 = 64 << 20;
@@ -177,6 +183,12 @@ struct FairnessRow {
     heavy_makespan_s: f64,
     deadline_hits: usize,
     deadline_total: usize,
+    /// Attempts killed-and-requeued by the policy's reclaim hook.
+    preempted: u32,
+    /// Runtime discarded by those kills, billed to the beneficiaries.
+    wasted_slot_s: f64,
+    /// Total billed occupancy across the whole batch.
+    slot_s: f64,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -188,7 +200,8 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// tenant "interactive" submits `n_light` small pi jobs staggered
 /// `stagger` apart, each with a deadline `deadline_after` past its
 /// submission. Same workload under every policy; only job-level dispatch
-/// differs.
+/// differs. All rows run with the balanced preemption budget — inert for
+/// FIFO (no reclaim hook), live for the reclaiming policies.
 fn run_fairness(
     policy: SchedulerPolicy,
     name: &'static str,
@@ -202,13 +215,21 @@ fn run_fairness(
         .seed(17)
         .workers(4)
         .env(MixedEnvFactory::half())
-        .scheduler(policy)
+        .mr(MrConfig {
+            scheduler: policy,
+            preemption: PreemptionTuning::balanced(),
+            ..MrConfig::default()
+        })
         .deploy();
     let mut session = c.session();
+    // 16 reducers per terasort: reduce waves churn slots in the batch's
+    // tail, where reduces (rightly) cannot be preempted — a monolithic
+    // reduce phase would wall off the last deadline jobs no matter what
+    // the kill budget allows.
     let heavy: Vec<_> = (0..2)
         .map(|i| {
             session.submit(
-                presets::terasort(&format!("/sort-{i}"), heavy_bytes, 4)
+                presets::terasort(&format!("/sort-{i}"), heavy_bytes, 16)
                     .name(format!("terasort-{i}"))
                     .tenant("batch"),
             )
@@ -252,6 +273,9 @@ fn run_fairness(
         heavy_makespan_s,
         deadline_hits: hits,
         deadline_total: n_light,
+        preempted: results.iter().map(|r| r.preempted_attempts).sum(),
+        wasted_slot_s: results.iter().map(|r| r.wasted_slot_seconds).sum(),
+        slot_s: results.iter().map(|r| r.slot_seconds).sum(),
     }
 }
 
@@ -302,9 +326,9 @@ fn main() {
     // Fairness: the 2-tenant mixed pi/terasort batch under the job-level
     // policies.
     let (heavy_bytes, light_samples, n_light, stagger_s, deadline_s) = if quick {
-        (2u64 << 30, 20_000_000u64, 4usize, 20u64, 50u64)
+        (8u64 << 30, 200_000_000u64, 4usize, 20u64, 100u64)
     } else {
-        (8u64 << 30, 200_000_000u64, 8usize, 30, 100)
+        (16u64 << 30, 200_000_000u64, 8usize, 20, 100)
     };
     let fairness: Vec<FairnessRow> = [
         ("fifo", SchedulerPolicy::Fifo),
@@ -324,53 +348,81 @@ fn main() {
         )
     })
     .collect();
-    println!("\n# fairness — 2 tenants: 2x terasort (batch) vs {n_light} staggered pi (interactive, deadlined)");
+    println!("\n# fairness — 2 tenants: 2x terasort (batch) vs {n_light} staggered pi (interactive, deadlined), balanced preemption");
     println!(
-        "{:>16} {:>12} {:>12} {:>12} {:>10}",
-        "policy", "light p50(s)", "light p99(s)", "heavy mk(s)", "deadlines"
+        "{:>16} {:>12} {:>12} {:>12} {:>10} {:>9} {:>10}",
+        "policy",
+        "light p50(s)",
+        "light p99(s)",
+        "heavy mk(s)",
+        "deadlines",
+        "preempted",
+        "wasted(s)"
     );
     for r in &fairness {
         println!(
-            "{:>16} {:>12.1} {:>12.1} {:>12.1} {:>7}/{}",
+            "{:>16} {:>12.1} {:>12.1} {:>12.1} {:>7}/{} {:>9} {:>10.1}",
             r.policy,
             r.light_p50_s,
             r.light_p99_s,
             r.heavy_makespan_s,
             r.deadline_hits,
-            r.deadline_total
+            r.deadline_total,
+            r.preempted,
+            r.wasted_slot_s
         );
     }
     let frow = |p: &str| fairness.iter().find(|r| r.policy == p).unwrap();
     // Acceptance bars: fair-share beats FIFO's head-of-line p99 for the
-    // light tenant, and deadline-slack hits deadlines FIFO misses.
+    // light tenant; deadline-slack's reclaim closes the whole deadline gap
+    // (a full hit-rate, not just better than FIFO) without discarding more
+    // than 10% of the batch's slot-seconds as preempted runtime.
     assert!(
         frow("fair-share").light_p99_s < frow("fifo").light_p99_s,
         "fair-share lost the light-tenant p99 to FIFO"
     );
-    assert!(
-        frow("deadline-slack").deadline_hits > frow("fifo").deadline_hits,
-        "deadline-slack hit no deadline FIFO missed"
+    let dl = frow("deadline-slack");
+    assert_eq!(
+        dl.deadline_hits, dl.deadline_total,
+        "deadline-slack with preemption missed a deadline ({}/{})",
+        dl.deadline_hits, dl.deadline_total
     );
+    for r in &fairness {
+        assert!(
+            r.wasted_slot_s <= 0.10 * r.slot_s,
+            "{}: wasted {:.1} slot-s exceeds 10% of total {:.1}",
+            r.policy,
+            r.wasted_slot_s,
+            r.slot_s
+        );
+    }
     let fairness_json = {
         let rows: Vec<String> = fairness
             .iter()
             .map(|r| {
                 format!(
                     "    \"{}\": {{ \"light_p50_s\": {:.3}, \"light_p99_s\": {:.3}, \
-                     \"heavy_makespan_s\": {:.3}, \"deadline_hits\": {}, \"deadline_total\": {} }}",
+                     \"heavy_makespan_s\": {:.3}, \"deadline_hits\": {}, \"deadline_total\": {}, \
+                     \"preempted\": {}, \"wasted_slot_s\": {:.3}, \"total_slot_s\": {:.3} }}",
                     r.policy,
                     r.light_p50_s,
                     r.light_p99_s,
                     r.heavy_makespan_s,
                     r.deadline_hits,
-                    r.deadline_total
+                    r.deadline_total,
+                    r.preempted,
+                    r.wasted_slot_s,
+                    r.slot_s
                 )
             })
             .collect();
         format!(
-            "  \"fairness\": {{\n{},\n    \"fair_share_light_p99_speedup_vs_fifo\": {:.3}\n  }}",
+            "  \"fairness\": {{\n{},\n    \"fair_share_light_p99_speedup_vs_fifo\": {:.3},\n    \
+             \"deadline_hits_full\": {},\n    \"wasted_work_frac\": {:.4}\n  }}",
             rows.join(",\n"),
-            frow("fifo").light_p99_s / frow("fair-share").light_p99_s
+            frow("fifo").light_p99_s / frow("fair-share").light_p99_s,
+            dl.deadline_hits == dl.deadline_total,
+            dl.wasted_slot_s / dl.slot_s.max(1e-9)
         )
     };
 

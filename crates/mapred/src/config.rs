@@ -93,6 +93,78 @@ impl Default for AdaptiveTuning {
     }
 }
 
+/// Wasted-work budget for preemptive slot reclamation
+/// ([`Scheduler::reclaim`](crate::sched::Scheduler::reclaim)).
+///
+/// Preemption kills running map attempts to hand their slots to
+/// under-served tenants or negative-slack deadline jobs; every kill
+/// discards the victim's partial progress. These knobs bound that waste
+/// and the kill/requeue thrash it could otherwise spiral into. The
+/// default is **disabled** (`max_kills_per_job == 0`), which keeps every
+/// event trace byte-identical to the non-preemptive runtime.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PreemptionTuning {
+    /// Lifetime cap on preemption kills a single victim job may suffer.
+    /// `0` disables preemption entirely (the default).
+    pub max_kills_per_job: u32,
+    /// Attempts younger than this are never named as victims — killing an
+    /// attempt that has barely started saves little wall-clock for the
+    /// beneficiary but still pays full kill/requeue/restart overhead.
+    pub min_attempt_age: SimDuration,
+    /// After a task's attempt is preempted, the *task* may not be
+    /// re-victimized within this window, so a requeued task that lands on
+    /// another node is not immediately killed again (kill-same-work
+    /// thrash). One beneficiary may still claim slots on several nodes in
+    /// one heartbeat round — the cooldown is per-task, not global.
+    pub cooldown: SimDuration,
+    /// [`DeadlineSlack`](crate::sched::DeadlineSlack) preempts once a
+    /// deadline job's slack falls below this margin (not only when it
+    /// goes negative): the kill only frees a slot at the victim node's
+    /// *next* heartbeat, so waiting for slack zero would reclaim too
+    /// late to matter.
+    pub slack_margin: SimDuration,
+}
+
+impl PreemptionTuning {
+    /// Whether this tuning enables preemption at all.
+    pub fn enabled(&self) -> bool {
+        self.max_kills_per_job > 0
+    }
+
+    /// An enabled preset with the budget the `sched_ablation` fairness
+    /// scenario runs under: up to 64 kills per victim job, 5 s minimum
+    /// victim age, 15 s per-task cooldown, 90 s of deadline slack margin.
+    /// The generous margin is deliberate: preempting *early* picks
+    /// victims that have invested little runtime yet (youngest-first),
+    /// which is what keeps the wasted work under the fairness bench's
+    /// 10%-of-slot-seconds bar — a tight margin reclaims late from old,
+    /// expensive attempts. The kill cap is sized as a backstop against
+    /// runaway thrash, not as the steady-state governor: with long batch
+    /// attempts the freshly requeued restarts are always the youngest
+    /// candidates, so sustained interactive arrivals concentrate kills on
+    /// one victim job, and a tight cap would cut that job's (cheap)
+    /// restarts off mid-burst and strand late deadline jobs instead.
+    pub fn balanced() -> Self {
+        PreemptionTuning {
+            max_kills_per_job: 64,
+            min_attempt_age: SimDuration::from_secs(5),
+            cooldown: SimDuration::from_secs(15),
+            slack_margin: SimDuration::from_secs(90),
+        }
+    }
+}
+
+impl Default for PreemptionTuning {
+    fn default() -> Self {
+        PreemptionTuning {
+            max_kills_per_job: 0,
+            min_attempt_age: SimDuration::from_secs(5),
+            cooldown: SimDuration::from_secs(15),
+            slack_margin: SimDuration::from_secs(30),
+        }
+    }
+}
+
 /// A rejected [`MrConfig`], detected at deploy time ([`MrConfig::validate`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MrConfigError {
@@ -190,6 +262,12 @@ pub struct MrConfig {
     pub shuffle_stream_cap: Option<f64>,
     /// Scheduling policy.
     pub scheduler: SchedulerPolicy,
+    /// Preemptive slot-reclamation budget. Disabled by default
+    /// ([`PreemptionTuning::enabled`] is `false`), which preserves every
+    /// historical event trace byte-for-byte; policies that implement
+    /// [`Scheduler::reclaim`](crate::sched::Scheduler::reclaim) engage it
+    /// once `max_kills_per_job > 0`.
+    pub preemption: PreemptionTuning,
     // --- chaos-hardening knobs -----------------------------------------
     // All default to *off*, preserving the stock Hadoop-0.19 protocol
     // behavior (and every historical event trace) byte-for-byte; the
@@ -317,6 +395,7 @@ impl Default for MrConfig {
             max_attempts: 4,
             shuffle_stream_cap: Some(20.0e6),
             scheduler: SchedulerPolicy::LocalityFirst,
+            preemption: PreemptionTuning::default(),
             shuffle_fetch_timeout: None,
             read_timeout: None,
             io_retry_backoff: 2.0,
@@ -440,6 +519,25 @@ mod tests {
             ..MrConfig::default()
         };
         assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn preemption_defaults_off_and_balanced_preset_enabled() {
+        let c = MrConfig::default();
+        assert!(!c.preemption.enabled());
+        assert_eq!(c.preemption.max_kills_per_job, 0);
+        c.validate().unwrap();
+
+        let t = PreemptionTuning::balanced();
+        assert!(t.enabled());
+        assert!(t.min_attempt_age > SimDuration::ZERO);
+        assert!(t.cooldown > SimDuration::ZERO);
+        assert!(t.slack_margin > SimDuration::ZERO);
+        let enabled = MrConfig {
+            preemption: t,
+            ..MrConfig::default()
+        };
+        enabled.validate().unwrap();
     }
 
     #[test]

@@ -396,6 +396,16 @@ pub struct JobResult {
     /// change of its occupied-slot count, from first dispatch to
     /// completion.
     pub share_timeline: Vec<(SimTime, u32)>,
+    /// Attempts of *this* job killed by preemptive slot reclamation
+    /// ([`Scheduler::reclaim`](crate::sched::Scheduler::reclaim)); each
+    /// one re-entered the pending queue and re-executed. Always 0 with
+    /// preemption disabled (the default).
+    pub preempted_attempts: u32,
+    /// Victim runtime discarded on this job's behalf, in slot-seconds:
+    /// the job was the beneficiary of preemption kills and
+    /// [`slot_seconds`](JobResult::slot_seconds) was charged the victims'
+    /// partial runtime — the wasted-work price of the slots it reclaimed.
+    pub wasted_slot_seconds: f64,
     /// Name of the scheduling policy that drove this job.
     pub scheduler: &'static str,
     /// Every dispatch the scheduler made, in order: `(task, node)`.

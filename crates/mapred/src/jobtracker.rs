@@ -34,7 +34,8 @@ use crate::job::{
 };
 use crate::msgs::{AssignTask, JobComplete, KillTask, SubmitJob, TaskReport, TtHeartbeat};
 use crate::sched::{
-    build_scheduler, task_work_size, SchedView, Scheduler, SplitRequest, TaskCompletion, TaskView,
+    build_scheduler, task_work_size, ReclaimVictim, SchedView, Scheduler, SplitRequest,
+    TaskCompletion, TaskView,
 };
 
 const TIMER_LIVENESS: u64 = 0;
@@ -148,6 +149,12 @@ struct JobState {
     share_last_change: SimTime,
     slot_seconds: f64,
     share_timeline: Vec<(SimTime, u32)>,
+    /// Attempts of *this* job killed by preemptive reclamation.
+    preempted_attempts: u32,
+    /// Victim runtime discarded on this job's behalf (it was the
+    /// beneficiary of the kills), already folded into `slot_seconds` —
+    /// preemption charges the killing tenant for the work it wasted.
+    wasted_slot_seconds: f64,
 }
 
 impl JobState {
@@ -674,6 +681,172 @@ impl JobTracker {
             }
             exhausted.push(job_id);
         }
+        // Preemptive slot reclamation: only once the node is out of free
+        // slots may a policy name running attempts to kill and requeue —
+        // the slots free (and re-dispatch) at this node's next heartbeat.
+        // Inert unless `MrConfig::preemption` enables it, which keeps every
+        // historical trace byte-identical (pinned by the goldens).
+        if free == 0 {
+            self.reclaim_on(ctx, node);
+        }
+    }
+
+    /// Asks the cluster scheduler to [`reclaim`](Scheduler::reclaim) slots
+    /// on the saturated `node` and executes the kills it names. Like every
+    /// job-level decision the ask goes to the *cluster* scheduler only.
+    fn reclaim_on(&mut self, ctx: &mut Ctx<'_>, node: NodeId) {
+        if !self.cfg.preemption.enabled() {
+            return;
+        }
+        for victim in self.pick_victims(node, ctx.now()) {
+            self.preempt(ctx, victim, node);
+        }
+    }
+
+    /// Builds the same per-job view slice as [`pick_job_for`] (no jobs
+    /// retired — reclamation is asked once per heartbeat) and collects the
+    /// cluster scheduler's victims. Returns nothing when no job could even
+    /// take a reclaimed slot, so idle heartbeats never pay for views.
+    fn pick_victims(&mut self, node: NodeId, now: SimTime) -> Vec<ReclaimVictim> {
+        let cluster_slots = self.total_slots();
+        let slots_per_node = self.cfg.map_slots_per_node;
+        let mut ids: Vec<u32> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.phase, Phase::MapRunning | Phase::ReduceRunning))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        for id in &ids {
+            if let Some(job) = self.jobs.get_mut(id) {
+                job.pending.make_contiguous();
+            }
+        }
+        // Eligibility mirrors dispatch: a beneficiary must have pending
+        // work (withheld reduces excluded) — speculation never justifies a
+        // kill, so the speculative arm of `pick_job_for`'s dispatchability
+        // is deliberately absent here.
+        let filtered: Vec<(Option<Vec<TaskId>>, bool)> = ids
+            .iter()
+            .map(|id| {
+                let job = &self.jobs[id];
+                let filt: Option<Vec<TaskId>> = job.withholds_reduces().then(|| {
+                    job.pending
+                        .iter()
+                        .copied()
+                        .filter(|tid| !job.tasks[tid.0 as usize].is_reduce)
+                        .collect()
+                });
+                let pending_len = filt.as_ref().map_or(job.pending.len(), Vec::len);
+                (filt, pending_len > 0)
+            })
+            .collect();
+        if !filtered.iter().any(|(_, dispatchable)| *dispatchable) {
+            return Vec::new();
+        }
+        let task_views: Vec<Vec<TaskView<'_>>> = ids
+            .iter()
+            .map(|id| self.jobs[id].tasks.iter().map(task_view).collect())
+            .collect();
+        let views: Vec<SchedView<'_>> = ids
+            .iter()
+            .zip(&task_views)
+            .zip(&filtered)
+            .map(|((id, tasks), (filt, dispatchable))| {
+                let job = &self.jobs[id];
+                let pending: &[TaskId] = match filt {
+                    Some(p) => p,
+                    None => job.pending.as_slices().0,
+                };
+                SchedView {
+                    job: JobId(*id),
+                    kernel: job.spec.kernel.name(),
+                    tenant: &job.spec.tenant,
+                    weight: job.spec.weight,
+                    deadline: job.spec.deadline,
+                    submitted: job.submitted,
+                    eligible: *dispatchable,
+                    cluster_slots,
+                    pending,
+                    tasks,
+                    completed_task_times: &job.task_times,
+                    slots_per_node,
+                }
+            })
+            .collect();
+        self.scheduler.reclaim(&views, node, now)
+    }
+
+    /// Executes one preemption kill: removes the attempt from its task's
+    /// running list, requeues the task (unless a speculative sibling still
+    /// runs it), fences the attempt so its eventual completion report is
+    /// rejected (the PR-8 zombie path, reused verbatim), re-bills the
+    /// discarded slot-seconds from the victim job to the beneficiary, and
+    /// tells the TaskTracker to kill the attempt. The freed slot surfaces
+    /// in the node's next heartbeat.
+    ///
+    /// Exactly-once needs no kv/digest surgery here: a *running* map
+    /// attempt has folded nothing into the job (folding happens only on a
+    /// successful report), and the fence guarantees at most one of
+    /// {preemption kill, natural completion} takes effect.
+    fn preempt(&mut self, ctx: &mut Ctx<'_>, v: ReclaimVictim, node: NodeId) {
+        let now = ctx.now();
+        let Some(tt) = self.tts.get(&node) else {
+            return;
+        };
+        let tt_actor = tt.actor;
+        let Some(job) = self.jobs.get_mut(&v.job.0) else {
+            debug_assert!(false, "reclaim named unknown job {}", v.job);
+            return;
+        };
+        let Some(ts) = job.tasks.get_mut(v.task.0 as usize) else {
+            debug_assert!(false, "reclaim named unknown task {}/{}", v.job, v.task);
+            return;
+        };
+        debug_assert!(
+            !ts.is_reduce && !ts.completed,
+            "reclaim named a reduce or completed task {}/{}",
+            v.job,
+            v.task
+        );
+        if ts.is_reduce || ts.completed {
+            return;
+        }
+        let Some(pos) = ts
+            .running
+            .iter()
+            .position(|&(a, n, _)| a == v.attempt && n == node)
+        else {
+            debug_assert!(false, "reclaim named attempt not running on node");
+            return;
+        };
+        let (_, _, started) = ts.running.remove(pos);
+        if ts.running.is_empty() {
+            job.pending.push_back(v.task);
+        }
+        job.note_share(now, -1);
+        // Charge the killing tenant: the victim's discarded runtime moves
+        // from its slot-seconds to the beneficiary's, and is reported as
+        // the beneficiary's wasted work.
+        let elapsed = now.since(started).as_secs_f64();
+        job.slot_seconds -= elapsed;
+        job.preempted_attempts += 1;
+        self.fenced.insert((v.job.0, v.task.0, v.attempt));
+        if let Some(b) = self.jobs.get_mut(&v.beneficiary.0) {
+            b.slot_seconds += elapsed;
+            b.wasted_slot_seconds += elapsed;
+        }
+        ctx.stats().incr("mr.preemptions");
+        let kill = KillTask {
+            job: v.job,
+            task: v.task,
+            attempt: v.attempt,
+        };
+        let (net, my) = (self.net, self.node);
+        net.unicast(ctx, my, node, tt_actor, 128, kill);
     }
 
     /// Asks the cluster scheduler which active job the next free slot on
@@ -1088,6 +1261,8 @@ impl JobTracker {
             deadline_met: job.spec.deadline.map(|d| now <= d),
             slot_seconds: job.slot_seconds,
             share_timeline: job.share_timeline.clone(),
+            preempted_attempts: job.preempted_attempts,
+            wasted_slot_seconds: job.wasted_slot_seconds,
             map_tasks: job.map_count,
             reduce_tasks: job.reduce_count,
             attempts: job.attempts_total,
@@ -1389,6 +1564,8 @@ impl Actor for JobTracker {
                             share_last_change: ctx.now(),
                             slot_seconds: 0.0,
                             share_timeline: Vec::new(),
+                            preempted_attempts: 0,
+                            wasted_slot_seconds: 0.0,
                         },
                     );
                     ctx.stats().incr("mr.jobs_submitted");

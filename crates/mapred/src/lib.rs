@@ -63,7 +63,9 @@ pub use builder::{ClusterBuilder, JobBuilder};
 #[allow(deprecated)]
 pub use cluster::{deploy_cluster, run_job};
 pub use cluster::{deploy_mr, MrCluster, MrHandle, PreloadSpec};
-pub use config::{AdaptiveTuning, JobId, MrConfig, MrConfigError, SchedulerPolicy, TaskId};
+pub use config::{
+    AdaptiveTuning, JobId, MrConfig, MrConfigError, PreemptionTuning, SchedulerPolicy, TaskId,
+};
 pub use job::{
     JobError, JobInput, JobResult, JobSpec, JobSpecError, OutputSink, ReduceSpec, TaskDescriptor,
     TaskMetrics, TaskWork,
@@ -76,7 +78,7 @@ pub use kernel::{
 pub use msgs::{CrashTaskTracker, InjectGray, JobComplete, SetHeartbeatLoss, SubmitJob};
 pub use sched::{
     build_scheduler, AdaptiveHetero, DeadlineSlack, FairShare, Fifo, LocalityFirst, NodeThroughput,
-    SchedView, Scheduler, SplitPlan, SplitRequest, TaskCompletion, TaskView,
+    ReclaimVictim, SchedView, Scheduler, SplitPlan, SplitRequest, TaskCompletion, TaskView,
 };
 pub use session::{ChurnOp, ChurnSchedule, FaultOp, FaultPlan, JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;

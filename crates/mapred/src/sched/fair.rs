@@ -20,7 +20,10 @@ use accelmr_net::NodeId;
 
 use crate::config::{JobId, MrConfig, TaskId};
 
-use super::{default_straggler, locality_pick, SchedView, Scheduler};
+use super::{
+    default_straggler, locality_pick, reclaim_candidates, PreemptionBudget, ReclaimVictim,
+    SchedView, Scheduler,
+};
 
 /// Weighted max-min fair sharing across tenants (job-level), locality
 /// within jobs. Construct via
@@ -36,14 +39,19 @@ pub struct FairShare {
     /// launch them — an over-share tenant cannot grab extra capacity
     /// through speculative copies that regular dispatch would deny it.
     min_share_tenants: Vec<String>,
+    /// Wasted-work budget for [`reclaim`](Scheduler::reclaim). Disabled by
+    /// default config, making the hook a no-op.
+    budget: PreemptionBudget,
 }
 
 impl FairShare {
-    /// Builds the policy from the runtime config (straggler threshold).
+    /// Builds the policy from the runtime config (straggler threshold,
+    /// preemption budget).
     pub fn new(cfg: &MrConfig) -> Self {
         FairShare {
             slowdown: cfg.speculative_slowdown,
             min_share_tenants: Vec::new(),
+            budget: PreemptionBudget::new(cfg.preemption),
         }
     }
 }
@@ -154,5 +162,104 @@ impl Scheduler for FairShare {
             return None;
         }
         default_straggler(view, node, now, self.slowdown)
+    }
+
+    /// Reclaims slots for a tenant running at least one full slot below
+    /// its weighted entitlement (`weight / Σweights × cluster_slots`),
+    /// killing the youngest attempts of tenants holding at least one slot
+    /// *above* theirs. Whole-slot deficits/surpluses keep the policy from
+    /// thrashing around fractional entitlements; the
+    /// [`PreemptionTuning`](crate::PreemptionTuning) budget bounds total
+    /// kills and re-kill cadence; and at
+    /// most **one** kill is granted per ask (one per node per heartbeat) —
+    /// natural completions usually cover the rest of the deficit, so
+    /// reclaim paces itself instead of pre-purchasing every missing slot
+    /// with discarded runtime.
+    fn reclaim(
+        &mut self,
+        views: &[SchedView<'_>],
+        node: NodeId,
+        now: SimTime,
+    ) -> Vec<ReclaimVictim> {
+        if !self.budget.tuning.enabled() {
+            return Vec::new();
+        }
+        let tenants = tenant_usage(views);
+        let total_weight: f64 = tenants.iter().map(|&(_, _, w)| w).sum();
+        let cluster = views.first().map(|v| v.cluster_slots).unwrap_or(0);
+        if total_weight <= 0.0 || cluster == 0 {
+            return Vec::new();
+        }
+        let entitled = |weight: f64| -> f64 { weight / total_weight * cluster as f64 };
+        // Balance per tenant: usage − entitlement, in slots. EPS absorbs
+        // float noise so an exactly-one-slot imbalance still counts.
+        const EPS: f64 = 1e-9;
+        let mut balance: Vec<(&str, f64)> = tenants
+            .iter()
+            .map(|&(t, usage, weight)| (t, usage - entitled(weight)))
+            .collect();
+        let deficit = |balance: &[(&str, f64)], tenant: &str| -> f64 {
+            balance
+                .iter()
+                .find(|(t, _)| *t == tenant)
+                .map(|&(_, b)| -b)
+                .unwrap_or(0.0)
+        };
+        // Beneficiary: the minimum-share eligible job with pending work
+        // whose tenant is at least one whole slot short — the same
+        // ordering regular dispatch uses, restricted to deficient tenants.
+        let share = |tenant: &str| -> f64 {
+            tenants
+                .iter()
+                .find(|(t, _, _)| *t == tenant)
+                .map(|&(_, u, w)| u / w.max(f64::MIN_POSITIVE))
+                .unwrap_or(0.0)
+        };
+        let mut best: Option<(f64, JobId, &SchedView<'_>)> = None;
+        for v in views {
+            if !v.eligible || v.pending.is_empty() || deficit(&balance, v.tenant) < 1.0 - EPS {
+                continue;
+            }
+            let s = share(v.tenant);
+            let better = match best {
+                None => true,
+                Some((bs, bj, _)) => s < bs || (s == bs && v.job < bj),
+            };
+            if better {
+                best = Some((s, v.job, v));
+            }
+        }
+        let Some((_, beneficiary, bview)) = best else {
+            return Vec::new();
+        };
+        let need = (deficit(&balance, bview.tenant) + EPS)
+            .floor()
+            .min(bview.pending.len() as f64)
+            .min(1.0) as usize;
+        let mut victims = Vec::new();
+        for (_elapsed, mut cand) in
+            reclaim_candidates(views, node, now, self.budget.tuning.min_attempt_age)
+        {
+            if victims.len() >= need {
+                break;
+            }
+            let Some(vt) = views.iter().find(|v| v.job == cand.job).map(|v| v.tenant) else {
+                continue;
+            };
+            if vt == bview.tenant {
+                continue;
+            }
+            let Some(entry) = balance.iter_mut().find(|(t, _)| *t == vt) else {
+                continue;
+            };
+            if entry.1 < 1.0 - EPS || !self.budget.allows(cand.job, cand.task, now) {
+                continue;
+            }
+            entry.1 -= 1.0;
+            self.budget.note_kill(cand.job, cand.task, now);
+            cand.beneficiary = beneficiary;
+            victims.push(cand);
+        }
+        victims
     }
 }

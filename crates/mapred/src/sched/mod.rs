@@ -5,8 +5,9 @@
 //! first-class and extensible. The JobTracker *feeds* the scheduler
 //! observations — heartbeats, task starts, completions (with durations and
 //! work sizes), node deaths — and *asks* it for decisions: split planning
-//! ([`Scheduler::plan_splits`]), dispatch ([`Scheduler::pick_task`]) and
-//! speculative-copy placement ([`Scheduler::pick_straggler`]). Policies
+//! ([`Scheduler::plan_splits`]), dispatch ([`Scheduler::pick_task`]),
+//! speculative-copy placement ([`Scheduler::pick_straggler`]) and
+//! preemptive slot reclamation ([`Scheduler::reclaim`]). Policies
 //! never mutate runtime state and never emit simulation events, so swapping
 //! a policy cannot perturb anything but the decisions themselves — the
 //! property the trace-equivalence tests pin down for the ported
@@ -37,10 +38,10 @@ pub use fair::FairShare;
 pub use fifo::Fifo;
 pub use locality::LocalityFirst;
 
-use accelmr_des::{SimDuration, SimTime};
+use accelmr_des::{FxHashMap, SimDuration, SimTime};
 use accelmr_net::NodeId;
 
-use crate::config::{JobId, MrConfig, SchedulerPolicy, TaskId};
+use crate::config::{JobId, MrConfig, PreemptionTuning, SchedulerPolicy, TaskId};
 use crate::job::TaskWork;
 
 /// Immutable snapshot of one task, handed to scheduling decisions.
@@ -238,6 +239,124 @@ pub struct NodeThroughput {
     pub samples: u64,
 }
 
+/// One attempt a policy asks the JobTracker to preempt: the named attempt
+/// is killed on its node, the task re-enters the victim job's pending
+/// queue, and the freed slot goes (at the node's next heartbeat) to the
+/// named beneficiary — whose tenant is charged the victim's discarded
+/// slot-seconds, so reclaiming is never free for the job that forces it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReclaimVictim {
+    /// Job owning the victim attempt.
+    pub job: JobId,
+    /// Task whose attempt is killed (requeued unless another attempt of
+    /// the same task is still running).
+    pub task: TaskId,
+    /// The attempt number to kill — fenced so a late completion report
+    /// from it is rejected.
+    pub attempt: u32,
+    /// The job on whose behalf the slot is reclaimed. Its `slot_seconds`
+    /// absorb the victim's discarded runtime (reported as
+    /// [`JobResult::wasted_slot_seconds`](crate::JobResult::wasted_slot_seconds)).
+    pub beneficiary: JobId,
+}
+
+/// Wasted-work bookkeeping backing [`Scheduler::reclaim`] implementations:
+/// enforces the [`PreemptionTuning`] budget (per-job kill cap, minimum
+/// victim age, per-task re-kill cooldown) across the scheduler's lifetime.
+#[derive(Debug)]
+pub(crate) struct PreemptionBudget {
+    /// The configured budget knobs.
+    pub(crate) tuning: PreemptionTuning,
+    /// Preemption kills suffered per victim job (lifetime).
+    kills_by_job: FxHashMap<u32, u32>,
+    /// Last preemption instant per `(job, task)` — the cooldown key.
+    last_kill: FxHashMap<(u32, u32), SimTime>,
+}
+
+impl PreemptionBudget {
+    pub(crate) fn new(tuning: PreemptionTuning) -> Self {
+        PreemptionBudget {
+            tuning,
+            kills_by_job: FxHashMap::default(),
+            last_kill: FxHashMap::default(),
+        }
+    }
+
+    /// Whether the budget permits killing an attempt of `(job, task)` now.
+    /// Age screening is [`reclaim_candidates`]' job; this checks the kill
+    /// cap and the per-task cooldown.
+    pub(crate) fn allows(&self, job: JobId, task: TaskId, now: SimTime) -> bool {
+        if !self.tuning.enabled() {
+            return false;
+        }
+        if self.kills_by_job.get(&job.0).copied().unwrap_or(0) >= self.tuning.max_kills_per_job {
+            return false;
+        }
+        match self.last_kill.get(&(job.0, task.0)) {
+            Some(&last) => now.since(last) >= self.tuning.cooldown,
+            None => true,
+        }
+    }
+
+    /// Records a granted kill against the budget.
+    pub(crate) fn note_kill(&mut self, job: JobId, task: TaskId, now: SimTime) {
+        *self.kills_by_job.entry(job.0).or_insert(0) += 1;
+        self.last_kill.insert((job.0, task.0), now);
+    }
+}
+
+/// Preemptible attempts on `node`, youngest-first, each paired with how
+/// long it has been running — the shared victim ordering ([`FairShare`]
+/// and [`DeadlineSlack`] differ only in *which jobs* may be raided, not in
+/// how victims are ranked within them; the elapsed time lets a policy with
+/// a duration model additionally skip nearly-finished victims).
+///
+/// A task qualifies only when it is an incomplete **map** with exactly one
+/// running attempt, that attempt runs on `node`, and it has been running
+/// at least `min_age`. Reduces are never preempted (their fetch state is
+/// not idempotently requeueable the way map attempts are), and killing one
+/// copy of a speculative pair frees a slot without freeing any task to
+/// requeue — the surviving copy still owns the task. Youngest-first
+/// (latest `started` wins, ties to the lowest `(job, task)`) minimizes the
+/// discarded work per reclaimed slot.
+pub(crate) fn reclaim_candidates(
+    views: &[SchedView<'_>],
+    node: NodeId,
+    now: SimTime,
+    min_age: SimDuration,
+) -> Vec<(SimDuration, ReclaimVictim)> {
+    let mut out: Vec<(SimTime, ReclaimVictim)> = Vec::new();
+    for v in views {
+        for (i, t) in v.tasks.iter().enumerate() {
+            if t.is_reduce || t.completed || t.running.len() != 1 {
+                continue;
+            }
+            let (attempt, run_node, started) = t.running[0];
+            if run_node != node || now.since(started) < min_age {
+                continue;
+            }
+            out.push((
+                started,
+                ReclaimVictim {
+                    job: v.job,
+                    task: TaskId(i as u32),
+                    attempt,
+                    // Placeholder; the policy stamps the real beneficiary.
+                    beneficiary: v.job,
+                },
+            ));
+        }
+    }
+    out.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then(a.1.job.cmp(&b.1.job))
+            .then(a.1.task.cmp(&b.1.task))
+    });
+    out.into_iter()
+        .map(|(started, v)| (now.since(started), v))
+        .collect()
+}
+
 /// A task-scheduling policy. The JobTracker feeds it observations and asks
 /// it for decisions; implementations are pure decision-makers — they hold
 /// whatever learning state they like but never touch runtime state.
@@ -289,6 +408,29 @@ pub trait Scheduler: Send {
         node: NodeId,
         now: SimTime,
     ) -> Option<TaskId>;
+
+    /// Names running attempts on `node` to kill and requeue so their slots
+    /// can be re-dispatched — asked only when preemption is enabled
+    /// ([`PreemptionTuning::enabled`]) and `node` reported zero free slots
+    /// after regular dispatch. Victims must be incomplete sole-attempt map
+    /// tasks running on `node` (see [`ReclaimVictim`]); the JobTracker
+    /// kills each, fences the attempt, requeues the task, and bills the
+    /// discarded slot-seconds to the named beneficiary.
+    ///
+    /// The default reclaims nothing, so non-preemptive policies are
+    /// byte-identical to the pre-hook runtime (pinned by the golden
+    /// traces). Like [`pick_job`](Scheduler::pick_job), reclaim decisions
+    /// always go to the *cluster* scheduler — per-job overrides only
+    /// govern decisions within their own job.
+    fn reclaim(
+        &mut self,
+        views: &[SchedView<'_>],
+        node: NodeId,
+        now: SimTime,
+    ) -> Vec<ReclaimVictim> {
+        let _ = (views, node, now);
+        Vec::new()
+    }
 
     /// A task attempt was dispatched to `node`.
     fn on_task_started(&mut self, job: JobId, task: TaskId, node: NodeId, now: SimTime) {

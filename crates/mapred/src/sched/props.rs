@@ -23,7 +23,18 @@ use super::{build_scheduler, SchedView, Scheduler, TaskView};
 
 struct MiniTask {
     completed: bool,
+    is_reduce: bool,
     running: Vec<(u32, NodeId, SimTime)>,
+}
+
+impl MiniTask {
+    fn fresh() -> Self {
+        MiniTask {
+            completed: false,
+            is_reduce: false,
+            running: Vec::new(),
+        }
+    }
 }
 
 struct MiniJob {
@@ -67,7 +78,7 @@ impl MiniCluster {
                     .iter()
                     .map(|t| TaskView {
                         hints: &[],
-                        is_reduce: false,
+                        is_reduce: t.is_reduce,
                         completed: t.completed,
                         running: &t.running,
                         size: 1,
@@ -124,6 +135,54 @@ impl MiniCluster {
         }
     }
 
+    /// One [`Scheduler::reclaim`] ask, views built exactly like
+    /// [`pick`](MiniCluster::pick)'s (eligible ⇔ pending non-empty).
+    fn reclaim(
+        &self,
+        sched: &mut dyn Scheduler,
+        node: NodeId,
+        now: SimTime,
+    ) -> Vec<super::ReclaimVictim> {
+        let pendings: Vec<Vec<TaskId>> = (0..self.jobs.len()).map(|j| self.pending(j)).collect();
+        let task_views: Vec<Vec<TaskView<'_>>> = self
+            .tasks
+            .iter()
+            .map(|tasks| {
+                tasks
+                    .iter()
+                    .map(|t| TaskView {
+                        hints: &[],
+                        is_reduce: t.is_reduce,
+                        completed: t.completed,
+                        running: &t.running,
+                        size: 1,
+                    })
+                    .collect()
+            })
+            .collect();
+        let views: Vec<SchedView<'_>> = self
+            .jobs
+            .iter()
+            .zip(&task_views)
+            .zip(&pendings)
+            .map(|((job, tasks), pending)| SchedView {
+                job: JobId(job.id),
+                kernel: "k",
+                tenant: &self.tenant_names[job.tenant],
+                weight: job.weight,
+                deadline: job.deadline,
+                submitted: SimTime::ZERO,
+                eligible: !pending.is_empty(),
+                cluster_slots: 8,
+                pending,
+                tasks,
+                completed_task_times: &[],
+                slots_per_node: 2,
+            })
+            .collect();
+        sched.reclaim(&views, node, now)
+    }
+
     fn dispatch(&mut self, j: usize) {
         let t = self.pending(j)[0].0 as usize;
         self.tasks[j][t].running.push((1, NodeId(1), SimTime::ZERO));
@@ -172,14 +231,7 @@ fn random_cluster(
             });
             id += 1;
             let n = rng.range_inclusive(*tasks_per_job.start(), *tasks_per_job.end()) as usize;
-            tasks.push(
-                (0..n)
-                    .map(|_| MiniTask {
-                        completed: false,
-                        running: Vec::new(),
-                    })
-                    .collect(),
-            );
+            tasks.push((0..n).map(|_| MiniTask::fresh()).collect());
         }
     }
     MiniCluster {
@@ -387,14 +439,7 @@ fn deadline_slack_orders_by_urgency() {
             },
         ],
         tasks: (0..3)
-            .map(|_| {
-                (0..4)
-                    .map(|_| MiniTask {
-                        completed: false,
-                        running: Vec::new(),
-                    })
-                    .collect()
-            })
+            .map(|_| (0..4).map(|_| MiniTask::fresh()).collect())
             .collect(),
         tenant_names: vec!["t".into()],
     };
@@ -414,12 +459,7 @@ fn deadline_slack_orders_by_urgency() {
         elapsed: accelmr_des::SimDuration::from_secs(40),
         work: 1,
     });
-    c.tasks[1] = (0..60)
-        .map(|_| MiniTask {
-            completed: false,
-            running: Vec::new(),
-        })
-        .collect();
+    c.tasks[1] = (0..60).map(|_| MiniTask::fresh()).collect();
     // Job 1: 60 tasks / 8 slots = 8 waves × 40 s = 320 s > 300 s → slack
     // -20 s. Job 2: 1 wave × 40 s against 100 s → slack +60 s.
     assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(1));
@@ -454,14 +494,7 @@ fn fair_share_pick_accounting() {
             },
         ],
         tasks: (0..2)
-            .map(|_| {
-                (0..6)
-                    .map(|_| MiniTask {
-                        completed: false,
-                        running: Vec::new(),
-                    })
-                    .collect()
-            })
+            .map(|_| (0..6).map(|_| MiniTask::fresh()).collect())
             .collect(),
         tenant_names: vec!["a".into(), "b".into()],
     };
@@ -478,4 +511,219 @@ fn fair_share_pick_accounting() {
     assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(1));
     c.dispatch(1);
     assert_eq!(c.pick(sched.as_mut(), NodeId(1)), Some(0));
+}
+
+/// The preemption battery's core safety property, across 1000 random
+/// cluster states per policy (FairShare and DeadlineSlack, the two
+/// reclaiming policies): `reclaim` never names a reduce attempt, a
+/// completed task, an attempt younger than `min_attempt_age`, or an
+/// attempt not running alone on the asked node; a victim job never
+/// suffers more than `max_kills_per_job` kills over the scheduler's
+/// lifetime; a task is never re-victimized within `cooldown`; every
+/// victim names a beneficiary with pending work; and a zero-budget
+/// scheduler facing the *same* views reclaims nothing, ever.
+#[test]
+fn reclaim_respects_budget_and_victim_rules() {
+    use accelmr_des::{FxHashMap, SimDuration};
+
+    use crate::config::PreemptionTuning;
+
+    let tuning = PreemptionTuning {
+        max_kills_per_job: 3,
+        min_attempt_age: SimDuration::from_secs(5),
+        cooldown: SimDuration::from_secs(10),
+        slack_margin: SimDuration::from_secs(30),
+    };
+    let zero = PreemptionTuning {
+        max_kills_per_job: 0,
+        ..tuning
+    };
+    let mut rng = Xoshiro256::seed_from_u64(0xBEEF);
+    let mut total_kills = 0u64;
+    for case in 0..1000 {
+        for policy in [SchedulerPolicy::FairShare, SchedulerPolicy::DeadlineSlack] {
+            let cfg = MrConfig {
+                scheduler: policy,
+                preemption: tuning,
+                ..MrConfig::default()
+            };
+            let mut sched = build_scheduler(policy, &cfg);
+            let mut zero_sched = build_scheduler(
+                policy,
+                &MrConfig {
+                    preemption: zero,
+                    ..cfg.clone()
+                },
+            );
+            let mut c = random_cluster(&mut rng, 2..=8);
+            // Sprinkle deadlines (some urgent, some comfortable) and
+            // reduce tasks — the latter must never be named.
+            for j in 0..c.jobs.len() {
+                if rng.next_below(2) == 0 {
+                    c.jobs[j].deadline =
+                        Some(SimTime::ZERO + SimDuration::from_secs(rng.range_inclusive(30, 400)));
+                }
+                for t in c.tasks[j].iter_mut() {
+                    if rng.next_below(5) == 0 {
+                        t.is_reduce = true;
+                    }
+                }
+            }
+            let mut kills: FxHashMap<u32, u32> = FxHashMap::default();
+            let mut last_kill: FxHashMap<(u32, u32), SimTime> = FxHashMap::default();
+            let mut next_attempt = 1u32;
+            for step in 0u64..16 {
+                let now_secs = 30 + step * 7;
+                let now = SimTime::ZERO + SimDuration::from_secs(now_secs);
+                // Random churn: start attempts (random node, random age,
+                // reduces included) and retire some running tasks.
+                for j in 0..c.jobs.len() {
+                    for ti in 0..c.tasks[j].len() {
+                        let t = &mut c.tasks[j][ti];
+                        if !t.completed && t.running.is_empty() && rng.next_below(3) == 0 {
+                            let age = rng.range_inclusive(0, 20);
+                            let started = SimTime::ZERO + SimDuration::from_secs(now_secs - age);
+                            let node = NodeId(rng.range_inclusive(1, 3) as u32);
+                            t.running.push((next_attempt, node, started));
+                            next_attempt += 1;
+                        } else if !t.completed && !t.running.is_empty() && rng.next_below(6) == 0 {
+                            t.running.clear();
+                            t.completed = true;
+                        }
+                    }
+                }
+                let node = NodeId(rng.range_inclusive(1, 3) as u32);
+                assert!(
+                    c.reclaim(zero_sched.as_mut(), node, now).is_empty(),
+                    "case {case}: zero-budget {} reclaimed",
+                    zero_sched.name()
+                );
+                for v in c.reclaim(sched.as_mut(), node, now) {
+                    total_kills += 1;
+                    let j = c
+                        .jobs
+                        .iter()
+                        .position(|j| j.id == v.job.0)
+                        .unwrap_or_else(|| panic!("case {case}: unknown victim job {}", v.job));
+                    let t = &c.tasks[j][v.task.0 as usize];
+                    assert!(!t.is_reduce, "case {case}: reclaim named a reduce attempt");
+                    assert!(!t.completed, "case {case}: reclaim named a completed task");
+                    assert_eq!(
+                        t.running.len(),
+                        1,
+                        "case {case}: victim is not a sole running attempt"
+                    );
+                    let (attempt, run_node, started) = t.running[0];
+                    assert_eq!(
+                        (attempt, run_node),
+                        (v.attempt, node),
+                        "case {case}: victim attempt not running on the asked node"
+                    );
+                    assert!(
+                        now.since(started) >= tuning.min_attempt_age,
+                        "case {case}: victim younger than min_attempt_age"
+                    );
+                    let b = c
+                        .jobs
+                        .iter()
+                        .position(|j| j.id == v.beneficiary.0)
+                        .unwrap_or_else(|| {
+                            panic!("case {case}: unknown beneficiary {}", v.beneficiary)
+                        });
+                    assert!(
+                        !c.pending(b).is_empty(),
+                        "case {case}: beneficiary has nothing to dispatch"
+                    );
+                    // Budget: lifetime per-job kill cap, per-task cooldown.
+                    let k = kills.entry(v.job.0).or_insert(0);
+                    *k += 1;
+                    assert!(
+                        *k <= tuning.max_kills_per_job,
+                        "case {case}: job {} exceeded the kill budget",
+                        v.job
+                    );
+                    if let Some(&prev) = last_kill.get(&(v.job.0, v.task.0)) {
+                        assert!(
+                            now.since(prev) >= tuning.cooldown,
+                            "case {case}: task re-victimized within cooldown"
+                        );
+                    }
+                    last_kill.insert((v.job.0, v.task.0), now);
+                    // Execute the kill: the attempt dies, the task requeues.
+                    c.tasks[j][v.task.0 as usize].running.clear();
+                }
+            }
+        }
+    }
+    // The harness must actually exercise kills, or everything above is
+    // vacuously true.
+    assert!(
+        total_kills > 100,
+        "only {total_kills} kills across all cases"
+    );
+}
+
+/// A zero-budget preemption config (`max_kills_per_job == 0`, every other
+/// knob maximally aggressive) is event-for-event identical to the default
+/// disabled config on a real two-tenant cluster: the reclaim hook must
+/// not perturb dispatch at all without a kill budget. Reference fluid
+/// engine + whole-run event-trace fingerprints — the same pinning the
+/// golden scheduler traces use.
+#[test]
+fn zero_budget_preemption_is_trace_identical() {
+    use accelmr_des::SimDuration;
+
+    use crate::builder::{ClusterBuilder, JobBuilder};
+    use crate::config::PreemptionTuning;
+    use crate::kernel::{FixedCostKernel, SumReducer};
+
+    let run = |preemption: PreemptionTuning| -> (u64, u64) {
+        let mut c = ClusterBuilder::new()
+            .seed(77)
+            .workers(4)
+            .net(accelmr_net::NetConfig {
+                fluid: accelmr_net::FluidEngine::Reference,
+                ..accelmr_net::NetConfig::default()
+            })
+            .mr(MrConfig {
+                scheduler: SchedulerPolicy::FairShare,
+                preemption,
+                ..MrConfig::default()
+            })
+            .deploy();
+        c.sim.enable_trace(16);
+        let job = |name: &str, tenant: &str, tasks: usize, units_per_task: u64| {
+            JobBuilder::new(name)
+                .synthetic(units_per_task * tasks as u64)
+                .map_tasks(tasks)
+                .kernel(FixedCostKernel::default())
+                .tenant(tenant)
+                .rpc_aggregate(SumReducer {
+                    cycles_per_byte: 1.0,
+                })
+        };
+        let mut session = c.session();
+        session.submit(job("bulk", "batch", 16, 60_000_000));
+        session.submit_after(
+            SimDuration::from_secs(15),
+            job("light", "interactive", 4, 20_000_000),
+        );
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        assert!(rs
+            .iter()
+            .all(|r| r.preempted_attempts == 0 && r.wasted_slot_seconds == 0.0));
+        (c.sim.trace().fingerprint(), c.sim.trace().recorded())
+    };
+    let disabled = run(PreemptionTuning::default());
+    let zero_budget = run(PreemptionTuning {
+        max_kills_per_job: 0,
+        min_attempt_age: SimDuration::ZERO,
+        cooldown: SimDuration::ZERO,
+        slack_margin: SimDuration::from_secs(10_000),
+    });
+    assert_eq!(
+        disabled, zero_budget,
+        "zero-budget preemption perturbed the event stream"
+    );
 }

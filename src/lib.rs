@@ -96,7 +96,7 @@ pub mod prelude {
     pub use accelmr_mapred::{
         ChurnOp, ChurnSchedule, ClusterBuilder, FaultOp, FaultPlan, JobBuilder, JobError,
         JobHandle, JobInput, JobRequest, JobResult, JobSpec, JobSpecError, MrConfig, OutputSink,
-        PreloadSpec, ReduceSpec, SchedulerPolicy, Session, SumReducer,
+        PreemptionTuning, PreloadSpec, ReduceSpec, SchedulerPolicy, Session, SumReducer,
     };
     pub use accelmr_net::{NetConfig, NodeId};
 }

@@ -228,6 +228,95 @@ fn empty_fault_plan_leaves_traces_byte_identical() {
     assert_eq!(f_plain, f_api, "empty plan changed the event trace");
 }
 
+/// Preemption kills racing chaos-plane node death: fair-share reclaims
+/// attempts on a node whose heartbeats are about to be suppressed long
+/// enough to trip false-positive death detection. The same attempts can
+/// be preemption-killed, death-fenced, requeued, and reported by the
+/// zombie tracker in any interleaving — contributions must still fold
+/// exactly once, matching a fault-free non-preemptive baseline byte for
+/// byte.
+#[test]
+fn preemption_kill_racing_node_death_is_exactly_once() {
+    let run = |preemption: PreemptionTuning, plan: FaultPlan| {
+        let mut cluster = ClusterBuilder::new()
+            .seed(SEED + 5)
+            .workers(4)
+            .mr(MrConfig {
+                tt_dead_after: SimDuration::from_secs(12),
+                shuffle_fetch_timeout: Some(SimDuration::from_secs(8)),
+                read_timeout: Some(SimDuration::from_secs(5)),
+                job_stall_timeout: Some(SimDuration::from_secs(30)),
+                scheduler: SchedulerPolicy::FairShare,
+                preemption,
+                ..MrConfig::hardened()
+            })
+            .dfs(DfsConfig {
+                dead_after: SimDuration::from_secs(12),
+                ..DfsConfig::default()
+            })
+            .deploy();
+        let mut session = cluster.session();
+        session.faults(plan);
+        let greedy = session.submit(compute_job(8, 60).name("greedy").tenant("batch"));
+        let nimble = session.submit_after(
+            SimDuration::from_secs(2),
+            compute_job(8, 20).name("nimble").tenant("interactive"),
+        );
+        let results = session.run_until_complete();
+        assert!(
+            results.iter().all(|r| r.succeeded),
+            "a job failed: {:?}",
+            results.iter().find(|r| !r.succeeded).map(|r| &r.error)
+        );
+        let out = (greedy.result(), nimble.result());
+        drop(session);
+        let stats = |n| cluster.sim.stats().counter(n);
+        (
+            out,
+            stats("mr.preemptions"),
+            stats("mr.fenced_reports"),
+            stats("mr.tt_resurrections"),
+        )
+    };
+
+    let ((greedy_base, nimble_base), k0, f0, r0) =
+        run(PreemptionTuning::default(), FaultPlan::new());
+    assert_eq!((k0, f0, r0), (0, 0, 0), "baseline saw chaos effects");
+
+    // Greedy saturates all 8 slots by ~t=11 s; nimble becomes eligible at
+    // ~t=10 s and fair-share starts reclaiming on saturated heartbeats —
+    // including node 2's, which kills its own greedy attempts, reports
+    // the freed slots, and picks up nimble's work just before its
+    // heartbeats vanish at t=17 s for long enough to trip the 12 s death
+    // window. Kill, death fence, requeue, and zombie completion reports
+    // all land on overlapping attempts.
+    let tuning = PreemptionTuning {
+        max_kills_per_job: 8,
+        min_attempt_age: SimDuration::from_secs(1),
+        cooldown: SimDuration::from_secs(1),
+        slack_margin: SimDuration::from_secs(30),
+    };
+    let plan = FaultPlan::new().heartbeat_loss_at(
+        SimDuration::from_secs(17),
+        NodeId(2),
+        SimDuration::from_secs(25),
+    );
+    let ((greedy_chaos, nimble_chaos), kills, fenced, resurrections) = run(tuning, plan);
+    assert!(kills >= 1, "no preemption fired before the death window");
+    assert_eq!(resurrections, 1, "false-positive death did not resurrect");
+    assert!(fenced >= 1, "no report was fenced across the race");
+    assert_eq!(
+        greedy_chaos.kv, greedy_base.kv,
+        "exactly-once violated for the preempted job"
+    );
+    assert_eq!(
+        nimble_chaos.kv, nimble_base.kv,
+        "exactly-once violated for the beneficiary job"
+    );
+    assert_eq!(greedy_chaos.digest, greedy_base.digest);
+    assert_eq!(nimble_chaos.digest, nimble_base.digest);
+}
+
 /// The seeded storm generator is a pure function of its seed: identical
 /// seeds produce identical plans, different seeds different ones.
 #[test]

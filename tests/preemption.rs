@@ -1,0 +1,301 @@
+//! Preemptive slot reclamation, end to end: kill-and-requeue closes the
+//! deadline gap a saturated cluster otherwise forces, fair-share reclaims
+//! for an under-share tenant, billing stays conservative (slot-second
+//! transfer, wasted-work surfaced), and outputs stay byte-identical to
+//! non-preemptive runs of the same workload — exactly-once survives kills.
+
+use accelmr::mapred::{FixedCostKernel, MrCluster, MrConfig, SchedulerPolicy, SumReducer};
+use accelmr::prelude::*;
+
+/// A synthetic job shaped for slot accounting: `tasks` map tasks of
+/// `task_secs` seconds each (FixedCostKernel at 100 ns/unit).
+fn slot_job(name: &str, tenant: &str, tasks: usize, task_secs: u64) -> JobBuilder {
+    let units_per_task = task_secs * 10_000_000; // 100 ns/unit → secs
+    JobBuilder::new(name)
+        .synthetic(units_per_task * tasks as u64)
+        .map_tasks(tasks)
+        .kernel(FixedCostKernel::default())
+        .tenant(tenant)
+        .rpc_aggregate(SumReducer {
+            cycles_per_byte: 1.0,
+        })
+}
+
+fn cluster(workers: usize, seed: u64, mr: MrConfig) -> MrCluster {
+    ClusterBuilder::new()
+        .seed(seed)
+        .workers(workers)
+        .mr(mr)
+        .deploy()
+}
+
+/// Integral of a job's occupied slots over `[from, to]`, in slot-seconds,
+/// reconstructed from its share timeline.
+fn share_integral(r: &JobResult, from: SimTime, to: SimTime) -> f64 {
+    let mut total = 0.0;
+    let mut level = 0u32;
+    let mut at = SimTime::ZERO;
+    for &(t, next) in &r.share_timeline {
+        let lo = at.max(from);
+        let hi = t.min(to);
+        if hi > lo {
+            total += level as f64 * (hi - lo).as_secs_f64();
+        }
+        level = next;
+        at = t;
+    }
+    let lo = at.max(from);
+    if to > lo {
+        total += level as f64 * (to - lo).as_secs_f64();
+    }
+    total
+}
+
+/// Whole-run share integral — equals the billed occupancy absent
+/// transfer. The timeline is in absolute sim time (jobs submit late), so
+/// integrate to a horizon past any job's completion; the level is back to
+/// zero by then.
+fn full_integral(r: &JobResult) -> f64 {
+    share_integral(
+        r,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_secs(1_000_000),
+    )
+}
+
+/// First instant the job holds any slot, from its share timeline.
+fn first_share_at(r: &JobResult) -> SimTime {
+    r.share_timeline
+        .iter()
+        .find(|&&(_, level)| level > 0)
+        .map(|&(t, _)| t)
+        .expect("job never held a slot")
+}
+
+/// The tentpole scenario: eight 120 s bulk tasks saturate all 8 slots of
+/// a 4-worker cluster; an urgent 4-task deadline job arrives at t=30 s
+/// with an 80 s deadline. Without preemption the first slot frees around
+/// t=130 s and the deadline is lost. With a kill budget, `DeadlineSlack`
+/// reclaims slots once the urgent job's slack falls under the margin and
+/// the deadline is met — with byte-identical job outputs either way.
+#[test]
+fn deadline_preemption_closes_the_gap() {
+    let run = |preemption: PreemptionTuning| -> (JobResult, JobResult, u64) {
+        let mut c = cluster(
+            4,
+            301,
+            MrConfig {
+                scheduler: SchedulerPolicy::DeadlineSlack,
+                preemption,
+                ..MrConfig::default()
+            },
+        );
+        let mut session = c.session();
+        let bulk = session.submit(slot_job("bulk", "batch", 8, 120));
+        let urgent = session.submit_after(
+            SimDuration::from_secs(30),
+            slot_job("urgent", "interactive", 4, 4)
+                .deadline_at(SimTime::ZERO + SimDuration::from_secs(80)),
+        );
+        let results = session.run_until_complete();
+        assert!(results.iter().all(|r| r.succeeded));
+        let out = (bulk.result(), urgent.result());
+        drop(session);
+        (out.0, out.1, c.sim.stats().counter("mr.preemptions"))
+    };
+
+    // Control: preemption disabled (the default config).
+    let (bulk_ctl, urgent_ctl, kills_ctl) = run(PreemptionTuning::default());
+    assert_eq!(kills_ctl, 0);
+    assert_eq!(bulk_ctl.preempted_attempts, 0);
+    assert_eq!(urgent_ctl.wasted_slot_seconds, 0.0);
+    assert_eq!(
+        urgent_ctl.deadline_met,
+        Some(false),
+        "control unexpectedly met the deadline — the cluster is not saturated"
+    );
+    // The urgent job waits out a full bulk task length for its first slot.
+    assert!(
+        first_share_at(&urgent_ctl) > SimTime::ZERO + SimDuration::from_secs(100),
+        "control dispatched urgent at {}",
+        first_share_at(&urgent_ctl)
+    );
+
+    // Preemption on: generous margin so the reclaim fires on the first
+    // saturated heartbeat after the urgent job initializes.
+    let tuning = PreemptionTuning {
+        max_kills_per_job: 8,
+        min_attempt_age: SimDuration::from_secs(5),
+        cooldown: SimDuration::from_secs(5),
+        slack_margin: SimDuration::from_secs(60),
+    };
+    let (bulk_pre, urgent_pre, kills) = run(tuning);
+    assert_eq!(
+        urgent_pre.deadline_met,
+        Some(true),
+        "preemption failed to close the deadline gap"
+    );
+    // Kill-and-requeue happened, within budget (one victim job).
+    assert!(kills >= 1, "no preemptions recorded");
+    assert!(kills <= tuning.max_kills_per_job as u64);
+    assert_eq!(bulk_pre.preempted_attempts as u64, kills);
+    assert_eq!(urgent_pre.preempted_attempts, 0);
+    // The killing tenant is billed for the discarded runtime.
+    assert!(urgent_pre.wasted_slot_seconds > 0.0);
+    assert_eq!(bulk_pre.wasted_slot_seconds, 0.0);
+    // The slot arrives within one heartbeat of the kill: submit 30 s +
+    // 8 s job init + first saturated heartbeat (≤3 s) + the victim
+    // tracker's next heartbeat (≤3 s) + dispatch overhead.
+    assert!(
+        first_share_at(&urgent_pre) < SimTime::ZERO + SimDuration::from_secs(55),
+        "urgent first dispatched only at {}",
+        first_share_at(&urgent_pre)
+    );
+    // Exactly-once under kills: outputs byte-identical to the
+    // non-preemptive run of the same workload.
+    assert_eq!(urgent_pre.kv, urgent_ctl.kv);
+    assert_eq!(bulk_pre.kv, bulk_ctl.kv);
+    assert_eq!(urgent_pre.digest, urgent_ctl.digest);
+    assert_eq!(bulk_pre.digest, bulk_ctl.digest);
+}
+
+/// FairShare reclaims for a tenant sitting below its weighted share: a
+/// greedy tenant's long maps hold every slot when an equal-weight tenant
+/// arrives; the reclaim kills youngest greedy attempts and the accounting
+/// stays conservative — the beneficiary is billed the transferred
+/// slot-seconds (surfaced as `wasted_slot_seconds`) and the cluster-wide
+/// sum of `slot_seconds` still equals the sum of share-timeline integrals.
+#[test]
+fn fair_share_reclaims_for_under_share_tenant() {
+    let run = |preemption: PreemptionTuning| -> (JobResult, JobResult, u64) {
+        let mut c = cluster(
+            4,
+            302,
+            MrConfig {
+                scheduler: SchedulerPolicy::FairShare,
+                preemption,
+                ..MrConfig::default()
+            },
+        );
+        let mut session = c.session();
+        let greedy = session.submit(slot_job("greedy", "batch", 8, 100));
+        let nimble = session.submit_after(
+            SimDuration::from_secs(30),
+            slot_job("nimble", "interactive", 8, 5),
+        );
+        let results = session.run_until_complete();
+        assert!(results.iter().all(|r| r.succeeded));
+        let out = (greedy.result(), nimble.result());
+        drop(session);
+        (out.0, out.1, c.sim.stats().counter("mr.preemptions"))
+    };
+
+    let (greedy_ctl, nimble_ctl, kills_ctl) = run(PreemptionTuning::default());
+    assert_eq!(kills_ctl, 0);
+    // Without a kill budget the under-share tenant waits ~a full greedy
+    // task length.
+    assert!(first_share_at(&nimble_ctl) > SimTime::ZERO + SimDuration::from_secs(90));
+
+    let tuning = PreemptionTuning {
+        max_kills_per_job: 8,
+        min_attempt_age: SimDuration::from_secs(5),
+        cooldown: SimDuration::from_secs(5),
+        slack_margin: SimDuration::from_secs(30),
+    };
+    let (greedy_pre, nimble_pre, kills) = run(tuning);
+    assert!(kills >= 1, "fair-share never reclaimed");
+    assert!(kills <= tuning.max_kills_per_job as u64);
+    assert_eq!(greedy_pre.preempted_attempts as u64, kills);
+    // The under-share tenant gets slots within heartbeats, not task
+    // lengths.
+    assert!(
+        first_share_at(&nimble_pre) < SimTime::ZERO + SimDuration::from_secs(55),
+        "nimble first dispatched only at {}",
+        first_share_at(&nimble_pre)
+    );
+    // Billing identities. The beneficiary's slot_seconds exceed its own
+    // timeline integral by exactly the transferred (wasted) runtime; the
+    // victim's fall short by the same amount; the cluster-wide totals
+    // balance to the last microsecond.
+    let ig = full_integral(&greedy_pre);
+    let inb = full_integral(&nimble_pre);
+    assert!(nimble_pre.wasted_slot_seconds > 0.0);
+    assert!(
+        (nimble_pre.slot_seconds - inb - nimble_pre.wasted_slot_seconds).abs() < 1e-6,
+        "beneficiary billing drifted: slot_seconds {} vs integral {inb} + wasted {}",
+        nimble_pre.slot_seconds,
+        nimble_pre.wasted_slot_seconds
+    );
+    assert!(
+        ((greedy_pre.slot_seconds + nimble_pre.slot_seconds) - (ig + inb)).abs() < 1e-6,
+        "slot-second transfer is not conservative"
+    );
+    // Outputs identical with and without reclamation.
+    assert_eq!(greedy_pre.kv, greedy_ctl.kv);
+    assert_eq!(nimble_pre.kv, nimble_ctl.kv);
+}
+
+/// Same-instant exactness regression: with speculation *and* an
+/// aggressive kill budget, completions, speculative duplicates, and
+/// preemption kills race within single heartbeats. The accounting must
+/// stay exact anyway — every job's output matches the non-preemptive
+/// control byte for byte, and the cluster-wide slot-second ledger
+/// balances against the share timelines.
+#[test]
+fn speculation_and_preemption_keep_accounting_exact() {
+    let run = |preemption: PreemptionTuning| -> (Vec<JobResult>, u64) {
+        let mut c = cluster(
+            4,
+            303,
+            MrConfig {
+                scheduler: SchedulerPolicy::FairShare,
+                speculative: true,
+                preemption,
+                ..MrConfig::default()
+            },
+        );
+        let mut session = c.session();
+        session.submit(slot_job("heavy", "batch", 8, 60));
+        session.submit_after(
+            SimDuration::from_secs(20),
+            slot_job("mid", "interactive", 6, 10),
+        );
+        session.submit_after(SimDuration::from_secs(40), slot_job("late", "adhoc", 6, 5));
+        let results = session.run_until_complete();
+        assert!(results.iter().all(|r| r.succeeded));
+        drop(session);
+        let kills = c.sim.stats().counter("mr.preemptions");
+        (results, kills)
+    };
+
+    let (ctl, kills_ctl) = run(PreemptionTuning::default());
+    assert_eq!(kills_ctl, 0);
+    let tuning = PreemptionTuning {
+        max_kills_per_job: 6,
+        min_attempt_age: SimDuration::from_secs(3),
+        cooldown: SimDuration::from_secs(2),
+        slack_margin: SimDuration::from_secs(30),
+    };
+    let (pre, kills) = run(tuning);
+    assert!(kills >= 1, "aggressive budget never fired");
+    // Every kill is attributed to exactly one victim job.
+    let preempted: u64 = pre.iter().map(|r| r.preempted_attempts as u64).sum();
+    assert_eq!(preempted, kills);
+    // Exactly-once outputs, job by job.
+    for (p, c) in pre.iter().zip(&ctl) {
+        assert_eq!(p.name, c.name);
+        assert_eq!(p.kv, c.kv, "kv drifted under preemption for {}", p.name);
+        assert_eq!(p.digest, c.digest);
+    }
+    // Cluster-wide ledger: Σ slot_seconds == Σ timeline integrals — the
+    // transfer at each kill instant nets to zero even when a kill lands
+    // on the same heartbeat as completions and speculative starts.
+    let billed: f64 = pre.iter().map(|r| r.slot_seconds).sum();
+    let integrated: f64 = pre.iter().map(full_integral).sum();
+    assert!(
+        (billed - integrated).abs() < 1e-6,
+        "ledger imbalance: billed {billed} vs integrated {integrated}"
+    );
+    let wasted: f64 = pre.iter().map(|r| r.wasted_slot_seconds).sum();
+    assert!(wasted > 0.0);
+}
