@@ -18,6 +18,26 @@ pub fn queue_stats_json(q: &accelmr_des::QueueStats) -> String {
     )
 }
 
+/// Renders per-actor-class dispatch costs ([`accelmr_des::ActorCost`],
+/// collected under [`Sim::enable_profiling`](accelmr_des::Sim::enable_profiling))
+/// as a JSON array for a bench section. Each row carries the class label,
+/// its event count, and the mean host-nanoseconds per event — the number
+/// the heartbeat-path scalability bar is pinned against.
+pub fn actor_costs_json(costs: &[accelmr_des::ActorCost]) -> String {
+    let rows: Vec<String> = costs
+        .iter()
+        .map(|c| {
+            format!(
+                "{{ \"class\": \"{}\", \"events\": {}, \"nanos_per_event\": {:.0} }}",
+                c.class,
+                c.events,
+                c.nanos as f64 / c.events.max(1) as f64
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
 /// Prints a figure's table, prefixed with timing of the harness itself.
 pub fn emit(fig: &accelmr_hybrid::experiments::Figure, started: std::time::Instant) {
     print!("{}", fig.to_table());

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod actor;
+pub mod expiry;
 pub mod fxmap;
 pub(crate) mod queue;
 pub mod rng;
@@ -49,10 +50,11 @@ pub mod time;
 pub mod trace;
 
 pub use actor::{Actor, ActorId, Event, Msg, MsgExt, TimerHandle};
+pub use expiry::ExpiryHeap;
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use rng::{splitmix64, Xoshiro256};
 pub use sim::{Ctx, RunSummary, Sim};
-pub use stats::{LogHistogram, QueueStats, Stats};
+pub use stats::{ActorCost, LogHistogram, QueueStats, Stats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
 

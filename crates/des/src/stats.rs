@@ -123,6 +123,24 @@ pub struct QueueStats {
     pub timer_slots: u64,
 }
 
+/// Per-actor-class event cost, collected only when profiling is enabled
+/// ([`Sim::enable_profiling`](crate::Sim::enable_profiling)). The class is
+/// the actor name up to the first `@` — `"mr.tasktracker@17"` and
+/// `"mr.tasktracker@9000"` share one row — so the table stays a handful of
+/// rows at any cluster size. `nanos` is host wall time spent inside
+/// `Actor::handle`; it measures the *simulator's* cost per event (the
+/// control-plane scalability number the bench bins pin), never simulated
+/// time, and never feeds back into the simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ActorCost {
+    /// Actor-class label (name up to the first `@`).
+    pub class: String,
+    /// Events dispatched to actors of this class.
+    pub events: u64,
+    /// Host nanoseconds spent handling those events.
+    pub nanos: u64,
+}
+
 /// Metric sink owned by the engine and shared with all actors via `Ctx`.
 #[derive(Debug, Default)]
 pub struct Stats {
@@ -130,6 +148,10 @@ pub struct Stats {
     gauges: FxHashMap<&'static str, f64>,
     histograms: FxHashMap<&'static str, LogHistogram>,
     queue: QueueStats,
+    /// Indexed by the class id interned at spawn; rows are append-only so
+    /// ids stay stable across [`reset`](Stats::reset) (which zeroes the
+    /// counts but keeps the interning).
+    actor_costs: Vec<ActorCost>,
 }
 
 impl Stats {
@@ -202,12 +224,56 @@ impl Stats {
         &mut self.queue
     }
 
-    /// Clears all metrics.
+    /// Per-actor-class event costs, in class-name order. Empty unless
+    /// profiling was enabled
+    /// ([`Sim::enable_profiling`](crate::Sim::enable_profiling)) — classes
+    /// are interned at spawn regardless, but rows with zero events are
+    /// filtered out here so an unprofiled run reports nothing.
+    pub fn actor_costs(&self) -> Vec<ActorCost> {
+        let mut v: Vec<ActorCost> = self
+            .actor_costs
+            .iter()
+            .filter(|c| c.events > 0)
+            .cloned()
+            .collect();
+        v.sort_unstable_by(|a, b| a.class.cmp(&b.class));
+        v
+    }
+
+    /// Interns an actor class, returning its stable row id. Linear scan:
+    /// class counts are small (one per actor *type*, not per actor) and
+    /// this only runs at spawn.
+    pub(crate) fn intern_actor_class(&mut self, class: &str) -> u32 {
+        if let Some(i) = self.actor_costs.iter().position(|c| c.class == class) {
+            return i as u32;
+        }
+        self.actor_costs.push(ActorCost {
+            class: class.to_string(),
+            events: 0,
+            nanos: 0,
+        });
+        (self.actor_costs.len() - 1) as u32
+    }
+
+    /// Engine-internal: charges one event of `nanos` host time to `class`.
+    #[inline]
+    pub(crate) fn charge_actor_cost(&mut self, class: u32, nanos: u64) {
+        let row = &mut self.actor_costs[class as usize];
+        row.events += 1;
+        row.nanos += nanos;
+    }
+
+    /// Clears all metrics. Actor-class interning survives (ids handed out
+    /// at spawn stay valid); the per-class counts are zeroed.
     pub fn reset(&mut self) {
         self.counters.clear();
         self.gauges.clear();
         self.histograms.clear();
         self.queue = QueueStats::default();
+        for c in &mut self.actor_costs {
+            c.events = 0;
+            c.nanos = 0;
+        }
     }
 }
 

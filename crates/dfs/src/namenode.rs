@@ -8,7 +8,7 @@
 //! a surviving replica through a [`ReplicateBlock`] pipeline.
 
 use accelmr_des::prelude::*;
-use accelmr_des::{FxHashMap, FxHashSet};
+use accelmr_des::{ExpiryHeap, FxHashMap, FxHashSet};
 use accelmr_net::{NetHandle, NodeId};
 
 use crate::config::{BlockId, DfsConfig};
@@ -51,7 +51,15 @@ pub struct NameNode {
     next_block: u64,
     placement_cursor: usize,
     last_heartbeat: FxHashMap<NodeId, SimTime>,
-    dead: Vec<NodeId>,
+    /// Nodes declared dead by heartbeat silence. A set: placement probes
+    /// membership per candidate and the liveness path per sweep, which was
+    /// O(dead) with the former `Vec` — 527 leaves per probe at 10k nodes.
+    dead: FxHashSet<NodeId>,
+    /// Liveness deadlines, lazily invalidated: one entry per live node at
+    /// `last_heartbeat + dead_after`, refreshed only when it surfaces in a
+    /// sweep. Makes the periodic tick cost proportional to nodes whose
+    /// deadline elapsed, not to cluster size.
+    expiry: ExpiryHeap<NodeId>,
     /// In-flight re-replications by tag.
     pending_repl: FxHashMap<u64, PendingRepl>,
     /// Blocks with a re-replication in flight (no duplicate repairs).
@@ -85,7 +93,8 @@ impl NameNode {
             next_block: 0,
             placement_cursor: 0,
             last_heartbeat: FxHashMap::default(),
-            dead: Vec::new(),
+            dead: FxHashSet::default(),
+            expiry: ExpiryHeap::new(),
             pending_repl: FxHashMap::default(),
             repl_in_flight: FxHashSet::default(),
             next_repl_tag: 1,
@@ -98,10 +107,11 @@ impl NameNode {
     }
 
     fn datanode_actor(&self, node: NodeId) -> Option<ActorId> {
+        // The registry stays sorted by node (see `new` / `AddDataNode`).
         self.datanodes
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, a)| a)
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.datanodes[i].1)
     }
 
     /// Chooses `replication` distinct live nodes outside `exclude`,
@@ -353,8 +363,10 @@ impl Actor for NameNode {
         match ev {
             Event::Start => {
                 let now = ctx.now();
-                for &(node, _) in &self.datanodes {
+                for i in 0..self.datanodes.len() {
+                    let node = self.datanodes[i].0;
                     self.last_heartbeat.insert(node, now);
+                    self.expiry.schedule(now + self.cfg.dead_after, node);
                 }
                 ctx.after(self.cfg.heartbeat_interval, TIMER_LIVENESS);
             }
@@ -363,19 +375,29 @@ impl Actor for NameNode {
                 ..
             } => {
                 let now = ctx.now();
-                let mut newly_dead: Vec<NodeId> = Vec::new();
-                for &(node, _) in &self.datanodes {
-                    let last = self
-                        .last_heartbeat
-                        .get(&node)
-                        .copied()
-                        .unwrap_or(SimTime::ZERO);
-                    let stale = now.since(last) > self.cfg.dead_after;
-                    if stale && !self.dead.contains(&node) {
-                        self.dead.push(node);
-                        newly_dead.push(node);
-                        ctx.stats().incr("dfs.datanodes_declared_dead");
+                // Expiry-heap sweep: only nodes whose recorded deadline
+                // elapsed are touched; heartbeats refreshed the
+                // authoritative deadline (`last_heartbeat + dead_after`)
+                // without touching the heap, so refreshed entries re-queue
+                // here. Strict `<` preserves the former full scan's
+                // `now - last > dead_after` rule exactly.
+                let dead = &self.dead;
+                let last = &self.last_heartbeat;
+                let window = self.cfg.dead_after;
+                let mut newly_dead = self.expiry.expired(now, |node| {
+                    if dead.contains(&node) {
+                        return None;
                     }
+                    last.get(&node).map(|&l| l + window)
+                });
+                // The former scan declared deaths in ascending node order;
+                // sort (and drop resurrection-superseded duplicates) to
+                // keep that order bit for bit.
+                newly_dead.sort_unstable();
+                newly_dead.dedup();
+                for &node in &newly_dead {
+                    self.dead.insert(node);
+                    ctx.stats().incr("dfs.datanodes_declared_dead");
                 }
                 for node in newly_dead {
                     self.on_node_lost(node);
@@ -514,9 +536,13 @@ impl Actor for NameNode {
                         Err(i) => self.datanodes.insert(i, (node, actor)),
                     }
                     // A join (or re-join under a recycled id) starts with a
-                    // clean bill of health.
-                    self.dead.retain(|&n| n != node);
+                    // clean bill of health. Seeding `last_heartbeat` here is
+                    // what keeps a joiner alive through a liveness tick that
+                    // fires before its first heartbeat; the fresh expiry
+                    // entry supersedes any stale one left from a prior life.
+                    self.dead.remove(&node);
                     self.last_heartbeat.insert(node, ctx.now());
+                    self.expiry.schedule(ctx.now() + self.cfg.dead_after, node);
                     ctx.stats().incr("dfs.datanodes_joined");
                     // The new capacity may unblock repairs that had nowhere
                     // to place a replica.

@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 
 use accelmr_des::prelude::*;
-use accelmr_des::{FxHashMap, FxHashSet};
+use accelmr_des::{ExpiryHeap, FxHashMap, FxHashSet};
 use accelmr_dfs::msgs::{BlockLoc, LocationsReply, PreloadDone};
 use accelmr_dfs::DfsHandle;
 use accelmr_net::{NetHandle, NodeId};
@@ -35,7 +35,7 @@ use crate::job::{
 use crate::msgs::{AssignTask, JobComplete, KillTask, SubmitJob, TaskReport, TtHeartbeat};
 use crate::sched::{
     build_scheduler, task_work_size, ReclaimVictim, SchedView, Scheduler, SplitRequest,
-    TaskCompletion, TaskView,
+    TaskCompletion, TaskLookup, TaskView,
 };
 
 const TIMER_LIVENESS: u64 = 0;
@@ -155,6 +155,11 @@ struct JobState {
     /// beneficiary of the kills), already folded into `slot_seconds` —
     /// preemption charges the killing tenant for the work it wasted.
     wasted_slot_seconds: f64,
+    /// Incomplete tasks with at least one running attempt, maintained
+    /// incrementally at every `running`/`completed` mutation — the
+    /// dispatchability input speculation-aware job picks read every free
+    /// heartbeat slot (previously an O(tasks) scan per slot).
+    running_tasks: u32,
 }
 
 impl JobState {
@@ -234,6 +239,16 @@ pub struct JobTracker {
     fenced: FxHashSet<(u32, u32, u32)>,
     /// Next instant the probation sweep halves every blacklist score.
     blacklist_decay_at: SimTime,
+    /// Lazily-invalidated deadline heap driving the liveness sweep: one
+    /// entry per live TaskTracker, pushed at registration/resurrection
+    /// only (heartbeats just move `TtInfo::last_heartbeat`, the
+    /// authoritative deadline input). Makes the per-tick sweep cost
+    /// proportional to trackers near their deadline instead of O(cluster).
+    expiry: ExpiryHeap<NodeId>,
+    /// Live (registered, not declared dead) workers, ascending —
+    /// maintained at registration, resurrection, and death so
+    /// `total_slots`/`live_nodes` stop re-scanning `tts` per decision.
+    live: Vec<NodeId>,
 }
 
 /// Resolves the scheduler for `job`: its private override if it has one,
@@ -286,6 +301,47 @@ fn task_view(ts: &TaskState) -> TaskView<'_> {
     }
 }
 
+/// Lazy [`TaskLookup`] over the tracker's task table: snapshots are built
+/// per probe instead of materializing an O(tasks) `Vec<TaskView>` for
+/// every scheduler decision (the dominant per-heartbeat cost at 10k
+/// nodes — most decisions touch a handful of tasks or none at all).
+struct TaskStateLookup<'a>(&'a [TaskState]);
+
+impl std::fmt::Debug for TaskStateLookup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskStateLookup({} tasks)", self.0.len())
+    }
+}
+
+impl TaskLookup for TaskStateLookup<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn get(&self, idx: usize) -> TaskView<'_> {
+        task_view(&self.0[idx])
+    }
+}
+
+/// Debug-build invariant check for the incrementally maintained per-job
+/// counters the [`SchedView`] aggregates are built from. Compiles to
+/// nothing in release builds.
+fn debug_check_counters(job: &JobState) {
+    debug_assert_eq!(
+        job.running_now as usize,
+        job.tasks.iter().map(|t| t.running.len()).sum::<usize>(),
+        "running_now diverged from the task table"
+    );
+    debug_assert_eq!(
+        job.running_tasks as usize,
+        job.tasks
+            .iter()
+            .filter(|t| !t.completed && !t.running.is_empty())
+            .count(),
+        "running_tasks diverged from the task table"
+    );
+}
+
 impl JobTracker {
     /// Builds a JobTracker on `node` (normally the head node).
     pub fn new(cfg: MrConfig, net: NetHandle, dfs: DfsHandle, node: NodeId) -> Self {
@@ -302,6 +358,23 @@ impl JobTracker {
             job_scheds: FxHashMap::default(),
             fenced: FxHashSet::default(),
             blacklist_decay_at: SimTime::ZERO,
+            expiry: ExpiryHeap::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Marks `node` live: inserts into the sorted live list (no-op when
+    /// already present, e.g. a registration racing a first heartbeat).
+    fn note_tt_live(&mut self, node: NodeId) {
+        if let Err(pos) = self.live.binary_search(&node) {
+            self.live.insert(pos, node);
+        }
+    }
+
+    /// Removes `node` from the sorted live list.
+    fn note_tt_dead(&mut self, node: NodeId) {
+        if let Ok(pos) = self.live.binary_search(&node) {
+            self.live.remove(pos);
         }
     }
 
@@ -340,29 +413,29 @@ impl JobTracker {
             self.blacklist_decay_at = now + self.cfg.blacklist_probation;
             return;
         }
-        while now >= self.blacklist_decay_at {
-            // audit:allow(map-order): per-node score halving is independent per entry; order is unobservable and no events issue here
-            for tt in self.tts.values_mut() {
-                tt.fail_score /= 2;
-            }
-            self.blacklist_decay_at += self.cfg.blacklist_probation;
+        if now < self.blacklist_decay_at {
+            return;
         }
+        // Catch up arithmetically: k elapsed probation periods halve every
+        // score k times, which is one shift — the old per-period loop
+        // walked the whole tracker map once per missed period (quadratic
+        // after a long idle gap on a big cluster). A u32 score is zero
+        // after 32 halvings, so the shift saturates there.
+        let period = self.cfg.blacklist_probation;
+        let k = now.since(self.blacklist_decay_at).as_nanos() / period.as_nanos().max(1) + 1;
+        let shift = k.min(32) as u32;
+        // audit:allow(map-order): per-node score halving is independent per entry; order is unobservable and no events issue here
+        for tt in self.tts.values_mut() {
+            tt.fail_score >>= shift;
+        }
+        self.blacklist_decay_at += period * k;
     }
 
+    /// Total live map slots — O(1) off the maintained live list (the old
+    /// full-map scan ran at the top of every dispatch decision, turning
+    /// each free heartbeat slot into an O(cluster) walk).
     fn total_slots(&self) -> usize {
-        self.tts.values().filter(|t| !t.dead).count() * self.cfg.map_slots_per_node
-    }
-
-    /// Live worker nodes, ascending.
-    fn live_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self
-            .tts
-            .iter()
-            .filter(|(_, t)| !t.dead)
-            .map(|(&n, _)| n)
-            .collect();
-        nodes.sort_unstable();
-        nodes
+        self.live.len() * self.cfg.map_slots_per_node
     }
 
     /// Asks the job's scheduler how to split `total` work items into map
@@ -370,7 +443,6 @@ impl JobTracker {
     /// plan; adaptive policies may oversplit or weight by node speed.)
     fn plan_splits(&mut self, job_id: JobId, total: u64) -> Option<Vec<u64>> {
         let default_tasks = self.total_slots().max(1);
-        let live = self.live_nodes();
         let (kernel, requested) = {
             let job = self.jobs.get(&job_id.0)?;
             (job.spec.kernel.name(), job.spec.num_map_tasks)
@@ -381,7 +453,7 @@ impl JobTracker {
             total,
             requested_tasks: requested,
             default_tasks,
-            live_nodes: &live,
+            live_nodes: &self.live,
             slots_per_node: self.cfg.map_slots_per_node,
         };
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id.0);
@@ -496,8 +568,9 @@ impl JobTracker {
         // map phase) — only the churn-transient "shuffle with lost
         // outputs" state pays for filtering.
         if !job.withholds_reduces() {
+            debug_check_counters(job);
             let idx = {
-                let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
+                let tasks = TaskStateLookup(&job.tasks);
                 let view = SchedView {
                     job: JobId(job_id),
                     kernel: job.spec.kernel.name(),
@@ -509,6 +582,8 @@ impl JobTracker {
                     cluster_slots,
                     pending: job.pending.make_contiguous(),
                     tasks: &tasks,
+                    running_slots: job.running_now as usize,
+                    running_incomplete: job.running_tasks as usize,
                     completed_task_times: &job.task_times,
                     slots_per_node,
                 };
@@ -528,7 +603,7 @@ impl JobTracker {
         }
         let pending_view: Vec<TaskId> = eligible.iter().map(|&i| job.pending[i]).collect();
         let idx = {
-            let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
+            let tasks = TaskStateLookup(&job.tasks);
             let view = SchedView {
                 job: JobId(job_id),
                 kernel: job.spec.kernel.name(),
@@ -540,6 +615,8 @@ impl JobTracker {
                 cluster_slots,
                 pending: &pending_view,
                 tasks: &tasks,
+                running_slots: job.running_now as usize,
+                running_incomplete: job.running_tasks as usize,
                 completed_task_times: &job.task_times,
                 slots_per_node,
             };
@@ -573,7 +650,11 @@ impl JobTracker {
         ts.attempts += 1;
         job.attempts_total += 1;
         let attempt = ts.attempts;
+        let was_active = !ts.completed && !ts.running.is_empty();
         ts.running.push((attempt, node, ctx.now()));
+        if !ts.completed && !was_active {
+            job.running_tasks += 1;
+        }
         job.dispatch_log.push((task, node));
         let reduce_merge_time = if ts.is_reduce {
             match (&job.spec.reduce, &ts.work) {
@@ -747,13 +828,13 @@ impl JobTracker {
         if !filtered.iter().any(|(_, dispatchable)| *dispatchable) {
             return Vec::new();
         }
-        let task_views: Vec<Vec<TaskView<'_>>> = ids
+        let lookups: Vec<TaskStateLookup<'_>> = ids
             .iter()
-            .map(|id| self.jobs[id].tasks.iter().map(task_view).collect())
+            .map(|id| TaskStateLookup(&self.jobs[id].tasks))
             .collect();
         let views: Vec<SchedView<'_>> = ids
             .iter()
-            .zip(&task_views)
+            .zip(&lookups)
             .zip(&filtered)
             .map(|((id, tasks), (filt, dispatchable))| {
                 let job = &self.jobs[id];
@@ -772,6 +853,8 @@ impl JobTracker {
                     cluster_slots,
                     pending,
                     tasks,
+                    running_slots: job.running_now as usize,
+                    running_incomplete: job.running_tasks as usize,
                     completed_task_times: &job.task_times,
                     slots_per_node,
                 }
@@ -826,6 +909,9 @@ impl JobTracker {
         let (_, _, started) = ts.running.remove(pos);
         if ts.running.is_empty() {
             job.pending.push_back(v.task);
+            // The guard above established `!ts.completed`, so this task
+            // was counted active until its sole attempt died just now.
+            job.running_tasks -= 1;
         }
         job.note_share(now, -1);
         // Charge the killing tenant: the victim's discarded runtime moves
@@ -888,6 +974,7 @@ impl JobTracker {
             .iter()
             .map(|id| {
                 let job = &self.jobs[id];
+                debug_check_counters(job);
                 let filt: Option<Vec<TaskId>> = job.withholds_reduces().then(|| {
                     job.pending
                         .iter()
@@ -896,12 +983,10 @@ impl JobTracker {
                         .collect()
                 });
                 let pending_len = filt.as_ref().map_or(job.pending.len(), Vec::len);
-                let dispatchable = pending_len > 0
-                    || (speculative
-                        && job
-                            .tasks
-                            .iter()
-                            .any(|t| !t.completed && !t.running.is_empty()));
+                // `running_tasks` is the incrementally maintained count of
+                // incomplete tasks with a running attempt — what the old
+                // O(tasks) `any` scan recomputed per free slot.
+                let dispatchable = pending_len > 0 || (speculative && job.running_tasks > 0);
                 (filt, dispatchable)
             })
             .collect();
@@ -912,13 +997,13 @@ impl JobTracker {
         {
             return None;
         }
-        let task_views: Vec<Vec<TaskView<'_>>> = ids
+        let lookups: Vec<TaskStateLookup<'_>> = ids
             .iter()
-            .map(|id| self.jobs[id].tasks.iter().map(task_view).collect())
+            .map(|id| TaskStateLookup(&self.jobs[id].tasks))
             .collect();
         let views: Vec<SchedView<'_>> = ids
             .iter()
-            .zip(&task_views)
+            .zip(&lookups)
             .zip(&filtered)
             .map(|((id, tasks), (filt, dispatchable))| {
                 let job = &self.jobs[id];
@@ -937,6 +1022,8 @@ impl JobTracker {
                     cluster_slots,
                     pending,
                     tasks,
+                    running_slots: job.running_now as usize,
+                    running_incomplete: job.running_tasks as usize,
                     completed_task_times: &job.task_times,
                     slots_per_node,
                 }
@@ -955,7 +1042,7 @@ impl JobTracker {
         let cluster_slots = self.total_slots();
         let sched = sched_mut(&mut self.job_scheds, &mut self.scheduler, job_id);
         let job = self.jobs.get_mut(&job_id)?;
-        let tasks: Vec<TaskView<'_>> = job.tasks.iter().map(task_view).collect();
+        let tasks = TaskStateLookup(&job.tasks);
         let view = SchedView {
             job: JobId(job_id),
             kernel: job.spec.kernel.name(),
@@ -967,6 +1054,8 @@ impl JobTracker {
             cluster_slots,
             pending: job.pending.make_contiguous(),
             tasks: &tasks,
+            running_slots: job.running_now as usize,
+            running_incomplete: job.running_tasks as usize,
             completed_task_times: &job.task_times,
             slots_per_node,
         };
@@ -996,17 +1085,22 @@ impl JobTracker {
         let Some(job) = self.jobs.get_mut(&job_id) else {
             return;
         };
-        let removed = {
+        let (removed, was_active) = {
             let Some(ts) = job.tasks.get_mut(report.task.0 as usize) else {
                 return;
             };
+            let was_active = !ts.completed && !ts.running.is_empty();
             let before = ts.running.len();
             ts.running
                 .retain(|&(a, n, _)| !(a == report.attempt && n == report.node));
-            (before - ts.running.len()) as i64
+            ((before - ts.running.len()) as i64, was_active)
         };
         job.note_share(ctx.now(), -removed);
         let ts = &mut job.tasks[report.task.0 as usize];
+        let is_active = !ts.completed && !ts.running.is_empty();
+        if was_active && !is_active {
+            job.running_tasks -= 1;
+        }
 
         if !report.ok {
             job.failed_attempts += 1;
@@ -1040,6 +1134,12 @@ impl JobTracker {
         // why the entries leave `running` here, at kill time).
         let others: Vec<(u32, NodeId)> = ts.running.iter().map(|&(a, n, _)| (a, n)).collect();
         ts.running.clear();
+        if is_active {
+            // The task was still counted active after the winner's entry
+            // left `running` (speculative siblings in flight); completion
+            // retires it now.
+            job.running_tasks -= 1;
+        }
         let is_reduce = ts.is_reduce;
         let kernel = job.spec.kernel.name();
         // The work the attempt performed, for throughput learning: samples
@@ -1321,6 +1421,9 @@ impl JobTracker {
                 job.tasks.clear();
                 job.pending.clear();
                 job.map_count = 0;
+                // No attempts ever dispatched (the replan filter), so the
+                // active-task count resets with the table.
+                job.running_tasks = 0;
                 job.spec.input.clone()
             };
             ctx.stats().incr("mr.jobs_replanned");
@@ -1341,20 +1444,38 @@ impl JobTracker {
         }
     }
 
-    /// Declares silent TaskTrackers dead and re-queues their work.
+    /// Declares silent TaskTrackers dead and re-queues their work. The
+    /// sweep drains the expiry heap instead of walking every tracker: only
+    /// trackers whose recorded deadline elapsed surface, so an all-quiet
+    /// tick costs O(1) regardless of cluster size. The old full scan
+    /// visited ascending node ids; the drained set is sorted (and deduped
+    /// — resurrections can leave superseded entries) so the newly-dead are
+    /// processed in exactly the historical order, keeping traces
+    /// byte-identical.
     fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         self.decay_blacklist(now);
         let mut newly_fenced: Vec<(u32, u32, u32)> = Vec::new();
-        let mut newly_dead: Vec<NodeId> = Vec::new();
-        let mut nodes: Vec<NodeId> = self.tts.keys().copied().collect();
-        nodes.sort_unstable();
-        for node in nodes {
-            let tt = self.tts.get_mut(&node).expect("key exists");
-            if !tt.dead && now.since(tt.last_heartbeat) > self.cfg.tt_dead_after {
-                tt.dead = true;
-                newly_dead.push(node);
+        let tts = &self.tts;
+        let window = self.cfg.tt_dead_after;
+        // Expired ⇔ the authoritative deadline passed: `last + window <
+        // now` is the old `now - last > window` rule verbatim, so a
+        // tracker whose grace ends exactly at `now` survives this tick.
+        let mut newly_dead = self.expiry.expired(now, |node| {
+            let tt = tts.get(&node)?;
+            if tt.dead {
+                return None;
             }
+            Some(tt.last_heartbeat + window)
+        });
+        newly_dead.sort_unstable();
+        newly_dead.dedup();
+        for &node in &newly_dead {
+            self.tts
+                .get_mut(&node)
+                .expect("expired keys are tracked")
+                .dead = true;
+            self.note_tt_dead(node);
         }
         for node in newly_dead {
             ctx.stats().incr("mr.tasktrackers_declared_dead");
@@ -1393,6 +1514,8 @@ impl JobTracker {
                     vanished += (before - ts.running.len()) as i64;
                     if before != ts.running.len() && !ts.completed && ts.running.is_empty() {
                         job.pending.push_back(tid);
+                        // Active → inactive: its last attempt just vanished.
+                        job.running_tasks -= 1;
                     }
                     // Completed map outputs on the dead node are lost for
                     // unfinished shuffles: re-execute those maps — during
@@ -1409,6 +1532,13 @@ impl JobTracker {
                     {
                         ts.completed = false;
                         ts.ran_on = None;
+                        if !ts.running.is_empty() {
+                            // Defensive: a completed task's running list is
+                            // cleared at completion, so this stays zero —
+                            // but un-completing a task with attempts in
+                            // flight would make it active again.
+                            job.running_tasks += 1;
+                        }
                         job.maps_completed -= 1;
                         if let Some(mo) = job.map_outputs.remove(&tid) {
                             job.bytes_read -= mo.bytes_read;
@@ -1566,6 +1696,7 @@ impl Actor for JobTracker {
                             share_timeline: Vec::new(),
                             preempted_attempts: 0,
                             wasted_slot_seconds: 0.0,
+                            running_tasks: 0,
                         },
                     );
                     ctx.stats().incr("mr.jobs_submitted");
@@ -1604,7 +1735,17 @@ impl Actor for JobTracker {
                     });
                     entry.last_heartbeat = now;
                     let resurrected = entry.dead;
+                    if is_new || resurrected {
+                        // (Re-)entering liveness tracking: one fresh heap
+                        // entry at the current deadline; any superseded
+                        // entry from a previous incarnation is dropped at
+                        // pop time. Heartbeats from an already-live
+                        // tracker never touch the heap.
+                        self.expiry.schedule(now + self.cfg.tt_dead_after, hb.node);
+                        self.note_tt_live(hb.node);
+                    }
                     if resurrected {
+                        let entry = self.tts.get_mut(&hb.node).expect("just inserted");
                         entry.dead = false;
                         ctx.stats().incr("mr.tt_resurrections");
                         self.scheduler.on_node_join(hb.node);
@@ -1663,14 +1804,23 @@ impl JobTracker {
     /// before its first heartbeat (at deploy `now` is zero, matching the
     /// historical behavior exactly).
     pub(crate) fn register_tt_at(&mut self, node: NodeId, actor: ActorId, now: SimTime) {
-        self.tts
-            .entry(node)
-            .and_modify(|t| t.actor = actor)
-            .or_insert(TtInfo {
+        if let Some(t) = self.tts.get_mut(&node) {
+            t.actor = actor;
+            return;
+        }
+        self.tts.insert(
+            node,
+            TtInfo {
                 actor,
                 last_heartbeat: now,
                 dead: false,
                 fail_score: 0,
-            });
+            },
+        );
+        // Enter liveness tracking with a full silence window from `now` —
+        // a tracker registering one tick before the sweep fires must not
+        // be declared dead before it ever had a chance to heartbeat.
+        self.expiry.schedule(now + self.cfg.tt_dead_after, node);
+        self.note_tt_live(node);
     }
 }

@@ -78,7 +78,8 @@ pub use kernel::{
 pub use msgs::{CrashTaskTracker, InjectGray, JobComplete, SetHeartbeatLoss, SubmitJob};
 pub use sched::{
     build_scheduler, AdaptiveHetero, DeadlineSlack, FairShare, Fifo, LocalityFirst, NodeThroughput,
-    ReclaimVictim, SchedView, Scheduler, SplitPlan, SplitRequest, TaskCompletion, TaskView,
+    ReclaimVictim, SchedView, Scheduler, SplitPlan, SplitRequest, TaskCompletion, TaskLookup,
+    TaskView,
 };
 pub use session::{ChurnOp, ChurnSchedule, FaultOp, FaultPlan, JobHandle, JobRequest, Session};
 pub use tasktracker::TaskTracker;

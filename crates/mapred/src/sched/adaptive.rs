@@ -169,7 +169,7 @@ impl Scheduler for AdaptiveHetero {
         // Locality still wins among candidates (data tasks).
         let local: Vec<usize> = (0..view.pending.len())
             .filter(|&i| {
-                let t = &view.tasks[view.pending[i].0 as usize];
+                let t = view.tasks.get(view.pending[i].0 as usize);
                 t.hints.contains(&node)
             })
             .collect();
@@ -179,7 +179,7 @@ impl Scheduler for AdaptiveHetero {
             local
         };
 
-        let size = |i: usize| view.tasks[view.pending[i].0 as usize].size;
+        let size = |i: usize| view.tasks.get(view.pending[i].0 as usize).size;
         match my_rate {
             // Unknown node: take the queue front (and start learning).
             None => pool.first().copied(),
@@ -221,7 +221,8 @@ impl Scheduler for AdaptiveHetero {
         let threshold = mean_ns * self.slowdown;
         let my_rate = self.rate_of(view.kernel, node);
         let mut best: Option<(TaskId, u64)> = None;
-        for (i, ts) in view.tasks.iter().enumerate() {
+        for i in 0..view.tasks.len() {
+            let ts = view.tasks.get(i);
             if ts.completed || ts.running.len() != 1 {
                 continue;
             }
@@ -316,7 +317,7 @@ impl Scheduler for AdaptiveHetero {
 mod tests {
     use super::*;
     use crate::config::{JobId, MrConfig};
-    use crate::sched::TaskView;
+    use crate::sched::{TaskLookup, TaskView};
     use accelmr_des::SimDuration;
 
     fn sched() -> AdaptiveHetero {
@@ -363,9 +364,10 @@ mod tests {
 
     fn view<'a>(
         pending: &'a [TaskId],
-        tasks: &'a [TaskView<'a>],
+        tasks: &'a dyn TaskLookup,
         times: &'a [SimDuration],
     ) -> SchedView<'a> {
+        let (running_slots, running_incomplete) = crate::sched::view_counts(tasks);
         SchedView {
             job: JobId(0),
             kernel: "k",
@@ -377,6 +379,8 @@ mod tests {
             cluster_slots: 4,
             pending,
             tasks,
+            running_slots,
+            running_incomplete,
             completed_task_times: times,
             slots_per_node: 2,
         }

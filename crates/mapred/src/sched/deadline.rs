@@ -96,7 +96,7 @@ impl DeadlineSlack {
         let deadline = view
             .deadline
             .expect("slack is only computed for deadline jobs");
-        let remaining = view.pending.len() + view.running_incomplete();
+        let remaining = view.pending.len() + view.running_incomplete;
         let waves = remaining.div_ceil(view.cluster_slots.max(1));
         let left = deadline.as_secs_f64() - now.as_secs_f64();
         left - waves as f64 * self.mean_dur_secs(view.kernel)

@@ -64,7 +64,7 @@ impl FairShare {
 fn tenant_usage<'a>(views: &[SchedView<'a>]) -> Vec<(&'a str, f64, f64)> {
     let mut tenants: Vec<(&str, f64, f64)> = Vec::new();
     for v in views {
-        let slots = v.running_slots() as f64;
+        let slots = v.running_slots as f64;
         match tenants.iter_mut().find(|(t, _, _)| *t == v.tenant) {
             Some((_, usage, weight)) => {
                 *usage += slots;

@@ -45,7 +45,7 @@ use crate::config::{JobId, MrConfig, PreemptionTuning, SchedulerPolicy, TaskId};
 use crate::job::TaskWork;
 
 /// Immutable snapshot of one task, handed to scheduling decisions.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct TaskView<'a> {
     /// Nodes holding input replicas (locality hint; empty for synthetic
     /// and reduce tasks).
@@ -59,6 +59,46 @@ pub struct TaskView<'a> {
     /// Work size: input bytes (file tasks), units (synthetic tasks), or
     /// fetch bytes (reduce tasks).
     pub size: u64,
+}
+
+/// On-demand task access for scheduling decisions. The JobTracker hands
+/// views out through this trait instead of materializing a `Vec<TaskView>`
+/// per decision: most decisions touch a handful of tasks (or none — the
+/// job-level pick mostly reads the precomputed aggregates), so building
+/// O(tasks) snapshots per free heartbeat slot was the dominant per-event
+/// cost at 10k nodes. Test harnesses keep constructing plain
+/// `Vec<TaskView>` / `[TaskView]` values — both implement the trait.
+pub trait TaskLookup: std::fmt::Debug {
+    /// Number of tasks (views are indexed by [`TaskId`]).
+    fn len(&self) -> usize;
+
+    /// `true` when the job has no tasks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The snapshot of task `idx`. Panics when out of bounds.
+    fn get(&self, idx: usize) -> TaskView<'_>;
+}
+
+impl<'a> TaskLookup for Vec<TaskView<'a>> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn get(&self, idx: usize) -> TaskView<'_> {
+        self[idx]
+    }
+}
+
+impl<'a, const N: usize> TaskLookup for [TaskView<'a>; N] {
+    fn len(&self) -> usize {
+        N
+    }
+
+    fn get(&self, idx: usize) -> TaskView<'_> {
+        self[idx]
+    }
 }
 
 /// Everything a scheduler may inspect when deciding for one job on one
@@ -95,30 +135,41 @@ pub struct SchedView<'a> {
     /// reordered by the runtime, so index 0 is the oldest entry.
     pub pending: &'a [TaskId],
     /// All tasks of the job, indexed by [`TaskId`].
-    pub tasks: &'a [TaskView<'a>],
+    pub tasks: &'a dyn TaskLookup,
+    /// Attempts of this job currently occupying slots (running attempts
+    /// summed over all tasks) — the usage metric weighted fair sharing
+    /// bills to the job's tenant. Precomputed by the view builder (the
+    /// JobTracker maintains it incrementally) so job-level picks never
+    /// scan the task table.
+    pub running_slots: usize,
+    /// Tasks not yet completed that have at least one running attempt —
+    /// the in-flight work counted by remaining-time estimates (and the
+    /// speculation candidates). Precomputed like
+    /// [`running_slots`](SchedView::running_slots).
+    pub running_incomplete: usize,
     /// Durations of completed attempts (straggler thresholding).
     pub completed_task_times: &'a [SimDuration],
     /// Configured map slots per TaskTracker.
     pub slots_per_node: usize,
 }
 
-impl SchedView<'_> {
-    /// Attempts of this job currently occupying slots (running attempts
-    /// summed over all tasks) — the usage metric weighted fair sharing
-    /// bills to the job's tenant.
-    pub fn running_slots(&self) -> usize {
-        self.tasks.iter().map(|t| t.running.len()).sum()
+/// The aggregate counts a [`SchedView`] carries precomputed
+/// ([`running_slots`](SchedView::running_slots),
+/// [`running_incomplete`](SchedView::running_incomplete)), derived from a
+/// task slice — for view builders that don't maintain the counts
+/// incrementally (test harnesses, property drivers).
+#[cfg(test)]
+pub(crate) fn view_counts(tasks: &dyn TaskLookup) -> (usize, usize) {
+    let mut running_slots = 0;
+    let mut running_incomplete = 0;
+    for i in 0..tasks.len() {
+        let t = tasks.get(i);
+        running_slots += t.running.len();
+        if !t.completed && !t.running.is_empty() {
+            running_incomplete += 1;
+        }
     }
-
-    /// Tasks not yet completed that have at least one running attempt —
-    /// the in-flight work counted by remaining-time estimates (and the
-    /// speculation candidates).
-    pub fn running_incomplete(&self) -> usize {
-        self.tasks
-            .iter()
-            .filter(|t| !t.completed && !t.running.is_empty())
-            .count()
-    }
+    (running_slots, running_incomplete)
 }
 
 /// Split-planning request: how should a job's input be carved into map
@@ -327,7 +378,8 @@ pub(crate) fn reclaim_candidates(
 ) -> Vec<(SimDuration, ReclaimVictim)> {
     let mut out: Vec<(SimTime, ReclaimVictim)> = Vec::new();
     for v in views {
-        for (i, t) in v.tasks.iter().enumerate() {
+        for i in 0..v.tasks.len() {
+            let t = v.tasks.get(i);
             if t.is_reduce || t.completed || t.running.len() != 1 {
                 continue;
             }
@@ -492,7 +544,7 @@ pub(crate) fn locality_pick(view: &SchedView<'_>, node: NodeId) -> Option<usize>
     Some(
         view.pending
             .iter()
-            .position(|t| view.tasks[t.0 as usize].hints.contains(&node))
+            .position(|t| view.tasks.get(t.0 as usize).hints.contains(&node))
             .unwrap_or(0),
     )
 }
@@ -528,7 +580,8 @@ pub(crate) fn default_straggler(
         / view.completed_task_times.len() as f64;
     let threshold = mean_ns * slowdown;
     let mut best: Option<(TaskId, u64)> = None;
-    for (i, ts) in view.tasks.iter().enumerate() {
+    for i in 0..view.tasks.len() {
+        let ts = view.tasks.get(i);
         if ts.completed || ts.running.len() != 1 {
             continue;
         }

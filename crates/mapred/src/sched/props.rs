@@ -91,19 +91,24 @@ impl MiniCluster {
             .iter()
             .zip(&task_views)
             .zip(&pendings)
-            .map(|((job, tasks), pending)| SchedView {
-                job: JobId(job.id),
-                kernel: "k",
-                tenant: &self.tenant_names[job.tenant],
-                weight: job.weight,
-                deadline: job.deadline,
-                submitted: SimTime::ZERO,
-                eligible: !pending.is_empty(),
-                cluster_slots: 8,
-                pending,
-                tasks,
-                completed_task_times: &[],
-                slots_per_node: 2,
+            .map(|((job, tasks), pending)| {
+                let (running_slots, running_incomplete) = super::view_counts(tasks);
+                SchedView {
+                    job: JobId(job.id),
+                    kernel: "k",
+                    tenant: &self.tenant_names[job.tenant],
+                    weight: job.weight,
+                    deadline: job.deadline,
+                    submitted: SimTime::ZERO,
+                    eligible: !pending.is_empty(),
+                    cluster_slots: 8,
+                    pending,
+                    tasks,
+                    running_slots,
+                    running_incomplete,
+                    completed_task_times: &[],
+                    slots_per_node: 2,
+                }
             })
             .collect();
         let pick = sched.pick_job(&views, node);
@@ -165,19 +170,24 @@ impl MiniCluster {
             .iter()
             .zip(&task_views)
             .zip(&pendings)
-            .map(|((job, tasks), pending)| SchedView {
-                job: JobId(job.id),
-                kernel: "k",
-                tenant: &self.tenant_names[job.tenant],
-                weight: job.weight,
-                deadline: job.deadline,
-                submitted: SimTime::ZERO,
-                eligible: !pending.is_empty(),
-                cluster_slots: 8,
-                pending,
-                tasks,
-                completed_task_times: &[],
-                slots_per_node: 2,
+            .map(|((job, tasks), pending)| {
+                let (running_slots, running_incomplete) = super::view_counts(tasks);
+                SchedView {
+                    job: JobId(job.id),
+                    kernel: "k",
+                    tenant: &self.tenant_names[job.tenant],
+                    weight: job.weight,
+                    deadline: job.deadline,
+                    submitted: SimTime::ZERO,
+                    eligible: !pending.is_empty(),
+                    cluster_slots: 8,
+                    pending,
+                    tasks,
+                    running_slots,
+                    running_incomplete,
+                    completed_task_times: &[],
+                    slots_per_node: 2,
+                }
             })
             .collect();
         sched.reclaim(&views, node, now)

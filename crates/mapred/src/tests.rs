@@ -717,6 +717,223 @@ pub(crate) fn job_level_trace_scenarios(
     out
 }
 
+/// Liveness-heavy scenarios exercising the paths rewritten by the
+/// heartbeat-scalability PR: death detection (expiry-heap `check_liveness`
+/// instead of the full-tracker scan), incremental slot accounting
+/// (`total_slots` / per-job running counters feeding `running_slots` and
+/// `running_incomplete`), and blacklist decay. Both policies that *consume*
+/// the incremental counters are on the clock: FairShare (weighted shares
+/// from running slots) under a join+leave churn wave, and DeadlineSlack
+/// (slack from running incomplete tasks) across a mid-map node death.
+pub(crate) fn liveness_trace_scenarios(
+    fluid: accelmr_net::FluidEngine,
+) -> Vec<(&'static str, u64, u64, SimDuration)> {
+    let mut out = Vec::new();
+
+    // FairShare, two tenants, churn wave with a join and a leave: shares
+    // are computed from running-slot counts on every free slot while the
+    // cluster's live-tracker set changes under it.
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::FairShare,
+            tt_dead_after: SimDuration::from_secs(12),
+            ..MrConfig::default()
+        };
+        let mut c = ClusterBuilder::new()
+            .seed(71)
+            .workers(4)
+            .net(NetConfig {
+                fluid,
+                ..NetConfig::default()
+            })
+            .mr(cfg)
+            .dfs(DfsConfig {
+                dead_after: SimDuration::from_secs(12),
+                ..DfsConfig::default()
+            })
+            .deploy();
+        c.sim.enable_trace(16);
+        let mut session = c.session();
+        session.churn(crate::session::ChurnSchedule::wave(
+            1,
+            &[accelmr_net::NodeId(3)],
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(8),
+        ));
+        let tenant_job = |tenant: &str, units: u64| JobRequest {
+            spec: JobBuilder::new("fair")
+                .synthetic(units)
+                .kernel(FixedCostKernel {
+                    per_record: SimDuration::from_micros(40),
+                    ..FixedCostKernel::default()
+                })
+                .rpc_aggregate(SumReducer {
+                    cycles_per_byte: 1.0,
+                })
+                .map_tasks(8)
+                .tenant(tenant)
+                .build(),
+            preloads: vec![],
+        };
+        session.submit(tenant_job("alpha", 800_000));
+        session.submit(tenant_job("beta", 600_000));
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        let makespan = rs.iter().map(|r| r.elapsed).max().unwrap();
+        out.push((
+            "fair-churn",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+            makespan,
+        ));
+    }
+
+    // DeadlineSlack, one deadline job and one deadline-less, with a
+    // TaskTracker crash mid-map: slack estimates consume the in-flight
+    // incomplete-task count right through the death re-queue.
+    {
+        let cfg = MrConfig {
+            scheduler: SchedulerPolicy::DeadlineSlack,
+            tt_dead_after: SimDuration::from_secs(12),
+            ..MrConfig::default()
+        };
+        let mut c = ClusterBuilder::new()
+            .seed(72)
+            .workers(3)
+            .net(NetConfig {
+                fluid,
+                ..NetConfig::default()
+            })
+            .mr(cfg)
+            .dfs(DfsConfig {
+                dead_after: SimDuration::from_secs(12),
+                ..DfsConfig::default()
+            })
+            .deploy();
+        c.sim.enable_trace(16);
+        let victim_tt = c.mr.tasktracker_on(accelmr_net::NodeId(2)).unwrap();
+        c.sim.post_after(
+            victim_tt,
+            Box::new(CrashTaskTracker),
+            SimDuration::from_secs(15),
+        );
+        let mut session = c.session();
+        session.submit(JobRequest {
+            spec: JobBuilder::new("urgent")
+                .synthetic(900_000)
+                .kernel(FixedCostKernel {
+                    per_record: SimDuration::from_micros(60),
+                    ..FixedCostKernel::default()
+                })
+                .rpc_aggregate(SumReducer {
+                    cycles_per_byte: 1.0,
+                })
+                .map_tasks(9)
+                .deadline_at(accelmr_des::SimTime::ZERO + SimDuration::from_secs(120))
+                .build(),
+            preloads: vec![],
+        });
+        session.submit_after(
+            SimDuration::from_secs(4),
+            JobRequest {
+                spec: synthetic_spec(Arc::new(FixedCostKernel::default()), 500_000, Some(6)),
+                preloads: vec![],
+            },
+        );
+        let rs = session.run_until_complete();
+        assert!(rs.iter().all(|r| r.succeeded));
+        let makespan = rs.iter().map(|r| r.elapsed).max().unwrap();
+        out.push((
+            "deadline-crash",
+            c.sim.trace().fingerprint(),
+            c.sim.trace().recorded(),
+            makespan,
+        ));
+    }
+
+    out
+}
+
+/// Golden fingerprints for [`liveness_trace_scenarios`], recorded from the
+/// pre-rewrite liveness/slot-accounting code (full-scan `check_liveness`,
+/// per-call `total_slots`, per-dispatch `Vec<TaskView>` materialization).
+/// The expiry-heap + incremental-counter rewrite must reproduce these
+/// event streams bit for bit.
+#[test]
+fn liveness_rewrite_is_trace_equivalent() {
+    let golden = [
+        ("fair-churn", 0x3d5d2624d131fd37_u64, 305_u64),
+        ("deadline-crash", 0xf1ebcfa67f4c34f8, 317),
+    ];
+    let got = liveness_trace_scenarios(accelmr_net::FluidEngine::Incremental);
+    assert_eq!(got.len(), golden.len());
+    for ((name, fp, events, _), (gname, gfp, gevents)) in got.iter().zip(golden.iter()) {
+        assert_eq!(name, gname);
+        assert_eq!(
+            (fp, events),
+            (gfp, gevents),
+            "scenario '{name}' diverged from the pre-rewrite event stream"
+        );
+    }
+}
+
+/// A node that joins one tick before the liveness sweep fires must not be
+/// declared dead before it ever had a chance to heartbeat. Registration
+/// seeds the liveness clock (`last_heartbeat = now`) and the expiry-heap
+/// entry for both trackers; losing either seed would let the sweep see a
+/// full silence window and kill the joiner on arrival. The windows here
+/// are tight — sweeps every 3 s, death after 4 s of silence, the join
+/// 0.1 s before a sweep — and the first real heartbeat is jittered up to
+/// a full interval after spawn, so the 9 s sweep runs while the joiner is
+/// still silent.
+#[test]
+fn joiner_survives_liveness_tick_before_first_heartbeat() {
+    let cfg = MrConfig {
+        tt_dead_after: SimDuration::from_secs(4),
+        ..MrConfig::default()
+    };
+    let mut c = ClusterBuilder::new()
+        .seed(81)
+        .workers(3)
+        .net(NetConfig::default())
+        .mr(cfg)
+        .dfs(DfsConfig {
+            dead_after: SimDuration::from_secs(4),
+            ..DfsConfig::default()
+        })
+        .deploy();
+    let mut session = c.session();
+    // Sweeps fire at t = 3, 6, 9, 12 s; the join lands at 8.9 s.
+    let joined = session
+        .churn(crate::session::ChurnSchedule::new().join_at(SimDuration::from_millis(8_900)));
+    assert_eq!(joined.len(), 1);
+    session.submit(JobRequest {
+        spec: JobBuilder::new("join-race")
+            .synthetic(1_500_000)
+            .kernel(FixedCostKernel {
+                per_record: SimDuration::from_micros(40),
+                ..FixedCostKernel::default()
+            })
+            .rpc_aggregate(SumReducer {
+                cycles_per_byte: 1.0,
+            })
+            .map_tasks(12)
+            .build(),
+        preloads: vec![],
+    });
+    let rs = session.run_until_complete();
+    assert!(rs.iter().all(|r| r.succeeded));
+    // `mr.node_joins` counts every first registration, deploy workers
+    // included: 3 at deploy plus the churn joiner.
+    assert_eq!(c.sim.stats().counter("mr.node_joins"), 4);
+    assert_eq!(c.sim.stats().counter("dfs.datanodes_joined"), 1);
+    // The joiner stayed alive through every sweep: no false deaths on
+    // either control plane, and no resurrection papering one over.
+    assert_eq!(c.sim.stats().counter("mr.tasktrackers_declared_dead"), 0);
+    assert_eq!(c.sim.stats().counter("dfs.datanodes_declared_dead"), 0);
+    assert_eq!(c.sim.stats().counter("mr.tt_resurrections"), 0);
+}
+
 /// Golden multi-job trace fingerprints, recorded from the pre-`pick_job`
 /// dispatch loop (jobs visited in ascending id order, each drained regular-
 /// then-speculative). The refactored loop under the default job picker must

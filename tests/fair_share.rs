@@ -253,7 +253,7 @@ fn past_deadline_is_rejected_at_submit_time() {
 /// regular dispatch would deny it.
 #[test]
 fn speculation_is_charged_to_tenant_share() {
-    use accelmr::mapred::{FairShare, JobId, SchedView, Scheduler, TaskView};
+    use accelmr::mapred::{FairShare, JobId, SchedView, Scheduler, TaskLookup, TaskView};
 
     let asker = NodeId(9); // the node requesting work
     let runner = NodeId(2); // where the straggling attempts run
@@ -277,9 +277,18 @@ fn speculation_is_charged_to_tenant_share() {
     fn view<'a>(
         job: u32,
         tenant: &'a str,
-        tasks: &'a [TaskView<'a>],
+        tasks: &'a dyn TaskLookup,
         times: &'a [SimDuration],
     ) -> SchedView<'a> {
+        let mut running_slots = 0;
+        let mut running_incomplete = 0;
+        for i in 0..tasks.len() {
+            let t = tasks.get(i);
+            running_slots += t.running.len();
+            if !t.completed && !t.running.is_empty() {
+                running_incomplete += 1;
+            }
+        }
         SchedView {
             job: JobId(job),
             kernel: "k",
@@ -291,6 +300,8 @@ fn speculation_is_charged_to_tenant_share() {
             cluster_slots: 8,
             pending: &[],
             tasks,
+            running_slots,
+            running_incomplete,
             completed_task_times: times,
             slots_per_node: 2,
         }
